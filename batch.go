@@ -1,0 +1,64 @@
+package influcomm
+
+import (
+	"fmt"
+	"sync"
+
+	"influcomm/internal/core"
+)
+
+// Query is one top-k influential community query of a batch.
+type Query struct {
+	K     int
+	Gamma int
+	// Options tunes the individual query; the zero value uses the paper's
+	// defaults.
+	Options Options
+}
+
+// QueryResult pairs a batch query with its outcome.
+type QueryResult struct {
+	Query  Query
+	Result *Result
+	Err    error
+}
+
+// TopKBatch answers many queries over the same graph concurrently, using up
+// to parallelism goroutines (capped at the number of queries; values < 1
+// mean 1). The graph is immutable and safely shared; every query gets its
+// own search engine. Results are returned in query order.
+//
+// The paper's algorithms are single-threaded per query — batching is how a
+// serving system exploits multiple cores, since CountIC's sequential
+// peeling is inherently order-dependent.
+func TopKBatch(g *Graph, queries []Query, parallelism int) []QueryResult {
+	out := make([]QueryResult, len(queries))
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				q := queries[i]
+				res, err := core.TopK(g, q.K, int32(q.Gamma), q.Options)
+				if err != nil {
+					err = fmt.Errorf("influcomm: query %d (k=%d, γ=%d): %w", i, q.K, q.Gamma, err)
+				}
+				out[i] = QueryResult{Query: q, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

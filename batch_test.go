@@ -1,0 +1,70 @@
+package influcomm
+
+import (
+	"testing"
+)
+
+func TestTopKBatch(t *testing.T) {
+	g := figure1(t)
+	queries := []Query{
+		{K: 1, Gamma: 3},
+		{K: 2, Gamma: 3},
+		{K: 5, Gamma: 3},
+		{K: 1, Gamma: 4}, // no communities
+		{K: 0, Gamma: 3}, // invalid
+	}
+	for _, par := range []int{0, 1, 3, 16} {
+		results := TopKBatch(g, queries, par)
+		if len(results) != len(queries) {
+			t.Fatalf("parallelism %d: got %d results", par, len(results))
+		}
+		if results[0].Err != nil || len(results[0].Result.Communities) != 1 {
+			t.Errorf("parallelism %d: query 0 = %+v", par, results[0])
+		}
+		if results[1].Err != nil || len(results[1].Result.Communities) != 2 {
+			t.Errorf("parallelism %d: query 1 failed", par)
+		}
+		if results[2].Err != nil || len(results[2].Result.Communities) != 2 {
+			t.Errorf("parallelism %d: query 2 should return all 2 communities", par)
+		}
+		if results[3].Err != nil || len(results[3].Result.Communities) != 0 {
+			t.Errorf("parallelism %d: γ=4 should return none", par)
+		}
+		if results[4].Err == nil {
+			t.Errorf("parallelism %d: k=0 should error", par)
+		}
+		// Results must be deterministic regardless of parallelism.
+		if results[1].Result.Communities[0].Influence() != 13 {
+			t.Errorf("parallelism %d: nondeterministic result", par)
+		}
+	}
+}
+
+func TestTopKBatchConcurrentConsistency(t *testing.T) {
+	// Run with -race: many goroutines share one graph.
+	g := figure1(t)
+	queries := make([]Query, 64)
+	for i := range queries {
+		queries[i] = Query{K: i%5 + 1, Gamma: 3}
+	}
+	results := TopKBatch(g, queries, 8)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		want := queries[i].K
+		if want > 2 {
+			want = 2
+		}
+		if len(r.Result.Communities) != want {
+			t.Errorf("query %d: got %d communities, want %d", i, len(r.Result.Communities), want)
+		}
+	}
+}
+
+func TestTopKBatchEmpty(t *testing.T) {
+	g := figure1(t)
+	if got := TopKBatch(g, nil, 4); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+}

@@ -1,0 +1,55 @@
+// Command icbench regenerates the paper's evaluation: every table and
+// figure of §6, on the synthetic stand-in datasets (see DESIGN.md §4 for
+// the substitution rationale).
+//
+// Usage:
+//
+//	icbench                         # run the full suite
+//	icbench -experiment fig8        # one experiment
+//	icbench -datasets email,wiki    # restrict datasets
+//	icbench -repeat 3               # repeat timings (paper: 3 runs)
+//	icbench -out results.txt        # write to a file instead of stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"influcomm/internal/bench"
+	"influcomm/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			fmt.Sprintf("experiment to run: one of %v, or \"all\"", bench.Experiments))
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: each experiment's paper selection)")
+		repeat   = flag.Int("repeat", 1, "timing repetitions per measurement")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := bench.Config{Repeat: *repeat}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	defer workload.Cleanup()
+	if err := bench.Run(w, *experiment, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "icbench:", err)
+		os.Exit(1)
+	}
+}

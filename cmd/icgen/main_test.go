@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"influcomm"
+	"influcomm/internal/semiext"
+)
+
+func TestGenerateModels(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name  string
+		model string
+		out   string
+	}{
+		{"ba-text", "ba", "ba.txt"},
+		{"ba-binary", "ba", "ba.bin"},
+		{"gnm", "gnm", "gnm.txt"},
+		{"planted", "planted", "planted.txt"},
+		{"collab", "collab", "collab.txt"},
+		{"edgefile", "ba", "ba.edges"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out := filepath.Join(dir, c.out)
+			if err := run(c.model, 200, 3, 400, 10, 8, 1, true, "", out); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if filepath.Ext(out) == ".edges" {
+				r, err := semiext.OpenReader(out)
+				if err != nil {
+					t.Fatalf("reading edge file: %v", err)
+				}
+				defer r.Close()
+				if r.NumVertices() != 200 {
+					t.Errorf("edge file has %d vertices, want 200", r.NumVertices())
+				}
+				return
+			}
+			g, err := influcomm.LoadGraph(out)
+			if err != nil {
+				t.Fatalf("loading generated graph: %v", err)
+			}
+			if g.NumVertices() == 0 || g.NumEdges() == 0 {
+				t.Error("generated graph is degenerate")
+			}
+		})
+	}
+}
+
+func TestGenerateDatasetStandIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "email.edges")
+	if err := run("", 0, 0, 0, 0, 0, 0, false, "email", out); err != nil {
+		t.Fatalf("dataset stand-in: %v", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.txt")
+	if err := run("nosuchmodel", 10, 2, 10, 2, 5, 1, false, "", out); err == nil {
+		t.Error("unknown model: want error")
+	}
+	if err := run("", 0, 0, 0, 0, 0, 0, false, "nosuchdataset", out); err == nil {
+		t.Error("unknown dataset: want error")
+	}
+	if err := run("ba", -5, 2, 0, 0, 0, 1, false, "", out); err == nil {
+		t.Error("negative n: want error")
+	}
+}

@@ -1,0 +1,115 @@
+// Command icsearch answers top-k influential γ-community queries over a
+// graph file from the command line.
+//
+// Usage:
+//
+//	icsearch -graph g.txt -k 10 -gamma 5 [-truss] [-noncontainment]
+//	         [-progressive] [-pagerank] [-v]
+//
+// The graph file uses the text format of the influcomm package ("v id w"
+// and "e u v" lines), or the binary format when it ends in ".bin". With
+// -pagerank the input weights are replaced by PageRank scores first. With
+// -progressive results stream as they are found and -k only limits how many
+// are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"influcomm"
+)
+
+func main() {
+	var (
+		graphPath   = flag.String("graph", "", "path to the graph file (required)")
+		k           = flag.Int("k", 10, "number of communities to report")
+		gamma       = flag.Int("gamma", 5, "cohesion threshold γ")
+		useTruss    = flag.Bool("truss", false, "use γ-truss cohesiveness instead of γ-core")
+		nonContain  = flag.Bool("noncontainment", false, "report only non-containment communities")
+		progressive = flag.Bool("progressive", false, "stream results progressively (LocalSearch-P)")
+		usePagerank = flag.Bool("pagerank", false, "replace vertex weights with PageRank scores")
+		verbose     = flag.Bool("v", false, "print every member of each community")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "icsearch: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*graphPath, *k, *gamma, *useTruss, *nonContain, *progressive, *usePagerank, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "icsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, k, gamma int, useTruss, nonContain, progressive, usePagerank, verbose bool) error {
+	g, err := influcomm.LoadGraph(path)
+	if err != nil {
+		return err
+	}
+	if usePagerank {
+		if g, err = influcomm.PageRankWeights(g); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	start := time.Now()
+	switch {
+	case useTruss:
+		comms, err := influcomm.TopKTruss(g, k, gamma)
+		if err != nil {
+			return err
+		}
+		for i, c := range comms {
+			fmt.Printf("#%d influence=%.6g size=%d keynode=%s\n", i+1, c.Influence(), c.Size(), g.Label(c.Keynode()))
+			if verbose {
+				printVertices(g, c.Vertices())
+			}
+		}
+	case progressive:
+		reported := 0
+		_, err := influcomm.Stream(g, gamma, func(c *influcomm.Community) bool {
+			reported++
+			fmt.Printf("#%d influence=%.6g size=%d keynode=%s (%.3fms)\n",
+				reported, c.Influence(), c.Size(), g.Label(c.Keynode()),
+				float64(time.Since(start))/float64(time.Millisecond))
+			if verbose {
+				printVertices(g, c.Vertices())
+			}
+			return reported < k
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		var res *influcomm.Result
+		if nonContain {
+			res, err = influcomm.TopKNonContainment(g, k, gamma)
+		} else {
+			res, err = influcomm.TopK(g, k, gamma)
+		}
+		if err != nil {
+			return err
+		}
+		for i, c := range res.Communities {
+			fmt.Printf("#%d influence=%.6g size=%d keynode=%s\n", i+1, c.Influence(), c.Size(), g.Label(c.Keynode()))
+			if verbose {
+				printVertices(g, c.Vertices())
+			}
+		}
+		fmt.Printf("accessed %d of %d vertices in %d round(s)\n",
+			res.Stats.FinalPrefix, g.NumVertices(), res.Stats.Rounds)
+	}
+	fmt.Printf("total: %.3fms\n", float64(time.Since(start))/float64(time.Millisecond))
+	return nil
+}
+
+func printVertices(g *influcomm.Graph, vs []int32) {
+	for _, v := range vs {
+		fmt.Printf("    %s (weight %.6g)\n", g.Label(v), g.Weight(v))
+	}
+}

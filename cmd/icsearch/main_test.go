@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"influcomm"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	var b influcomm.Builder
+	for id := int32(0); id < 10; id++ {
+		b.AddVertex(id, float64(10+id))
+	}
+	for _, e := range [][2]int32{
+		{0, 1}, {0, 5}, {0, 6}, {1, 5}, {1, 6}, {5, 6},
+		{3, 4}, {3, 7}, {3, 8}, {4, 7}, {4, 8}, {7, 8},
+		{3, 9}, {7, 9}, {8, 9},
+		{1, 2}, {2, 3},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := influcomm.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunModes(t *testing.T) {
+	path := writeFixture(t)
+	cases := []struct {
+		name                                              string
+		truss, nonContain, progressive, pagerank, verbose bool
+	}{
+		{name: "default"},
+		{name: "verbose", verbose: true},
+		{name: "progressive", progressive: true},
+		{name: "noncontainment", nonContain: true},
+		{name: "truss", truss: true},
+		{name: "pagerank", pagerank: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			gamma := 3
+			if c.truss {
+				gamma = 4
+			}
+			if err := run(path, 2, gamma, c.truss, c.nonContain, c.progressive, c.pagerank, c.verbose); err != nil {
+				t.Fatalf("run(%s): %v", c.name, err)
+			}
+		})
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.txt"), 1, 3, false, false, false, false, false); err == nil {
+		t.Error("missing graph file: want error")
+	}
+}
+
+func TestRunBadQuery(t *testing.T) {
+	path := writeFixture(t)
+	if err := run(path, 0, 3, false, false, false, false, false); err == nil {
+		t.Error("k=0: want error")
+	}
+	if err := run(path, 1, 0, false, false, false, false, false); err == nil {
+		t.Error("gamma=0: want error")
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

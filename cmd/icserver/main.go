@@ -1,0 +1,52 @@
+// Command icserver serves top-k influential community queries over HTTP.
+//
+// Usage:
+//
+//	icserver -graph g.txt [-addr :8080] [-pagerank] [-maxk 10000]
+//
+// Endpoints (JSON):
+//
+//	GET /v1/stats
+//	GET /v1/topk?k=10&gamma=5[&noncontainment=1|&truss=1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"influcomm"
+	"influcomm/internal/server"
+)
+
+func main() {
+	var (
+		graphPath   = flag.String("graph", "", "path to the graph file (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		usePagerank = flag.Bool("pagerank", false, "replace vertex weights with PageRank scores")
+		maxK        = flag.Int("maxk", 10000, "largest k a single request may ask for")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "icserver: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := influcomm.LoadGraph(*graphPath)
+	if err != nil {
+		log.Fatalf("icserver: %v", err)
+	}
+	if *usePagerank {
+		if g, err = influcomm.PageRankWeights(g); err != nil {
+			log.Fatalf("icserver: %v", err)
+		}
+	}
+	srv, err := server.New(g, server.WithMaxK(*maxK))
+	if err != nil {
+		log.Fatalf("icserver: %v", err)
+	}
+	log.Printf("icserver: serving %d vertices, %d edges on %s", g.NumVertices(), g.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

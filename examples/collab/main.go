@@ -1,0 +1,71 @@
+// Collaboration network case study (the paper's Eval-IX on DBLP): compare
+// the top-1 influential γ-community with the top-1 influential γ-truss
+// community on a co-author network, and contrast both with the plain
+// (weight-oblivious) 5-core community, which is far larger.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"influcomm"
+	"influcomm/internal/core"
+	"influcomm/internal/gen"
+)
+
+func main() {
+	raw, err := gen.Collab(120, 14, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := influcomm.PageRankWeights(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-author network: %d researchers, %d collaborations\n\n", g.NumVertices(), g.NumEdges())
+
+	// Top-1 influential 5-community: a group where everyone has co-authored
+	// with at least 5 others in the group, maximizing the least influential
+	// member's PageRank.
+	res, err := influcomm.TopK(g, 1, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Communities) == 0 {
+		log.Fatal("no influential 5-community found")
+	}
+	top := res.Communities[0]
+	fmt.Printf("top-1 influential 5-community (%d members):\n", top.Size())
+	for _, v := range top.Vertices() {
+		fmt.Printf("  %-28s pagerank rank %d\n", g.Label(v), v+1)
+	}
+
+	// Top-1 influential 6-truss community: denser (every co-authorship is
+	// embedded in >= 4 triangles) but typically less influential, as the
+	// paper observes.
+	trussComms, err := influcomm.TopKTruss(g, 1, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(trussComms) > 0 {
+		tt := trussComms[0]
+		fmt.Printf("\ntop-1 influential 6-truss community (%d members):\n", tt.Size())
+		for _, v := range tt.Vertices() {
+			fmt.Printf("  %-28s pagerank rank %d\n", g.Label(v), v+1)
+		}
+		fmt.Printf("\ntruss influence %.3e <= core influence %.3e: the harder constraint\n",
+			tt.Influence(), top.Influence())
+		fmt.Println("admits smaller, denser, but less influential groups (paper, Eval-IX)")
+	}
+
+	// The weight-oblivious 5-core community around the same keynode shows
+	// why influence filtering matters (the paper's Figure 21: 1148 vertices
+	// vs the 14 of Figure 20(a)).
+	eng := core.NewEngine(g, 5)
+	eng.Peel(g.NumVertices())
+	if eng.Alive(top.Keynode()) {
+		comp := eng.Component(top.Keynode())
+		fmt.Printf("\nplain 5-core community of the same keynode: %d researchers\n", len(comp))
+		fmt.Printf("influence filtering refined it to the %d core members above\n", top.Size())
+	}
+}

@@ -1,0 +1,47 @@
+// Query-centric search (the extension of the paper's footnote 1): instead
+// of a global influence vector, vertex weights are computed online as the
+// reciprocal shortest distance to user-supplied seed vertices. The top
+// communities are then the most cohesive groups closest to the seeds —
+// an ad-hoc weight vector that no precomputed index could serve, which is
+// exactly the scenario motivating index-free local search.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"influcomm"
+	"influcomm/internal/gen"
+)
+
+func main() {
+	g, err := gen.SocialNetwork(20000, 8, 0.5, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	// Two seed users somewhere in the middle of the network.
+	seeds := []int32{1234, 5678}
+	rw, res, err := influcomm.TopKNearQuery(g, seeds, 3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-3 influential 5-communities around seeds %v:\n", seeds)
+	for i, c := range res.Communities {
+		fmt.Printf("  #%d: %d members, influence %.4f (max seed distance %d hops)\n",
+			i+1, c.Size(), c.Influence(), int(1/c.Influence()-1))
+		// Map a few members back to the original graph's IDs.
+		vs := c.Vertices()
+		if len(vs) > 6 {
+			vs = vs[:6]
+		}
+		fmt.Printf("      members (original IDs):")
+		for _, v := range vs {
+			fmt.Printf(" %d", rw.OrigID(v))
+		}
+		fmt.Println(" ...")
+	}
+	fmt.Printf("\nthe search accessed %d of %d vertices (%d rounds) — no index, ad-hoc weights\n",
+		res.Stats.FinalPrefix, g.NumVertices(), res.Stats.Rounds)
+}

@@ -1,0 +1,45 @@
+package influcomm
+
+import (
+	"influcomm/internal/core"
+	"influcomm/internal/graph"
+	"influcomm/internal/index"
+)
+
+// Index is a prebuilt IndexAll structure [26]: it materializes the
+// community decomposition of every γ so queries cost only their output
+// size. The trade-offs the paper's introduction describes apply: building
+// costs ~γmax full-graph passes, the structure serves exactly one graph and
+// weight vector, and any edit invalidates it. Prefer TopK/Stream unless the
+// same weighted graph is queried many times.
+type Index = index.Index
+
+// BuildIndex constructs the IndexAll structure for g.
+func BuildIndex(g *Graph) (*Index, error) {
+	return index.Build(g)
+}
+
+// Edit is a batch of graph mutations expressed in original vertex IDs.
+type Edit = graph.Edit
+
+// ApplyEdits returns a new graph with the edit applied; g is unchanged.
+// Prebuilt indexes for g do not apply to the result — that asymmetry
+// (indexes need maintenance, online search does not) is one of the paper's
+// core motivations.
+func ApplyEdits(g *Graph, e Edit) (*Graph, error) {
+	return graph.ApplyEdits(g, e)
+}
+
+// Verify independently checks one community against the paper's
+// Definition 2.2 on g: connectivity, cohesion, maximality, and influence.
+// It costs one γ-core peel of the community's weight prefix, so it can
+// spot-check results on large graphs.
+func Verify(g *Graph, gamma int, c *Community) error {
+	return core.Verify(g, int32(gamma), c)
+}
+
+// VerifyResult verifies every community of a query result and the
+// decreasing-influence ordering.
+func VerifyResult(g *Graph, gamma int, res *Result) error {
+	return core.VerifyResult(g, int32(gamma), res)
+}

@@ -1,0 +1,102 @@
+package influcomm
+
+import "testing"
+
+func TestPublicIndex(t *testing.T) {
+	g := figure1(t)
+	ix, err := BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms, err := ix.TopK(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TopK(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comms) != len(want.Communities) {
+		t.Fatalf("index returned %d communities, online %d", len(comms), len(want.Communities))
+	}
+	for i := range comms {
+		if comms[i].Influence() != want.Communities[i].Influence() {
+			t.Errorf("community %d influence differs: %v vs %v",
+				i, comms[i].Influence(), want.Communities[i].Influence())
+		}
+	}
+}
+
+func TestPublicEditsInvalidateIndex(t *testing.T) {
+	g := figure1(t)
+	// Delete one K4 edge: the 5-vertex community degrades.
+	g2, err := ApplyEdits(g, Edit{RemoveEdges: [][2]int32{{3, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := TopK(g, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := TopK(g2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Communities) > 0 && len(before.Communities) > 0 &&
+		after.Communities[0].Influence() == before.Communities[0].Influence() &&
+		after.Communities[0].Size() == before.Communities[0].Size() {
+		t.Error("removing a community edge changed nothing")
+	}
+	// Fresh queries on the edited graph still verify.
+	if err := VerifyResult(g2, 3, after); err != nil {
+		t.Fatalf("edited-graph result fails verification: %v", err)
+	}
+}
+
+func TestPublicVerify(t *testing.T) {
+	g := figure1(t)
+	res, err := TopK(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyResult(g, 3, res); err != nil {
+		t.Fatalf("verifier rejected a correct result: %v", err)
+	}
+	if err := Verify(g, 3, res.Communities[0]); err != nil {
+		t.Fatalf("verifier rejected a correct community: %v", err)
+	}
+	if Verify(g, 4, res.Communities[0]) == nil {
+		t.Error("verifier accepted a community under the wrong γ")
+	}
+}
+
+func TestPublicQuerySeeds(t *testing.T) {
+	g := figure1(t)
+	// Seed at the low-weight K4's keynode (rank of original v0 = 9).
+	var seed int32 = -1
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		if g.OrigID(u) == 0 {
+			seed = u
+		}
+	}
+	rw, res, err := TopKNearQuery(g, []int32{seed}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) == 0 {
+		t.Fatal("no community near the seed")
+	}
+	// The top community must contain the seed's clique {0,1,5,6}.
+	members := map[int32]bool{}
+	for _, v := range res.Communities[0].Vertices() {
+		members[rw.OrigID(v)] = true
+	}
+	for _, want := range []int32{0, 1, 5, 6} {
+		if !members[want] {
+			t.Errorf("query-centric community misses %d: %v", want, members)
+		}
+	}
+	if _, _, err := TopKNearQuery(g, nil, 1, 3); err == nil {
+		t.Error("no seeds: want error")
+	}
+}

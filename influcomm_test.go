@@ -1,0 +1,169 @@
+package influcomm
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// figure1 builds the paper's Figure 1 graph through the public API.
+func figure1(t testing.TB) *Graph {
+	t.Helper()
+	var b Builder
+	for id := int32(0); id < 10; id++ {
+		b.AddVertex(id, float64(10+id))
+	}
+	for _, e := range [][2]int32{
+		{0, 1}, {0, 5}, {0, 6}, {1, 5}, {1, 6}, {5, 6},
+		{3, 4}, {3, 7}, {3, 8}, {4, 7}, {4, 8}, {7, 8},
+		{3, 9}, {7, 9}, {8, 9},
+		{1, 2}, {2, 3},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicTopK(t *testing.T) {
+	g := figure1(t)
+	res, err := TopK(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 2 {
+		t.Fatalf("got %d communities, want 2", len(res.Communities))
+	}
+	if res.Communities[0].Influence() != 13 || res.Communities[1].Influence() != 10 {
+		t.Errorf("influences %v, %v; want 13, 10",
+			res.Communities[0].Influence(), res.Communities[1].Influence())
+	}
+}
+
+func TestPublicStream(t *testing.T) {
+	g := figure1(t)
+	var got []float64
+	_, err := Stream(g, 3, func(c *Community) bool {
+		got = append(got, c.Influence())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 13 || got[1] != 10 {
+		t.Errorf("streamed influences %v, want [13 10]", got)
+	}
+}
+
+func TestPublicNonContainment(t *testing.T) {
+	g := figure1(t)
+	res, err := TopKNonContainment(g, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both Figure 1 communities have no nested sub-community.
+	if len(res.Communities) != 2 {
+		t.Fatalf("got %d NC communities, want 2", len(res.Communities))
+	}
+}
+
+func TestPublicTruss(t *testing.T) {
+	g := figure1(t)
+	// γ=4 truss: K4s where each edge is in >= 2 triangles.
+	comms, err := TopKTruss(g, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comms) == 0 {
+		t.Fatal("expected at least one 4-truss community")
+	}
+	for _, c := range comms {
+		if c.Size() < 4 {
+			t.Errorf("4-truss community of size %d is impossible", c.Size())
+		}
+	}
+}
+
+func TestPublicStreamTruss(t *testing.T) {
+	g := figure1(t)
+	var got []float64
+	err := StreamTruss(g, 4, func(c *TrussCommunity) bool {
+		got = append(got, c.Influence())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no 4-truss communities streamed")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] >= got[i-1] {
+			t.Errorf("truss stream not in decreasing influence order: %v", got)
+		}
+	}
+	if err := StreamTruss(g, 1, func(*TrussCommunity) bool { return true }); err == nil {
+		t.Error("gamma=1 truss stream: want error")
+	}
+}
+
+func TestPublicPageRank(t *testing.T) {
+	g := figure1(t)
+	rw, err := PageRankWeights(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.NumVertices() != g.NumVertices() || rw.NumEdges() != g.NumEdges() {
+		t.Error("PageRankWeights changed the graph shape")
+	}
+}
+
+func TestGraphFileRoundTrip(t *testing.T) {
+	g := figure1(t)
+	dir := t.TempDir()
+
+	for _, name := range []string{"g.txt", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveGraph(path, g); err != nil {
+			t.Fatalf("SaveGraph(%s): %v", name, err)
+		}
+		g2, err := LoadGraph(path)
+		if err != nil {
+			t.Fatalf("LoadGraph(%s): %v", name, err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Errorf("%s round trip changed shape", name)
+		}
+		res, err := TopK(g2, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Communities) != 2 || res.Communities[0].Influence() != 13 {
+			t.Errorf("%s round trip changed query results", name)
+		}
+	}
+}
+
+func TestReadWriteGraphStream(t *testing.T) {
+	g := figure1(t)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("stream round trip lost edges")
+	}
+}
+
+func TestLoadGraphMissing(t *testing.T) {
+	if _, err := LoadGraph(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("missing file: want error")
+	}
+}

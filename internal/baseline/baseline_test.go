@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"influcomm/internal/core"
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+func naiveAsCommunities(g *graph.Graph, k int, gamma int32) []Community {
+	naive := core.NaiveTopK(g, k, gamma)
+	out := make([]Community, len(naive))
+	for i, c := range naive {
+		out[i] = Community{Keynode: c.Keynode, Influence: c.Influence, Vertices: c.Vertices}
+	}
+	return out
+}
+
+func sameCommunities(t *testing.T, algo string, got, want []Community) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d communities, want %d", algo, len(got), len(want))
+	}
+	for i := range want {
+		a := fmt.Sprintf("%d:%v", got[i].Keynode, got[i].Vertices)
+		b := fmt.Sprintf("%d:%v", want[i].Keynode, want[i].Vertices)
+		if a != b {
+			t.Fatalf("%s: community %d mismatch\n got %s\nwant %s", algo, i, a, b)
+		}
+	}
+}
+
+func TestGlobalAlgorithmsMatchNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		g := gen.Random(70, 5, seed)
+		for _, gamma := range []int32{2, 3} {
+			for _, k := range []int{1, 3, 7, 1 << 20} {
+				want := naiveAsCommunities(g, k, gamma)
+
+				got, _, err := OnlineAll(g, k, gamma)
+				if err != nil {
+					t.Fatalf("OnlineAll: %v", err)
+				}
+				sameCommunities(t, fmt.Sprintf("OnlineAll(seed=%d,k=%d,γ=%d)", seed, k, gamma), got, want)
+
+				got, _, err = Forward(g, k, gamma)
+				if err != nil {
+					t.Fatalf("Forward: %v", err)
+				}
+				sameCommunities(t, fmt.Sprintf("Forward(seed=%d,k=%d,γ=%d)", seed, k, gamma), got, want)
+
+				got, _, err = Backward(g, k, gamma)
+				if err != nil {
+					t.Fatalf("Backward: %v", err)
+				}
+				sameCommunities(t, fmt.Sprintf("Backward(seed=%d,k=%d,γ=%d)", seed, k, gamma), got, want)
+
+				got, _, err = LocalSearchOA(g, k, gamma)
+				if err != nil {
+					t.Fatalf("LocalSearchOA: %v", err)
+				}
+				sameCommunities(t, fmt.Sprintf("LocalSearchOA(seed=%d,k=%d,γ=%d)", seed, k, gamma), got, want)
+			}
+		}
+	}
+}
+
+func TestForwardNonContainmentMatchesNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		g := gen.Random(50, 5, seed)
+		for _, gamma := range []int32{2, 3} {
+			naive := core.NaiveNonContainment(g, gamma)
+			want := make([]Community, len(naive))
+			for i, c := range naive {
+				want[i] = Community{Keynode: c.Keynode, Influence: c.Influence, Vertices: c.Vertices}
+			}
+			got, _, err := ForwardNonContainment(g, 1<<20, gamma)
+			if err != nil {
+				t.Fatalf("ForwardNonContainment: %v", err)
+			}
+			sameCommunities(t, fmt.Sprintf("ForwardNC(seed=%d,γ=%d)", seed, gamma), got, want)
+		}
+	}
+}
+
+func TestOnlineAllRingBuffer(t *testing.T) {
+	// A nested chain produces many communities; OnlineAll must retain only
+	// the k highest-influence ones regardless of the total count.
+	var b graph.Builder
+	n := 30
+	for i := 0; i < n; i++ {
+		b.AddVertex(int32(i), float64(1000-i))
+	}
+	for _, e := range [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}} {
+		b.AddEdge(e[0], e[1])
+	}
+	for i := int32(4); int(i) < n; i++ {
+		b.AddEdge(i, i-1)
+		b.AddEdge(i, i-2)
+		b.AddEdge(i, i-3)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := OnlineAll(g, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Communities != n-3 {
+		t.Fatalf("total communities = %d, want %d", st.Communities, n-3)
+	}
+	if len(got) != 5 {
+		t.Fatalf("kept %d communities, want 5", len(got))
+	}
+	for i, c := range got {
+		if want := int32(3 + i); c.Keynode != want {
+			t.Errorf("community %d keynode = %d, want %d", i, c.Keynode, want)
+		}
+	}
+}
+
+func TestBackwardStopsAtMinimalPrefix(t *testing.T) {
+	g := gen.Random(200, 6, 11)
+	k, gamma := 3, 3
+	if len(core.NaiveTopK(g, k, int32(gamma))) < k {
+		t.Skip("fixture too sparse")
+	}
+	_, _, err := Backward(g, k, int32(gamma))
+	if err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	g := gen.Random(10, 2, 1)
+	cases := []func() error{
+		func() error { _, _, err := OnlineAll(nil, 1, 1); return err },
+		func() error { _, _, err := Forward(g, 0, 1); return err },
+		func() error { _, _, err := Backward(g, 1, 0); return err },
+		func() error { _, _, err := LocalSearchOA(g, -1, 1); return err },
+		func() error { _, _, err := ForwardNonContainment(nil, 1, 1); return err },
+	}
+	for i, fn := range cases {
+		if fn() == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}

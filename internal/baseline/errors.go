@@ -1,0 +1,10 @@
+package baseline
+
+import "errors"
+
+var (
+	errNil      = errors.New("baseline: nil graph")
+	errEmpty    = errors.New("baseline: empty graph")
+	errBadK     = errors.New("baseline: k must be >= 1")
+	errBadGamma = errors.New("baseline: gamma must be >= 1")
+)

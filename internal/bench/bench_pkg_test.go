@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The harness smoke tests restrict every experiment to the smallest
+// stand-in so the suite stays fast; cmd/icbench runs the full sweeps.
+func smallCfg() Config { return Config{Datasets: []string{"email"}} }
+
+func TestTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness in -short mode")
+	}
+	f, err := Table1(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.String()
+	for _, col := range []string{"vertices", "edges", "dmax", "davg", "gmax"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table 1 missing column %s:\n%s", col, out)
+		}
+	}
+}
+
+func TestFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness in -short mode")
+	}
+	cfg := smallCfg()
+	cases := []struct {
+		name string
+		run  func() ([]*Figure, error)
+	}{
+		{"fig8", func() ([]*Figure, error) { return Fig8(cfg) }},
+		{"fig9", func() ([]*Figure, error) { return Fig9(cfg) }},
+		{"fig11", func() ([]*Figure, error) { return Fig11(cfg) }},
+		{"fig12", func() ([]*Figure, error) { return Fig12(cfg) }},
+		{"fig13", func() ([]*Figure, error) { return Fig13(cfg) }},
+		{"fig15", func() ([]*Figure, error) { return Fig15(cfg) }},
+		{"fig16", func() ([]*Figure, error) { return Fig16(cfg) }},
+		{"fig17", func() ([]*Figure, error) { return Fig17(cfg) }},
+		{"fig18", func() ([]*Figure, error) { return Fig18(cfg) }},
+		{"fig19", func() ([]*Figure, error) { return Fig19(cfg) }},
+	}
+	for _, c := range cases {
+		figs, err := c.run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(figs) == 0 {
+			t.Fatalf("%s produced no figures", c.name)
+		}
+		for _, f := range figs {
+			if len(f.Rows) == 0 || len(f.Series) == 0 {
+				t.Errorf("%s/%s has empty rows or series", c.name, f.ID)
+			}
+			if f.String() == "" {
+				t.Errorf("%s/%s renders empty", c.name, f.ID)
+			}
+		}
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness in -short mode")
+	}
+	figs, err := Fig17(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's qualitative claim: OnlineAll-SE visits the entire graph,
+	// LocalSearch-SE visits a fraction.
+	for _, f := range figs {
+		for _, r := range f.Rows {
+			oa, ls := r.Values["OnlineAll-SE"], r.Values["LocalSearch-SE"]
+			if oa != 1 {
+				t.Errorf("%s k=%s: OnlineAll-SE visited %v of graph, want 1", f.ID, r.X, oa)
+			}
+			if ls > oa {
+				t.Errorf("%s k=%s: LocalSearch-SE visited more than OnlineAll-SE", f.ID, r.X)
+			}
+		}
+	}
+}
+
+func TestCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness in -short mode")
+	}
+	s, err := CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Top-1 influential 5-community", "minimum-weight member"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("case study output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run(nil, "fig99", Config{}); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{ID: "x", Title: "t", XLabel: "k"}
+	f.AddRow("5", map[string]float64{"A": 1.5, "B": 1000})
+	f.AddRow("10", map[string]float64{"A": 0.25})
+	out := f.String()
+	if !strings.Contains(out, "1.50") || !strings.Contains(out, "1000") || !strings.Contains(out, "0.2500") {
+		t.Errorf("unexpected rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing value should render as '-':\n%s", out)
+	}
+}

@@ -1,0 +1,156 @@
+// Package bench is the experiment harness: one function per table or
+// figure of the paper's evaluation (§6), each regenerating the same rows or
+// series the paper reports, on the synthetic stand-in datasets of the
+// workload package. cmd/icbench drives the full sweep; bench_test.go at the
+// repository root exposes representative points as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Figure is a rendered experiment: one row per x-axis value, one column per
+// algorithm (series), values in the figure's unit (milliseconds unless
+// stated otherwise).
+type Figure struct {
+	ID     string // e.g. "fig8/wiki"
+	Title  string
+	XLabel string
+	Unit   string
+	Series []string
+	Rows   []Row
+	Notes  []string
+}
+
+// Row is one x-axis point of a Figure.
+type Row struct {
+	X      string
+	Values map[string]float64
+}
+
+// AddRow appends a row, registering any new series names in order.
+func (f *Figure) AddRow(x string, values map[string]float64) {
+	for _, s := range sortedKeys(values) {
+		if !contains(f.Series, s) {
+			f.Series = append(f.Series, s)
+		}
+	}
+	f.Rows = append(f.Rows, Row{X: x, Values: values})
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) {
+	unit := f.Unit
+	if unit == "" {
+		unit = "ms"
+	}
+	fmt.Fprintf(w, "== %s: %s (%s) ==\n", f.ID, f.Title, unit)
+	widths := make([]int, len(f.Series)+1)
+	widths[0] = len(f.XLabel)
+	for _, r := range f.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	cells := make([][]string, len(f.Rows))
+	for i, r := range f.Rows {
+		cells[i] = make([]string, len(f.Series))
+		for j, s := range f.Series {
+			v, ok := r.Values[s]
+			if !ok {
+				cells[i][j] = "-"
+			} else {
+				cells[i][j] = formatValue(v)
+			}
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	for j, s := range f.Series {
+		if len(s) > widths[j+1] {
+			widths[j+1] = len(s)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", widths[0]+2, f.XLabel)
+	for j, s := range f.Series {
+		fmt.Fprintf(w, "%*s", widths[j+1]+2, s)
+	}
+	fmt.Fprintln(w)
+	for i, r := range f.Rows {
+		fmt.Fprintf(w, "%-*s", widths[0]+2, r.X)
+		for j := range f.Series {
+			fmt.Fprintf(w, "%*s", widths[j+1]+2, cells[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var b strings.Builder
+	f.Render(&b)
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e6:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// timeMS measures fn once and returns milliseconds.
+func timeMS(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// bestOf runs fn repeat times and returns the minimum duration in
+// milliseconds (the paper averages three runs; the minimum is the standard
+// noise-robust choice for micro-measurements).
+func bestOf(repeat int, fn func()) float64 {
+	if repeat < 1 {
+		repeat = 1
+	}
+	best := timeMS(fn)
+	for i := 1; i < repeat; i++ {
+		if t := timeMS(fn); t < best {
+			best = t
+		}
+	}
+	return best
+}

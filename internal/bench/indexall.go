@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+
+	"influcomm/internal/core"
+	"influcomm/internal/index"
+	"influcomm/internal/workload"
+)
+
+// AblationIndexAll quantifies the paper's introduction: the index-based
+// IndexAll [26] answers queries fastest but pays a large construction cost
+// and serves only one weight vector, while LocalSearch needs no
+// preparation. The figure reports per-query times side by side, with the
+// one-off index construction cost in the notes.
+func AblationIndexAll(cfg Config) (*Figure, error) {
+	name := "livejournal"
+	if len(cfg.Datasets) == 1 {
+		name = cfg.Datasets[0]
+	}
+	_, g, err := load(name)
+	if err != nil {
+		return nil, err
+	}
+	gamma := gammaFor(name, g, workload.DefaultGamma)
+
+	var ix *index.Index
+	buildMS := timeMS(func() {
+		var err error
+		ix, err = index.Build(g)
+		if err != nil {
+			panic(err)
+		}
+	})
+
+	f := &Figure{
+		ID:     "ablation/indexall/" + name,
+		Title:  fmt.Sprintf("IndexAll vs LocalSearch-P, γ=%d, vary k", gamma),
+		XLabel: "k",
+	}
+	for _, k := range workload.KGrid {
+		f.AddRow(fmt.Sprintf("%d", k), map[string]float64{
+			"IndexAll (query)": bestOf(cfg.repeat(), func() {
+				if _, err := ix.TopK(k, gamma); err != nil {
+					panic(err)
+				}
+			}),
+			"LocalSearch-P": bestOf(cfg.repeat(), func() {
+				if _, err := core.TopKProgressive(g, k, gamma, core.Options{}); err != nil {
+					panic(err)
+				}
+			}),
+		})
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("IndexAll construction: %.1f ms (one-off, per weight vector; %d int32 slots)",
+			buildMS, ix.MemoryFootprint()),
+		"the index must be rebuilt on every graph or weight change; LocalSearch needs no preparation")
+	return f, nil
+}

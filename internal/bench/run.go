@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment names accepted by Run, in paper order.
+var Experiments = []string{
+	"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+	"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+	"access-fraction", "ablation-growth", "ablation-tau", "ablation-index",
+	"casestudy",
+}
+
+// Run executes the named experiment and renders it to w. Name "all" runs
+// the entire suite.
+func Run(w io.Writer, name string, cfg Config) error {
+	if name == "all" {
+		for _, n := range Experiments {
+			if err := Run(w, n, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	single := func(f *Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		f.Render(w)
+		return nil
+	}
+	multi := func(fs []*Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, f := range fs {
+			f.Render(w)
+		}
+		return nil
+	}
+	switch name {
+	case "table1":
+		return single(Table1(cfg))
+	case "fig8":
+		return multi(Fig8(cfg))
+	case "fig9":
+		return multi(Fig9(cfg))
+	case "fig10":
+		return multi(Fig10(cfg))
+	case "fig11":
+		return multi(Fig11(cfg))
+	case "fig12":
+		return multi(Fig12(cfg))
+	case "fig13":
+		return multi(Fig13(cfg))
+	case "fig14":
+		return multi(Fig14(cfg))
+	case "fig15":
+		return multi(Fig15(cfg))
+	case "fig16":
+		return multi(Fig16(cfg))
+	case "fig17":
+		return multi(Fig17(cfg))
+	case "fig18":
+		return multi(Fig18(cfg))
+	case "fig19":
+		return multi(Fig19(cfg))
+	case "access-fraction":
+		return single(AccessFraction(cfg))
+	case "ablation-growth":
+		return single(AblationArithmeticGrowth(cfg))
+	case "ablation-tau":
+		return single(AblationInitialTau(cfg))
+	case "ablation-index":
+		return single(AblationIndexAll(cfg))
+	case "casestudy":
+		s, err := CaseStudy()
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, s)
+		return err
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (known: %v, or \"all\")", name, Experiments)
+	}
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"testing"
+
+	"influcomm/internal/baseline"
+	"influcomm/internal/core"
+	"influcomm/internal/truss"
+	"influcomm/internal/workload"
+)
+
+// TestHeadlineShapes is the reproduction CI: it re-measures the paper's
+// central comparative claims on the smallest stand-in and fails if any
+// ordering inverts. Absolute numbers are noisy; an ordering with a 2x guard
+// band is not.
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks in -short mode")
+	}
+	d, err := workload.ByName("email")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := gammaFor("email", g, workload.DefaultGamma)
+	const k = 10
+	rep := 3
+
+	onlineAll := bestOf(rep, func() {
+		if _, _, err := baseline.OnlineAll(g, k, gamma); err != nil {
+			t.Error(err)
+		}
+	})
+	forward := bestOf(rep, func() {
+		if _, _, err := baseline.Forward(g, k, gamma); err != nil {
+			t.Error(err)
+		}
+	})
+	localP := bestOf(rep, func() {
+		if _, err := core.TopKProgressive(g, k, gamma, core.Options{}); err != nil {
+			t.Error(err)
+		}
+	})
+
+	// Eval-I: LocalSearch-P < Forward < OnlineAll, each by a wide margin.
+	if localP*2 >= forward {
+		t.Errorf("LocalSearch-P (%.3fms) not clearly faster than Forward (%.3fms)", localP, forward)
+	}
+	if forward*2 >= onlineAll {
+		t.Errorf("Forward (%.3fms) not clearly faster than OnlineAll (%.3fms)", forward, onlineAll)
+	}
+
+	// Eval-VIII: LocalSearch-Truss beats GlobalSearch-Truss.
+	ix := truss.NewIndex(g)
+	globalTruss := bestOf(rep, func() {
+		if _, err := truss.GlobalSearch(ix, k, 4); err != nil {
+			t.Error(err)
+		}
+	})
+	localTruss := bestOf(rep, func() {
+		if _, err := truss.LocalSearch(ix, k, 4); err != nil {
+			t.Error(err)
+		}
+	})
+	if localTruss*2 >= globalTruss {
+		t.Errorf("LocalSearch-Truss (%.3fms) not clearly faster than GlobalSearch-Truss (%.3fms)",
+			localTruss, globalTruss)
+	}
+
+	// §3.1: the query touches a small fraction of the graph.
+	res, err := core.TopK(g, k, gamma, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(res.Stats.FinalSize) / float64(g.Size()); frac > 0.25 {
+		t.Errorf("LocalSearch accessed %.1f%% of the graph; expected a small fraction", 100*frac)
+	}
+	// Theorem 3.3's constant: total work within (1 + 1/(δ-1)) of final size
+	// plus the initial round.
+	if res.Stats.TotalWork > 3*res.Stats.FinalSize {
+		t.Errorf("total work %d exceeds 3x final size %d", res.Stats.TotalWork, res.Stats.FinalSize)
+	}
+}
+
+// TestResultsConsistentAcrossAlgorithms spot-checks on the email stand-in
+// that every implementation agrees on actual query answers, not just speed.
+func TestResultsConsistentAcrossAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("consistency checks in -short mode")
+	}
+	d, err := workload.ByName("email")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := gammaFor("email", g, workload.DefaultGamma)
+	const k = 10
+
+	ls, err := core.TopK(g, k, gamma, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyResult(g, gamma, ls); err != nil {
+		t.Fatalf("LocalSearch result fails Definition 2.2 verification: %v", err)
+	}
+	fw, _, err := baseline.Forward(g, k, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fw) != len(ls.Communities) {
+		t.Fatalf("Forward %d vs LocalSearch %d communities", len(fw), len(ls.Communities))
+	}
+	for i := range fw {
+		if fw[i].Keynode != ls.Communities[i].Keynode() {
+			t.Errorf("community %d keynode differs: %d vs %d", i, fw[i].Keynode, ls.Communities[i].Keynode())
+		}
+		if len(fw[i].Vertices) != ls.Communities[i].Size() {
+			t.Errorf("community %d size differs: %d vs %d", i, len(fw[i].Vertices), ls.Communities[i].Size())
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import "influcomm/internal/graph"
+
+// Engine bundles the scratch state for repeated CountIC / ConstructCVS runs
+// over prefixes of one graph with one γ. It exposes both the batch Run
+// (Algorithms 2 and 5) and a step-wise API (Peel / NextMin / Component /
+// Remove) that the global-search baselines are built from. An Engine is not
+// safe for concurrent use.
+type Engine struct {
+	g     *graph.Graph
+	gamma int32
+
+	p      int     // current prefix length
+	alive  []bool  // membership in the maintained γ-core, per vertex < p
+	deg    []int32 // degree inside the maintained γ-core
+	queue  []int32 // scratch removal queue
+	cursor int     // scan position for NextMin (monotonically decreasing)
+
+	stamp    []int32 // visited stamps for Component
+	curStamp int32
+}
+
+// NewEngine returns an Engine for graph g and cohesion threshold gamma.
+func NewEngine(g *graph.Graph, gamma int32) *Engine {
+	n := g.NumVertices()
+	return &Engine{
+		g:     g,
+		gamma: gamma,
+		alive: make([]bool, n),
+		deg:   make([]int32, n),
+		queue: make([]int32, 0, n),
+		stamp: make([]int32, n),
+	}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Gamma returns the engine's cohesion threshold.
+func (e *Engine) Gamma() int32 { return e.gamma }
+
+// Peel initializes the engine on the prefix subgraph [0, p) and reduces it
+// to its γ-core (Line 1 of Algorithm 2). Any previous state is discarded.
+func (e *Engine) Peel(p int) {
+	e.p = p
+	e.cursor = p - 1
+	alive, deg := e.alive[:p], e.deg[:p]
+	for u := 0; u < p; u++ {
+		alive[u] = true
+		deg[u] = e.g.DegreeWithin(int32(u), p)
+	}
+	q := e.queue[:0]
+	for u := 0; u < p; u++ {
+		if deg[u] < e.gamma {
+			alive[u] = false
+			q = append(q, int32(u))
+		}
+	}
+	for len(q) > 0 {
+		v := q[len(q)-1]
+		q = q[:len(q)-1]
+		for _, w := range e.g.NeighborsWithin(v, p) {
+			if !alive[w] {
+				continue
+			}
+			deg[w]--
+			if deg[w] < e.gamma {
+				alive[w] = false
+				q = append(q, w)
+			}
+		}
+	}
+	e.queue = q[:0]
+}
+
+// Alive reports whether vertex u is still in the maintained γ-core.
+func (e *Engine) Alive(u int32) bool { return e.alive[u] }
+
+// AliveSize returns the number of vertices and edges currently alive; used
+// by baselines to measure the cost of a component traversal.
+func (e *Engine) AliveSize() (int, int64) {
+	var nv int
+	var half int64
+	for u := 0; u < e.p; u++ {
+		if e.alive[u] {
+			nv++
+			half += int64(e.deg[u])
+		}
+	}
+	return nv, half / 2
+}
+
+// NextMin returns the minimum-weight vertex of the maintained γ-core (the
+// next keynode, Line 5 of Algorithm 2), or -1 when the core is empty.
+func (e *Engine) NextMin() int32 {
+	for e.cursor >= 0 {
+		if e.alive[e.cursor] {
+			return int32(e.cursor)
+		}
+		e.cursor--
+	}
+	return -1
+}
+
+// Remove deletes u from the maintained γ-core and cascades the deletion to
+// keep the remainder a γ-core (procedure Remove of Algorithm 2). The
+// removed vertices, starting with u, are appended to seq and the extended
+// slice is returned; the appended run is gp(u) when u is a keynode.
+func (e *Engine) Remove(u int32, seq []int32) []int32 {
+	q := e.queue[:0]
+	e.alive[u] = false
+	q = append(q, u)
+	for len(q) > 0 {
+		v := q[len(q)-1]
+		q = q[:len(q)-1]
+		seq = append(seq, v)
+		for _, w := range e.g.NeighborsWithin(v, e.p) {
+			if !e.alive[w] {
+				continue
+			}
+			e.deg[w]--
+			if e.deg[w] < e.gamma {
+				e.alive[w] = false
+				q = append(q, w)
+			}
+		}
+	}
+	e.queue = q[:0]
+	return seq
+}
+
+// Component returns the connected component of u inside the maintained
+// γ-core via BFS; u must be alive. The result is freshly allocated and in
+// BFS order. This is the expensive subroutine that OnlineAll runs for every
+// community and Forward runs only for the last k.
+func (e *Engine) Component(u int32) []int32 {
+	e.curStamp++
+	s := e.curStamp
+	comp := []int32{u}
+	e.stamp[u] = s
+	for i := 0; i < len(comp); i++ {
+		v := comp[i]
+		for _, w := range e.g.NeighborsWithin(v, e.p) {
+			if e.alive[w] && e.stamp[w] != s {
+				e.stamp[w] = s
+				comp = append(comp, w)
+			}
+		}
+	}
+	return comp
+}
+
+// CVS is the output of CountIC / ConstructCVS: the keynode sequence keys
+// (in increasing weight order) and the community-aware vertex sequence cvs,
+// partitioned into one group per keynode. NC[j], when computed, reports
+// whether keynode j is a non-containment keynode (§5.1).
+type CVS struct {
+	P      int     // prefix length the run was performed on
+	Keys   []int32 // keynodes, increasing weight order (min weight first)
+	KeyPos []int32 // len(Keys)+1; group j is Seq[KeyPos[j]:KeyPos[j+1]]
+	Seq    []int32 // cvs: community-aware vertex sequence
+	NC     []bool  // per-key non-containment flag; nil unless requested
+}
+
+// Count returns the number of influential γ-communities found.
+func (c *CVS) Count() int { return len(c.Keys) }
+
+// Group returns gp(Keys[j]). The caller must not modify it.
+func (c *CVS) Group(j int) []int32 { return c.Seq[c.KeyPos[j]:c.KeyPos[j+1]] }
+
+// RunFlags selects optional work in Engine.Run.
+type RunFlags uint8
+
+const (
+	// WantSeq materializes the cvs sequence (needed for enumeration).
+	WantSeq RunFlags = 1 << iota
+	// WantNC additionally classifies keynodes as non-containment.
+	WantNC
+)
+
+// Run executes CountIC (Algorithm 2) on the prefix [0, p) when stopBefore
+// is 0, or ConstructCVS (Algorithm 5) when stopBefore > 0: the iteration
+// stops before processing any keynode with rank < stopBefore (weight ≥ the
+// previous round's threshold), so only the new keynodes of this round are
+// produced. WantNC requires WantSeq.
+func (e *Engine) Run(p, stopBefore int, flags RunFlags) *CVS {
+	e.Peel(p)
+	c := &CVS{P: p, KeyPos: []int32{0}}
+	if flags&WantNC != 0 {
+		flags |= WantSeq
+	}
+	for {
+		u := e.NextMin()
+		if u < 0 || int(u) < stopBefore {
+			break
+		}
+		c.Keys = append(c.Keys, u)
+		segStart := len(c.Seq)
+		c.Seq = e.Remove(u, c.Seq)
+		if flags&WantSeq == 0 {
+			c.Seq = c.Seq[:0]
+			c.KeyPos = append(c.KeyPos, 0)
+			continue
+		}
+		c.KeyPos = append(c.KeyPos, int32(len(c.Seq)))
+		if flags&WantNC != 0 {
+			c.NC = append(c.NC, e.isNonContainment(c.Seq[segStart:]))
+		}
+	}
+	return c
+}
+
+// isNonContainment reports whether the removed segment has no edge to a
+// vertex that is still alive: exactly the paper's condition for the
+// segment's keynode to be a non-containment keynode (§5.1).
+func (e *Engine) isNonContainment(seg []int32) bool {
+	for _, v := range seg {
+		for _, w := range e.g.NeighborsWithin(v, e.p) {
+			if e.alive[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountIC returns the number of influential γ-communities in the prefix
+// subgraph [0, p) of g: the counting subroutine of Algorithm 1, running in
+// O(size(G≥τ)) by Lemma 3.4 (communities are in bijection with keynodes).
+func CountIC(g *graph.Graph, p int, gamma int32) int {
+	return NewEngine(g, gamma).Run(p, 0, 0).Count()
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"influcomm/internal/gen"
+)
+
+func TestEngineStepAPI(t *testing.T) {
+	g := figure1(t)
+	eng := NewEngine(g, 3)
+	eng.Peel(g.NumVertices())
+
+	// Figure 1's two communities survive the 3-core; v2 and nothing else
+	// peels (v2 has degree 2).
+	aliveCount := 0
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		if eng.Alive(u) {
+			aliveCount++
+		}
+	}
+	if aliveCount != 9 {
+		t.Fatalf("3-core has %d vertices, want 9", aliveCount)
+	}
+	nv, ne := eng.AliveSize()
+	if nv != 9 {
+		t.Errorf("AliveSize vertices = %d, want 9", nv)
+	}
+	if ne != 15 {
+		t.Errorf("AliveSize edges = %d, want 15", ne)
+	}
+
+	// First keynode: the minimum-weight alive vertex is v0 (weight 10).
+	u := eng.NextMin()
+	if u < 0 || g.Weight(u) != 10 {
+		t.Fatalf("NextMin weight = %v, want 10", g.Weight(u))
+	}
+	comp := eng.Component(u)
+	if len(comp) != 4 {
+		t.Fatalf("component of v0 has %d vertices, want 4", len(comp))
+	}
+	seq := eng.Remove(u, nil)
+	if len(seq) != 4 {
+		t.Fatalf("removing v0 cascaded %d vertices, want 4 (its whole K4)", len(seq))
+	}
+	if seq[0] != u {
+		t.Errorf("removed segment must start with the keynode")
+	}
+
+	// Second keynode: weight 13 community of five vertices.
+	u2 := eng.NextMin()
+	if u2 < 0 || g.Weight(u2) != 13 {
+		t.Fatalf("second NextMin weight = %v, want 13", g.Weight(u2))
+	}
+	comp2 := eng.Component(u2)
+	if len(comp2) != 5 {
+		t.Fatalf("second component has %d vertices, want 5", len(comp2))
+	}
+	eng.Remove(u2, nil)
+	if eng.NextMin() != -1 {
+		t.Error("engine should be exhausted after both communities")
+	}
+}
+
+func TestEnginePeelResets(t *testing.T) {
+	g := gen.Random(100, 5, 4)
+	eng := NewEngine(g, 3)
+	// Run to exhaustion, then Peel again: results must be identical.
+	first := eng.Run(g.NumVertices(), 0, WantSeq)
+	second := eng.Run(g.NumVertices(), 0, WantSeq)
+	if len(first.Keys) != len(second.Keys) || len(first.Seq) != len(second.Seq) {
+		t.Fatalf("engine reuse diverged: (%d,%d) vs (%d,%d)",
+			len(first.Keys), len(first.Seq), len(second.Keys), len(second.Seq))
+	}
+	for i := range first.Keys {
+		if first.Keys[i] != second.Keys[i] {
+			t.Fatalf("keys diverge at %d", i)
+		}
+	}
+}
+
+func TestCVSGroupsPartitionCore(t *testing.T) {
+	g := gen.Random(150, 5, 12)
+	gamma := int32(3)
+	eng := NewEngine(g, gamma)
+	cvs := eng.Run(g.NumVertices(), 0, WantSeq)
+	// Every group starts with its keynode and the groups are disjoint.
+	seen := map[int32]bool{}
+	for j := 0; j < cvs.Count(); j++ {
+		grp := cvs.Group(j)
+		if len(grp) == 0 || grp[0] != cvs.Keys[j] {
+			t.Fatalf("group %d does not start with its keynode", j)
+		}
+		for _, v := range grp {
+			if seen[v] {
+				t.Fatalf("vertex %d appears in two groups", v)
+			}
+			seen[v] = true
+		}
+	}
+	// The union of groups is exactly the γ-core of the graph.
+	eng2 := NewEngine(g, gamma)
+	eng2.Peel(g.NumVertices())
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		if eng2.Alive(u) != seen[u] {
+			t.Fatalf("vertex %d: core membership %v but group membership %v",
+				u, eng2.Alive(u), seen[u])
+		}
+	}
+}
+
+func TestComponentIsMaximal(t *testing.T) {
+	g := gen.Random(120, 4, 8)
+	eng := NewEngine(g, 2)
+	eng.Peel(g.NumVertices())
+	u := eng.NextMin()
+	if u < 0 {
+		t.Skip("no 2-core in fixture")
+	}
+	comp := eng.Component(u)
+	in := map[int32]bool{}
+	for _, v := range comp {
+		in[v] = true
+	}
+	// No alive vertex outside comp may neighbor a comp vertex.
+	for _, v := range comp {
+		for _, w := range g.Neighbors(v) {
+			if eng.Alive(w) && !in[w] {
+				t.Fatalf("component not maximal: alive neighbor %d of %d excluded", w, v)
+			}
+		}
+	}
+	// Deterministic: repeated traversal returns the same set.
+	comp2 := eng.Component(u)
+	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	sort.Slice(comp2, func(i, j int) bool { return comp2[i] < comp2[j] })
+	for i := range comp {
+		if comp[i] != comp2[i] {
+			t.Fatal("Component is not deterministic")
+		}
+	}
+}
+
+func TestCountOnlyRunMatchesFullRun(t *testing.T) {
+	g := gen.Random(200, 5, 21)
+	for _, gamma := range []int32{1, 2, 3, 5} {
+		a := NewEngine(g, gamma).Run(g.NumVertices(), 0, 0).Count()
+		b := NewEngine(g, gamma).Run(g.NumVertices(), 0, WantSeq).Count()
+		if a != b {
+			t.Errorf("γ=%d: count-only %d vs full %d", gamma, a, b)
+		}
+	}
+}
+
+func TestRunNCImpliesSeq(t *testing.T) {
+	g := gen.Random(50, 4, 2)
+	cvs := NewEngine(g, 2).Run(g.NumVertices(), 0, WantNC)
+	if cvs.Count() > 0 && len(cvs.Seq) == 0 {
+		t.Error("WantNC must imply WantSeq")
+	}
+	if len(cvs.NC) != cvs.Count() {
+		t.Errorf("NC flags %d != keys %d", len(cvs.NC), cvs.Count())
+	}
+}
+
+func TestEmptyPrefix(t *testing.T) {
+	g := figure1(t)
+	cvs := NewEngine(g, 3).Run(0, 0, WantSeq)
+	if cvs.Count() != 0 {
+		t.Errorf("empty prefix has %d communities", cvs.Count())
+	}
+	if got := CountIC(g, 1, 3); got != 0 {
+		t.Errorf("single-vertex prefix has %d communities", got)
+	}
+}

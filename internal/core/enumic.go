@@ -1,0 +1,98 @@
+package core
+
+import "influcomm/internal/graph"
+
+// EnumState implements EnumIC (Algorithm 3) and its progressive sibling
+// EnumIC-P. It owns the v2key disjoint-set structure mapping each vertex to
+// the smallest keynode whose community contains it; for LocalSearch-P the
+// same state is shared across rounds so enumeration work is never repeated.
+// An EnumState is bound to one graph/γ and is not safe for concurrent use.
+type EnumState struct {
+	vgroup []int32      // per vertex: group index, or -1 when unassigned
+	parent []int32      // disjoint sets over group indices
+	comms  []*Community // community per group index
+}
+
+// NewEnumState returns an EnumState for a graph with n vertices.
+func NewEnumState(n int) *EnumState {
+	s := &EnumState{vgroup: make([]int32, n)}
+	for i := range s.vgroup {
+		s.vgroup[i] = -1
+	}
+	return s
+}
+
+// find returns the representative group of j with path halving. Combined
+// with the directed unions below this gives the amortized near-constant
+// Find/Union of Algorithm 3 [12].
+func (s *EnumState) find(j int32) int32 {
+	for s.parent[j] != j {
+		s.parent[j] = s.parent[s.parent[j]]
+		j = s.parent[j]
+	}
+	return j
+}
+
+// Process runs EnumIC over the keynodes of c, in decreasing weight order,
+// restricted to the last k keynodes (all of them when k < 0). It returns
+// the corresponding communities in decreasing influence order. Each group
+// slice of c is retained by the resulting communities; c must therefore not
+// be reused as a scratch buffer by the caller.
+//
+// In progressive mode the method is called once per round with the round's
+// fresh CVS; the persistent v2key state makes each new community link to
+// the already-built communities nested inside it (Lemma 3.6).
+func (s *EnumState) Process(g *graph.Graph, c *CVS, k int) []*Community {
+	start := 0
+	if k >= 0 && len(c.Keys) > k {
+		start = len(c.Keys) - k
+	}
+	out := make([]*Community, 0, len(c.Keys)-start)
+	for j := len(c.Keys) - 1; j >= start; j-- {
+		u := c.Keys[j]
+		seg := c.Group(j)
+
+		gid := int32(len(s.comms))
+		s.parent = append(s.parent, gid)
+
+		// Line 8: v2key(v) <- u for all v in gp(u).
+		for _, v := range seg {
+			s.vgroup[v] = gid
+		}
+
+		// Lines 9-13: collect child communities through edges from gp(u)
+		// to already-assigned vertices, merging their sets into gid.
+		com := &Community{
+			keynode:   u,
+			influence: g.Weight(u),
+			group:     seg,
+			size:      len(seg),
+		}
+		for _, v := range seg {
+			for _, w := range g.NeighborsWithin(v, c.P) {
+				gw := s.vgroup[w]
+				if gw < 0 {
+					continue
+				}
+				r := s.find(gw)
+				if r == gid {
+					continue
+				}
+				child := s.comms[r]
+				com.children = append(com.children, child)
+				com.size += child.size
+				s.parent[r] = gid
+			}
+		}
+		s.comms = append(s.comms, com)
+		out = append(out, com)
+	}
+	return out
+}
+
+// EnumIC computes the top-k influential γ-communities of the prefix
+// subgraph that c was computed on, in decreasing influence order
+// (Algorithm 3). c must have been produced with WantSeq.
+func EnumIC(g *graph.Graph, c *CVS, k int) []*Community {
+	return NewEnumState(g.NumVertices()).Process(g, c, k)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"influcomm/internal/graph"
+)
+
+// figure2 realizes the behavior of the paper's Figure 2 walkthrough: a
+// 16-vertex graph where, for γ = 3,
+//
+//   - the high-weight subgraph G≥τ₁ holds exactly one influential
+//     γ-community, the K4 {v3, v4, v8, v9};
+//   - growing to roughly twice the size (G≥τ₂) exposes three communities:
+//     {v3,v4,v8,v9}, {v0,v1,v5,v6} and {v3,v4,v8,v9,v10};
+//   - a top-2 query therefore terminates after the second round without
+//     ever touching the low-weight remainder of the graph.
+func figure2(t testing.TB) *graph.Graph {
+	t.Helper()
+	weights := map[int32]float64{
+		0: 12, 1: 15, 2: 4, 3: 14, 4: 13, 5: 8, 6: 7, 7: 3,
+		8: 11, 9: 10, 10: 6, 11: 2, 12: 1.5, 13: 9, 14: 9.5, 15: 1,
+	}
+	var b graph.Builder
+	for id := int32(0); id < 16; id++ {
+		b.AddVertex(id, weights[id])
+	}
+	for _, e := range [][2]int32{
+		// K4 {v3, v4, v8, v9}: influence 10 community.
+		{3, 4}, {3, 8}, {3, 9}, {4, 8}, {4, 9}, {8, 9},
+		// v10 joins it: influence 6 community.
+		{10, 4}, {10, 8}, {10, 9},
+		// K4 {v0, v1, v5, v6}: influence 7 community.
+		{0, 1}, {0, 5}, {0, 6}, {1, 5}, {1, 6}, {5, 6},
+		// Low-degree scaffolding that always peels at γ = 3.
+		{13, 14}, {13, 9}, {14, 3},
+		{2, 1}, {2, 3},
+		{7, 5}, {7, 10},
+		{11, 12}, {12, 15},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("building figure 2 graph: %v", err)
+	}
+	return g
+}
+
+func TestFigure2CommunityInventory(t *testing.T) {
+	g := figure2(t)
+	all := NaiveCommunities(g, 3)
+	if len(all) != 3 {
+		for _, c := range all {
+			t.Logf("community: keynode %d influence %v vertices %v", c.Keynode, c.Influence, origSet(g, c.Vertices))
+		}
+		t.Fatalf("figure 2 with γ=3: got %d communities, want 3", len(all))
+	}
+	wantInfluences := []float64{10, 7, 6}
+	wantSets := [][]int32{
+		{3, 4, 8, 9},
+		{0, 1, 5, 6},
+		{3, 4, 8, 9, 10},
+	}
+	for i := range all {
+		if all[i].Influence != wantInfluences[i] {
+			t.Errorf("community %d influence = %v, want %v", i, all[i].Influence, wantInfluences[i])
+		}
+		if got := origSet(g, all[i].Vertices); !equalInt32(got, wantSets[i]) {
+			t.Errorf("community %d = %v, want %v", i, got, wantSets[i])
+		}
+	}
+}
+
+func TestFigure2HighPrefixHoldsOneCommunity(t *testing.T) {
+	g := figure2(t)
+	// The prefix covering weights >= 9 contains only the K4 community.
+	p := g.RankOfWeight(9 - 1e-9) // all vertices with weight >= 9
+	if got := CountIC(g, p, 3); got != 1 {
+		t.Fatalf("CountIC(G≥9) = %d, want 1", got)
+	}
+	// The whole graph holds all three.
+	if got := CountIC(g, g.NumVertices(), 3); got != 3 {
+		t.Fatalf("CountIC(G) = %d, want 3", got)
+	}
+}
+
+func TestFigure2Top2TerminatesEarly(t *testing.T) {
+	g := figure2(t)
+	res, err := TopK(g, 2, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 2 {
+		t.Fatalf("got %d communities, want 2", len(res.Communities))
+	}
+	if got := origSet(g, res.Communities[0].Vertices()); !equalInt32(got, []int32{3, 4, 8, 9}) {
+		t.Errorf("top-1 = %v", got)
+	}
+	if got := origSet(g, res.Communities[1].Vertices()); !equalInt32(got, []int32{0, 1, 5, 6}) {
+		t.Errorf("top-2 = %v", got)
+	}
+	if res.Stats.FinalPrefix >= g.NumVertices() {
+		t.Errorf("top-2 query scanned all %d vertices; local search should stop early", g.NumVertices())
+	}
+}
+
+func TestFigure2NonContainment(t *testing.T) {
+	g := figure2(t)
+	res, err := TopK(g, 10, 3, Options{NonContainment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {v3,v4,v8,v9,v10} contains {v3,v4,v8,v9}, so only the two K4s are
+	// non-containment communities.
+	if len(res.Communities) != 2 {
+		t.Fatalf("got %d NC communities, want 2", len(res.Communities))
+	}
+	if got := origSet(g, res.Communities[0].Vertices()); !equalInt32(got, []int32{3, 4, 8, 9}) {
+		t.Errorf("NC top-1 = %v", got)
+	}
+	if got := origSet(g, res.Communities[1].Vertices()); !equalInt32(got, []int32{0, 1, 5, 6}) {
+		t.Errorf("NC top-2 = %v", got)
+	}
+}

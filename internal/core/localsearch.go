@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"influcomm/internal/graph"
+)
+
+// DefaultDelta is the subgraph growth ratio δ of Algorithm 1. The paper
+// proves the 2δ²/(δ−1) constant of Theorem 3.3 is minimized at δ = 2 and
+// confirms it empirically (Figure 13).
+const DefaultDelta = 2.0
+
+// Options tunes LocalSearch. The zero value means: δ = DefaultDelta,
+// initial prefix from the paper's (k+γ)-th weight heuristic, geometric
+// growth, containment semantics.
+type Options struct {
+	// Delta is the geometric growth ratio; must be > 1 if set.
+	Delta float64
+
+	// InitialPrefix overrides the starting prefix length τ₁ heuristic
+	// (Line 1 of Algorithm 1) when > 0.
+	InitialPrefix int
+
+	// ArithmeticGrowth, when > 0, replaces geometric growth with fixed
+	// increments of that many size units per round. The paper's §3.3
+	// remark predicts (and BenchmarkAblationArithmeticGrowth confirms)
+	// super-linear behavior; the option exists only for that ablation.
+	ArithmeticGrowth int64
+
+	// NonContainment switches to non-containment community semantics
+	// (§5.1): only communities with no nested sub-community are reported.
+	NonContainment bool
+}
+
+func (o Options) delta() float64 {
+	if o.Delta == 0 {
+		return DefaultDelta
+	}
+	return o.Delta
+}
+
+func (o Options) validate() error {
+	if o.Delta != 0 && o.Delta <= 1 {
+		return fmt.Errorf("core: growth ratio δ must exceed 1, got %v", o.Delta)
+	}
+	if o.ArithmeticGrowth < 0 {
+		return fmt.Errorf("core: negative arithmetic growth %d", o.ArithmeticGrowth)
+	}
+	return nil
+}
+
+// Stats reports how much of the graph a run accessed; the quantities of the
+// instance-optimality analysis (§3.3).
+type Stats struct {
+	// Rounds counts the prefixes G≥τ₁ … G≥τ_h processed.
+	Rounds int
+	// FinalPrefix is the vertex count of the last prefix G≥τ_h.
+	FinalPrefix int
+	// FinalSize is size(G≥τ_h) = |V| + |E| of the last prefix: the largest
+	// subgraph accessed, bounded by 2δ·size(G≥τ*) (Lemma 3.8).
+	FinalSize int64
+	// TotalWork is Σᵢ size(G≥τᵢ): the total counting work, bounded by
+	// (1 + 1/(δ−1))·FinalSize (Lemma 3.7).
+	TotalWork int64
+	// Communities is the number of communities in the final prefix.
+	Communities int
+}
+
+// Result is the output of TopK.
+type Result struct {
+	// Communities holds at most k communities in decreasing influence
+	// order. Fewer are returned when the whole graph has fewer.
+	Communities []*Community
+	Stats       Stats
+}
+
+var errNilGraph = errors.New("core: nil graph")
+
+func validateQuery(g *graph.Graph, k int, gamma int32) error {
+	if g == nil {
+		return errNilGraph
+	}
+	if g.NumVertices() == 0 {
+		return errors.New("core: empty graph")
+	}
+	if k < 1 {
+		return fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if gamma < 1 {
+		return fmt.Errorf("core: gamma must be >= 1, got %d", gamma)
+	}
+	return nil
+}
+
+// initialPrefix implements Line 1 of Algorithm 1: the largest τ such that
+// G≥τ could possibly hold k influential γ-communities. k communities span
+// at least k+γ distinct vertices, so τ₁ is the (k+γ)-th largest weight.
+func initialPrefix(g *graph.Graph, k int, gamma int32, opts Options) int {
+	n := g.NumVertices()
+	p := opts.InitialPrefix
+	if p <= 0 {
+		p = k + int(gamma)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// growPrefix implements Line 4 of Algorithm 1: the largest τ (smallest
+// prefix) whose size is at least δ times the current size, falling back to
+// the whole graph.
+func growPrefix(g *graph.Graph, p int, opts Options) int {
+	cur := g.PrefixSize(p)
+	var want int64
+	if opts.ArithmeticGrowth > 0 {
+		want = cur + opts.ArithmeticGrowth
+	} else {
+		want = int64(opts.delta() * float64(cur))
+		if want <= cur {
+			want = cur + 1
+		}
+	}
+	next := g.PrefixForSize(want)
+	if next <= p {
+		next = p + 1
+	}
+	if next > g.NumVertices() {
+		next = g.NumVertices()
+	}
+	return next
+}
+
+// TopK computes the top-k influential γ-communities of g with the
+// LocalSearch algorithm (Algorithm 1). Communities are returned in
+// decreasing influence order. The run touches only prefixes of the graph;
+// by Theorem 3.3 its total work is O(2δ²/(δ−1) · size(G≥τ*)) where G≥τ* is
+// the smallest subgraph any index-free algorithm must access.
+func TopK(g *graph.Graph, k int, gamma int32, opts Options) (*Result, error) {
+	if err := validateQuery(g, k, gamma); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	p := initialPrefix(g, k, gamma, opts)
+	eng := NewEngine(g, gamma)
+	flags := WantSeq
+	if opts.NonContainment {
+		flags |= WantNC
+	}
+	var st Stats
+	var cvs *CVS
+	for {
+		cvs = eng.Run(p, 0, flags)
+		st.Rounds++
+		st.TotalWork += g.PrefixSize(p)
+		cnt := countOf(cvs, opts.NonContainment)
+		if cnt >= k || p == n {
+			st.Communities = cnt
+			break
+		}
+		p = growPrefix(g, p, opts)
+	}
+	st.FinalPrefix = p
+	st.FinalSize = g.PrefixSize(p)
+
+	var comms []*Community
+	if opts.NonContainment {
+		comms = nonContainmentCommunities(g, cvs, k)
+	} else {
+		comms = EnumIC(g, cvs, k)
+	}
+	return &Result{Communities: comms, Stats: st}, nil
+}
+
+func countOf(c *CVS, nonContainment bool) int {
+	if !nonContainment {
+		return c.Count()
+	}
+	cnt := 0
+	for _, nc := range c.NC {
+		if nc {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// nonContainmentCommunities extracts the top-k non-containment communities:
+// the non-containment keynodes' groups are exactly their communities (§5.1).
+func nonContainmentCommunities(g *graph.Graph, c *CVS, k int) []*Community {
+	var out []*Community
+	for j := len(c.Keys) - 1; j >= 0 && len(out) < k; j-- {
+		if !c.NC[j] {
+			continue
+		}
+		seg := c.Group(j)
+		out = append(out, &Community{
+			keynode:   c.Keys[j],
+			influence: g.Weight(c.Keys[j]),
+			group:     seg,
+			size:      len(seg),
+		})
+	}
+	return out
+}

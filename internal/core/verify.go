@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"influcomm/internal/graph"
+)
+
+// Verify checks a reported community against Definition 2.2 independently
+// of the machinery that produced it: the keynode is the community's unique
+// minimum-weight vertex, the vertex set is exactly the connected component
+// of the keynode in the γ-core of G≥ω(keynode) (which establishes
+// connectivity, cohesion and maximality at once), and the cached size is
+// consistent. It runs one γ-core peel over the prefix [0, keynode], so it
+// is cheap enough to spot-check results on large graphs.
+func Verify(g *graph.Graph, gamma int32, c *Community) error {
+	if c == nil {
+		return fmt.Errorf("core: nil community")
+	}
+	u := c.Keynode()
+	if u < 0 || int(u) >= g.NumVertices() {
+		return fmt.Errorf("core: keynode %d out of range", u)
+	}
+	if c.Influence() != g.Weight(u) {
+		return fmt.Errorf("core: influence %v differs from keynode weight %v", c.Influence(), g.Weight(u))
+	}
+	got := c.Vertices()
+	if len(got) != c.Size() {
+		return fmt.Errorf("core: community reports size %d but materializes %d vertices", c.Size(), len(got))
+	}
+	for _, v := range got {
+		if v > u {
+			return fmt.Errorf("core: member %d has smaller weight than the keynode %d", v, u)
+		}
+	}
+
+	eng := NewEngine(g, gamma)
+	eng.Peel(int(u) + 1)
+	if !eng.Alive(u) {
+		return fmt.Errorf("core: keynode %d is not in the γ-core of its own prefix", u)
+	}
+	want := eng.Component(u)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(want) != len(got) {
+		return fmt.Errorf("core: community has %d vertices, the maximal one has %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("core: community differs from the maximal subgraph at vertex %d (got %d, want %d)",
+				i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// VerifyResult verifies every community of a top-k result and that the
+// result is sorted by strictly decreasing influence.
+func VerifyResult(g *graph.Graph, gamma int32, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("core: nil result")
+	}
+	for i, c := range res.Communities {
+		if i > 0 && c.Influence() >= res.Communities[i-1].Influence() {
+			return fmt.Errorf("core: result not in strictly decreasing influence order at position %d", i)
+		}
+		if err := Verify(g, gamma, c); err != nil {
+			return fmt.Errorf("community %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"influcomm/internal/gen"
+)
+
+func TestVerifyAcceptsRealResults(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g := gen.Random(120, 5, seed)
+		for _, gamma := range []int32{2, 3} {
+			res, err := TopK(g, 10, gamma, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyResult(g, gamma, res); err != nil {
+				t.Fatalf("seed %d γ=%d: verifier rejected a correct result: %v", seed, gamma, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsTampered(t *testing.T) {
+	g := figure1(t)
+	res, err := TopK(g, 2, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := res.Communities[0]
+
+	// Wrong influence.
+	bad := &Community{keynode: good.keynode, influence: good.influence + 1, group: good.group, size: good.size}
+	if Verify(g, 3, bad) == nil {
+		t.Error("tampered influence accepted")
+	}
+	// Missing a vertex (drop one from the group).
+	bad = &Community{keynode: good.keynode, influence: good.influence, group: good.group[:len(good.group)-1], size: good.size - 1}
+	if Verify(g, 3, bad) == nil {
+		t.Error("truncated community accepted")
+	}
+	// Wrong γ: under γ=4 the keynode peels out of its own prefix's core.
+	if Verify(g, 4, good) == nil {
+		t.Error("community verified under the wrong γ")
+	}
+	// Inconsistent size cache.
+	bad = &Community{keynode: good.keynode, influence: good.influence, group: good.group, size: good.size + 3}
+	if Verify(g, 3, bad) == nil {
+		t.Error("bad size cache accepted")
+	}
+	// Non-keynode vertex.
+	bad = &Community{keynode: 0, influence: g.Weight(0), group: []int32{0}, size: 1}
+	if Verify(g, 3, bad) == nil {
+		t.Error("non-keynode community accepted")
+	}
+	if Verify(g, 3, nil) == nil {
+		t.Error("nil community accepted")
+	}
+	if VerifyResult(g, 3, nil) == nil {
+		t.Error("nil result accepted")
+	}
+}
+
+func TestVerifyResultOrdering(t *testing.T) {
+	g := figure1(t)
+	res, err := TopK(g, 2, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap to break the decreasing-influence invariant.
+	res.Communities[0], res.Communities[1] = res.Communities[1], res.Communities[0]
+	if VerifyResult(g, 3, res) == nil {
+		t.Error("out-of-order result accepted")
+	}
+}

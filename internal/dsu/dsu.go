@@ -1,0 +1,77 @@
+// Package dsu implements a disjoint-set union (union-find) structure with
+// union by rank and path halving, giving effectively constant amortized
+// Find/Union as required by the EnumIC analysis (paper §3.2.2, [12]).
+package dsu
+
+// DSU is a forest of int32 element sets. Construct with New.
+type DSU struct {
+	parent []int32
+	rank   []uint8
+}
+
+// New returns a DSU over n singleton sets {0}, ..., {n-1}.
+func New(n int) *DSU {
+	d := &DSU{parent: make([]int32, n), rank: make([]uint8, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Grow extends the universe to n elements, adding singletons.
+func (d *DSU) Grow(n int) {
+	for len(d.parent) < n {
+		d.parent = append(d.parent, int32(len(d.parent)))
+		d.rank = append(d.rank, 0)
+	}
+}
+
+// Find returns the representative of x's set, halving paths as it goes.
+func (d *DSU) Find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and returns the surviving representative.
+func (d *DSU) Union(a, b int32) int32 {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	return ra
+}
+
+// UnionInto merges b's set into a's set keeping a's representative as the
+// root regardless of rank. EnumIC needs this directed form: the smallest
+// keynode's group must stay the representative of its community.
+func (d *DSU) UnionInto(root, b int32) {
+	rb := d.Find(b)
+	if rb == root {
+		return
+	}
+	d.parent[rb] = root
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int32) bool { return d.Find(a) == d.Find(b) }
+
+// Reset restores all elements to singletons without reallocating.
+func (d *DSU) Reset() {
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.rank[i] = 0
+	}
+}

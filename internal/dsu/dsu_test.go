@@ -1,0 +1,105 @@
+package dsu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	d := New(6)
+	if d.Len() != 6 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i := int32(0); i < 6; i++ {
+		if d.Find(i) != i {
+			t.Errorf("fresh element %d not its own root", i)
+		}
+	}
+	d.Union(0, 1)
+	d.Union(2, 3)
+	if !d.Same(0, 1) || !d.Same(2, 3) {
+		t.Error("unions not applied")
+	}
+	if d.Same(0, 2) {
+		t.Error("unrelated sets merged")
+	}
+	d.Union(1, 3)
+	if !d.Same(0, 2) {
+		t.Error("transitive union failed")
+	}
+	if d.Same(0, 5) {
+		t.Error("element 5 should be separate")
+	}
+}
+
+func TestUnionInto(t *testing.T) {
+	d := New(5)
+	d.Union(1, 2)
+	root := d.Find(3)
+	d.UnionInto(root, 1)
+	if d.Find(1) != root || d.Find(2) != root {
+		t.Error("UnionInto must keep the designated root")
+	}
+	// Idempotent when already in the set.
+	d.UnionInto(root, 2)
+	if d.Find(2) != root {
+		t.Error("repeated UnionInto broke the root")
+	}
+}
+
+func TestGrowAndReset(t *testing.T) {
+	d := New(2)
+	d.Union(0, 1)
+	d.Grow(4)
+	if d.Len() != 4 {
+		t.Fatalf("Len after Grow = %d", d.Len())
+	}
+	if d.Same(1, 3) {
+		t.Error("grown elements must be singletons")
+	}
+	d.Reset()
+	if d.Same(0, 1) {
+		t.Error("Reset must separate everything")
+	}
+}
+
+// TestEquivalenceProperty checks that DSU agrees with a brute-force
+// union-find over random operation sequences.
+func TestEquivalenceProperty(t *testing.T) {
+	type op struct{ A, B uint8 }
+	f := func(ops []op) bool {
+		const n = 16
+		d := New(n)
+		group := make([]int, n)
+		for i := range group {
+			group[i] = i
+		}
+		merge := func(a, b int) {
+			ga, gb := group[a], group[b]
+			if ga == gb {
+				return
+			}
+			for i := range group {
+				if group[i] == gb {
+					group[i] = ga
+				}
+			}
+		}
+		for _, o := range ops {
+			a, b := int32(o.A%n), int32(o.B%n)
+			d.Union(a, b)
+			merge(int(a), int(b))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.Same(int32(i), int32(j)) != (group[i] == group[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

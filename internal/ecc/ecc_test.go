@@ -1,0 +1,144 @@
+package ecc
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+func clique(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = float64(100 - i)
+	}
+	var edges [][2]int32
+	for i := int32(0); int(i) < n; i++ {
+		for j := i + 1; int(j) < n; j++ {
+			edges = append(edges, [2]int32{i, j})
+		}
+	}
+	return graph.MustFromEdges(weights, edges)
+}
+
+func allVerts(p int) []int32 {
+	vs := make([]int32, p)
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+	return vs
+}
+
+func TestDecomposeClique(t *testing.T) {
+	// K5 is 4-edge-connected: one component at γ <= 4, none at γ = 5.
+	g := clique(t, 5)
+	comps := Decompose(g, allVerts(5), 5, 4)
+	if len(comps) != 1 || len(comps[0]) != 5 {
+		t.Fatalf("K5 at γ=4: %v", comps)
+	}
+	if comps := Decompose(g, allVerts(5), 5, 5); len(comps) != 0 {
+		t.Fatalf("K5 at γ=5 should be empty, got %v", comps)
+	}
+}
+
+func TestDecomposeBridge(t *testing.T) {
+	// Two triangles joined by one bridge edge: 2-edge-connected components
+	// are the triangles; the bridge is a 1-cut.
+	g := graph.MustFromEdges(
+		[]float64{60, 50, 40, 30, 20, 10},
+		[][2]int32{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}},
+	)
+	comps := Decompose(g, allVerts(6), 6, 2)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2: %v", len(comps), comps)
+	}
+	want := map[string]bool{"[0 1 2]": true, "[3 4 5]": true}
+	for _, c := range comps {
+		if !want[fmt.Sprint(c)] {
+			t.Errorf("unexpected component %v", c)
+		}
+	}
+	// At γ=1 the whole graph is one component.
+	comps = Decompose(g, allVerts(6), 6, 1)
+	if len(comps) != 1 || len(comps[0]) != 6 {
+		t.Fatalf("γ=1: %v", comps)
+	}
+}
+
+func TestDecomposeRespectsPrefix(t *testing.T) {
+	g := graph.MustFromEdges(
+		[]float64{40, 30, 20, 10},
+		[][2]int32{{0, 1}, {1, 3}, {0, 3}, {2, 3}},
+	)
+	// Within prefix 3 the triangle {0,1,3} is incomplete.
+	if comps := Decompose(g, allVerts(3), 3, 2); len(comps) != 0 {
+		t.Fatalf("prefix 3 at γ=2: %v", comps)
+	}
+	if comps := Decompose(g, allVerts(4), 4, 2); len(comps) != 1 {
+		t.Fatalf("prefix 4 at γ=2: %v", comps)
+	}
+}
+
+func TestEnumMatchesNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		g := gen.Random(22, 4, seed)
+		for _, gamma := range []int32{1, 2, 3} {
+			want := NaiveCommunities(g, gamma)
+			got := EnumICC(g, g.NumVertices(), -1, gamma)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d γ=%d: got %d communities, want %d", seed, gamma, len(got), len(want))
+			}
+			for i := range want {
+				a := fmt.Sprintf("%d:%v", got[i].Keynode, got[i].Vertices)
+				b := fmt.Sprintf("%d:%v", want[i].Keynode, want[i].Vertices)
+				if a != b {
+					t.Fatalf("seed %d γ=%d: community %d mismatch\n got %s\nwant %s", seed, gamma, i, a, b)
+				}
+			}
+			if CountICC(g, g.NumVertices(), gamma) != len(want) {
+				t.Fatalf("seed %d γ=%d: CountICC mismatch", seed, gamma)
+			}
+		}
+	}
+}
+
+// TestMonotonicityProperty: Property-I of §5.2 holds for edge connectivity.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.Random(18, 4, seed|1)
+		gamma := int32(2)
+		prev := 0
+		for p := 0; p <= g.NumVertices(); p += 2 {
+			cnt := CountICC(g, p, gamma)
+			if cnt < prev {
+				return false
+			}
+			prev = cnt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCutValueProperty: every reported community really is γ-edge-connected
+// (removing any single vertex's incident edges keeps it connected when
+// γ >= 2 — a necessary condition checked cheaply).
+func TestCommunityConnectivity(t *testing.T) {
+	g := gen.Random(20, 5, 77)
+	for _, c := range EnumICC(g, g.NumVertices(), -1, 2) {
+		if len(c.Vertices) < 3 {
+			t.Fatalf("2-edge-connected community with %d vertices", len(c.Vertices))
+		}
+		// Influence = min weight.
+		for _, v := range c.Vertices {
+			if g.Weight(v) < c.Influence {
+				t.Fatal("influence is not the minimum weight")
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package ecc
+
+import (
+	"sort"
+
+	"influcomm/internal/graph"
+)
+
+// Community is an influential γ-edge-connected community.
+type Community struct {
+	Keynode   int32
+	Influence float64
+	Vertices  []int32 // ascending rank
+}
+
+// CountICC counts the influential γ-edge-connected communities in the
+// prefix [0, p) with the generic iteration of §5.2: repeatedly reduce to
+// the maximal γ-cohesive subgraphs, take the minimum-weight remaining
+// vertex as a keynode, and delete it.
+func CountICC(g *graph.Graph, p int, gamma int32) int {
+	return len(enumerate(g, p, gamma))
+}
+
+// EnumICC returns the top-k influential γ-edge-connected communities of
+// the prefix [0, p) in decreasing influence order (all when k < 0).
+func EnumICC(g *graph.Graph, p, k int, gamma int32) []Community {
+	all := enumerate(g, p, gamma)
+	// enumerate emits in increasing influence order; reverse and cut.
+	for i, j := 0, len(all)-1; i < j; i, j = i+1, j-1 {
+		all[i], all[j] = all[j], all[i]
+	}
+	if k >= 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func enumerate(g *graph.Graph, p int, gamma int32) []Community {
+	alive := make([]int32, 0, p)
+	for u := int32(0); int(u) < p; u++ {
+		alive = append(alive, u)
+	}
+	var out []Community
+	for {
+		comps := Decompose(g, alive, p, gamma)
+		if len(comps) == 0 {
+			return out
+		}
+		// Survivors are exactly the union of the γ-connected components.
+		alive = alive[:0]
+		var keynode int32 = -1
+		var keyComp []int32
+		for _, comp := range comps {
+			alive = append(alive, comp...)
+			for _, v := range comp {
+				if v > keynode {
+					keynode = v
+					keyComp = comp
+				}
+			}
+		}
+		community := append([]int32(nil), keyComp...)
+		out = append(out, Community{
+			Keynode:   keynode,
+			Influence: g.Weight(keynode),
+			Vertices:  community,
+		})
+		// Remove the keynode.
+		next := alive[:0]
+		for _, v := range alive {
+			if v != keynode {
+				next = append(next, v)
+			}
+		}
+		alive = next
+		sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
+	}
+}
+
+// NaiveCommunities is the definitional oracle: vertex u is a keynode iff it
+// survives the γ-edge-connected decomposition of the prefix [0, u], and its
+// community is its component there. Returned in decreasing influence order.
+func NaiveCommunities(g *graph.Graph, gamma int32) []Community {
+	var out []Community
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		p := int(u) + 1
+		verts := make([]int32, p)
+		for i := range verts {
+			verts[i] = int32(i)
+		}
+		for _, comp := range Decompose(g, verts, p, gamma) {
+			for _, v := range comp {
+				if v == u {
+					out = append(out, Community{Keynode: u, Influence: g.Weight(u), Vertices: comp})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a42 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a42.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced the same stream")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || int(v) >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	g, err := PreferentialAttachment(2000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Roughly m edges per vertex (duplicates reduce the count slightly).
+	if g.NumEdges() < 6000 || g.NumEdges() > 8000 {
+		t.Errorf("edge count %d outside expected band", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+	// Heavy tail: the max degree should far exceed the average.
+	s := g.Statistics()
+	if float64(s.MaxDegree) < 4*s.AvgDegree {
+		t.Errorf("no heavy tail: dmax=%d davg=%v", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+// clustering computes the global clustering coefficient (3×triangles over
+// connected triples) by brute force; test-only.
+func clustering(tb testing.TB, seed uint64, triangleP float64) float64 {
+	tb.Helper()
+	g, err := SocialNetwork(800, 6, triangleP, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var triangles, triples int64
+	n := g.NumVertices()
+	adj := make(map[int64]bool)
+	for u := int32(0); int(u) < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			adj[int64(u)*int64(n)+int64(v)] = true
+		}
+	}
+	for u := int32(0); int(u) < n; u++ {
+		nb := g.Neighbors(u)
+		d := int64(len(nb))
+		triples += d * (d - 1) / 2
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				if adj[int64(nb[i])*int64(n)+int64(nb[j])] {
+					triangles++
+				}
+			}
+		}
+	}
+	if triples == 0 {
+		return 0
+	}
+	return float64(triangles) / float64(triples)
+}
+
+func TestSocialNetworkClustering(t *testing.T) {
+	low := clustering(t, 3, 0)
+	high := clustering(t, 3, 0.7)
+	if high <= low {
+		t.Errorf("triangle closure did not raise clustering: %v vs %v", low, high)
+	}
+	if high < 0.05 {
+		t.Errorf("clustering %v too low for a social stand-in", high)
+	}
+}
+
+func TestSocialNetworkValidation(t *testing.T) {
+	if _, err := SocialNetwork(0, 3, 0.5, 1); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := SocialNetwork(10, 0, 0.5, 1); err == nil {
+		t.Error("m=0: want error")
+	}
+	if _, err := SocialNetwork(10, 2, 1.5, 1); err == nil {
+		t.Error("p>1: want error")
+	}
+}
+
+func TestGNM(t *testing.T) {
+	g, err := GNM(100, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 300 {
+		t.Errorf("GNM edges = %d, want 300", g.NumEdges())
+	}
+	// Requesting more edges than possible caps at the complete graph.
+	g2, err := GNM(5, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 10 {
+		t.Errorf("overfull GNM edges = %d, want 10", g2.NumEdges())
+	}
+	if _, err := GNM(1, 0, 1); err == nil {
+		t.Error("n=1: want error")
+	}
+}
+
+func TestPlantedCommunities(t *testing.T) {
+	g, err := PlantedCommunities(5, 10, 0.8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 50 {
+		t.Errorf("n = %d, want 50", g.NumVertices())
+	}
+	if _, err := PlantedCommunities(0, 10, 0.5, 1, 2); err == nil {
+		t.Error("0 communities: want error")
+	}
+	if _, err := PlantedCommunities(3, 1, 0.5, 1, 2); err == nil {
+		t.Error("size-1 communities: want error")
+	}
+}
+
+func TestPlantedArchipelago(t *testing.T) {
+	g, err := PlantedArchipelago(6, 12, 0.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 blocks of 12 plus 5 connectors.
+	if g.NumVertices() != 6*12+5 {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), 6*12+5)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Connectors have degree 2 and the smallest weights (last ranks).
+	for r := g.NumVertices() - 5; r < g.NumVertices(); r++ {
+		if d := g.Degree(int32(r)); d != 2 {
+			t.Errorf("connector rank %d degree = %d, want 2", r, d)
+		}
+	}
+	if _, err := PlantedArchipelago(0, 12, 0.8, 5); err == nil {
+		t.Error("0 blocks: want error")
+	}
+}
+
+func TestCollab(t *testing.T) {
+	g, err := Collab(20, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasLabels() {
+		t.Fatal("collab graph must carry researcher names")
+	}
+	seen := map[string]bool{}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		name := g.Label(u)
+		if name == "" {
+			t.Fatalf("vertex %d has empty label", u)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate researcher name %q", name)
+		}
+		seen[name] = true
+	}
+	if _, err := Collab(0, 8, 3); err == nil {
+		t.Error("0 groups: want error")
+	}
+	if _, err := Collab(5, 2, 3); err == nil {
+		t.Error("tiny groups: want error")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, err1 := SocialNetwork(200, 4, 0.5, seed)
+		b, err2 := SocialNetwork(200, 4, 0.5, seed)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.NumEdges() != b.NumEdges() {
+			return false
+		}
+		for u := int32(0); int(u) < a.NumVertices(); u++ {
+			if a.Weight(u) != b.Weight(u) || a.Degree(u) != b.Degree(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomNeverPanics(t *testing.T) {
+	for n := 1; n < 20; n++ {
+		g := Random(n, 3, uint64(n))
+		if g.NumVertices() < 1 {
+			t.Fatalf("Random(%d) produced empty graph", n)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package gen
+
+import (
+	"fmt"
+
+	"influcomm/internal/graph"
+)
+
+// PreferentialAttachment generates a Barabási–Albert-style graph with n
+// vertices where each new vertex attaches to edgesPerVertex existing
+// vertices chosen proportionally to degree. The result has a heavy-tailed
+// degree distribution like the paper's web and social graphs. Vertex
+// weights are initialized uniformly at random (callers typically replace
+// them with PageRank; see pagerank.Reweight).
+func PreferentialAttachment(n, edgesPerVertex int, seed uint64) (*graph.Graph, error) {
+	return SocialNetwork(n, edgesPerVertex, 0, seed)
+}
+
+// SocialNetwork generates a Holme–Kim graph: preferential attachment where
+// each additional link of a new vertex closes a triangle with probability
+// triangleP. With triangleP = 0 this is plain Barabási–Albert; values
+// around 0.5 yield the high clustering coefficients of real social and web
+// graphs, which the paper's truss experiments depend on.
+func SocialNetwork(n, edgesPerVertex int, triangleP float64, seed uint64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: need positive n, got %d", n)
+	}
+	if edgesPerVertex < 1 {
+		return nil, fmt.Errorf("gen: need edgesPerVertex >= 1, got %d", edgesPerVertex)
+	}
+	if triangleP < 0 || triangleP > 1 {
+		return nil, fmt.Errorf("gen: triangle probability %v outside [0,1]", triangleP)
+	}
+	r := NewRNG(seed)
+	var b graph.Builder
+	for id := 0; id < n; id++ {
+		b.AddVertex(int32(id), r.Float64())
+	}
+	// targets holds one entry per edge endpoint so far; sampling an index
+	// uniformly samples a vertex proportionally to its degree. adj records
+	// neighbor lists for the triangle-closure step.
+	m0 := edgesPerVertex + 1
+	if m0 > n {
+		m0 = n
+	}
+	targets := make([]int32, 0, 2*n*edgesPerVertex)
+	adj := make([][]int32, n)
+	link := func(u, v int32) {
+		b.AddEdge(u, v)
+		targets = append(targets, u, v)
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for u := 1; u < m0; u++ {
+		link(int32(u), int32(u-1))
+	}
+	for u := m0; u < n; u++ {
+		prev := int32(-1)
+		for t := 0; t < edgesPerVertex; t++ {
+			var v int32
+			if prev >= 0 && len(adj[prev]) > 0 && r.Float64() < triangleP {
+				// Triangle closure: link to a neighbor of the previous
+				// target.
+				v = adj[prev][r.Intn(len(adj[prev]))]
+			} else {
+				v = targets[r.Intn(len(targets))]
+			}
+			if int(v) == u {
+				v = int32(r.Intn(u))
+			}
+			link(int32(u), v)
+			prev = v
+		}
+	}
+	return b.Build()
+}
+
+// GNM generates a uniform random graph with n vertices and (up to) m
+// distinct edges, with uniform random weights.
+func GNM(n int, m int64, seed uint64) (*graph.Graph, error) {
+	if n <= 1 {
+		return nil, fmt.Errorf("gen: GNM needs n >= 2, got %d", n)
+	}
+	maxEdges := int64(n) * int64(n-1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	r := NewRNG(seed)
+	var b graph.Builder
+	for id := 0; id < n; id++ {
+		b.AddVertex(int32(id), r.Float64())
+	}
+	seen := make(map[int64]bool, m)
+	for int64(len(seen)) < m {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// PlantedCommunities generates numComm dense groups of commSize vertices
+// each (internal edge probability pIn) connected by a sparse random
+// background (expected pOutDeg inter-community edges per vertex). Weights
+// are assigned so that community c has a weight band centered on its index,
+// giving a known influence ordering that tests can assert against.
+func PlantedCommunities(numComm, commSize int, pIn float64, pOutDeg float64, seed uint64) (*graph.Graph, error) {
+	if numComm < 1 || commSize < 2 {
+		return nil, fmt.Errorf("gen: implausible planted-community shape %dx%d", numComm, commSize)
+	}
+	r := NewRNG(seed)
+	n := numComm * commSize
+	var b graph.Builder
+	for id := 0; id < n; id++ {
+		c := id / commSize
+		// Higher community index => higher weight band; jitter within band.
+		b.AddVertex(int32(id), float64(c)+0.9*r.Float64())
+	}
+	for c := 0; c < numComm; c++ {
+		base := c * commSize
+		for i := 0; i < commSize; i++ {
+			for j := i + 1; j < commSize; j++ {
+				if r.Float64() < pIn {
+					b.AddEdge(int32(base+i), int32(base+j))
+				}
+			}
+		}
+	}
+	nOut := int64(float64(n) * pOutDeg / 2)
+	for e := int64(0); e < nOut; e++ {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// PlantedArchipelago generates numComm dense blocks (internal edge
+// probability pIn) that are joined into one connected graph only through
+// low-degree connector vertices. Because every connector has degree 2, the
+// γ-core of the graph (for γ ≥ 3) consists of the blocks alone, pairwise
+// disconnected — so each block contributes its own chain to the community
+// containment forest and, unlike PlantedCommunities, the graph has many
+// non-containment communities spread across the weight order. This is the
+// structure the non-containment experiments (Eval-VII) rely on.
+func PlantedArchipelago(numComm, commSize int, pIn float64, seed uint64) (*graph.Graph, error) {
+	if numComm < 1 || commSize < 2 {
+		return nil, fmt.Errorf("gen: implausible archipelago shape %dx%d", numComm, commSize)
+	}
+	r := NewRNG(seed)
+	n := numComm * commSize
+	var b graph.Builder
+	for id := 0; id < n; id++ {
+		c := id / commSize
+		b.AddVertex(int32(id), float64(c)+0.9*r.Float64())
+	}
+	for c := 0; c < numComm; c++ {
+		base := c * commSize
+		for i := 0; i < commSize; i++ {
+			for j := i + 1; j < commSize; j++ {
+				if r.Float64() < pIn {
+					b.AddEdge(int32(base+i), int32(base+j))
+				}
+			}
+		}
+	}
+	// Connectors: one degree-2 vertex joining each block to the next,
+	// with the lowest weights so they sort last.
+	id := int32(n)
+	for c := 0; c+1 < numComm; c++ {
+		b.AddVertex(id, -1-r.Float64())
+		b.AddEdge(id, int32(c*commSize+r.Intn(commSize)))
+		b.AddEdge(id, int32((c+1)*commSize+r.Intn(commSize)))
+		id++
+	}
+	return b.Build()
+}
+
+// Random generates an arbitrary small graph for property-based testing:
+// n vertices, each of avgDeg expected degree, uniform weights.
+func Random(n int, avgDeg float64, seed uint64) *graph.Graph {
+	if n < 1 {
+		n = 1
+	}
+	m := int64(float64(n) * avgDeg / 2)
+	g, err := GNM(n, m, seed)
+	if err != nil {
+		// n == 1: fall back to a single vertex.
+		b := graph.Builder{}
+		b.AddVertex(0, 0.5)
+		g, err = b.Build()
+		if err != nil {
+			panic(err)
+		}
+	}
+	return g
+}

@@ -1,0 +1,193 @@
+// Package general implements the paper's generalized local search framework
+// for arbitrary cohesiveness measures (§5.2, Algorithm 6): any measure that
+// satisfies Property-I and Property-II (community sets are suffix-stable
+// under weight thresholds) can plug its CountICC and EnumICC procedures
+// into the same geometric-growth loop and inherit Theorem 5.2's complexity.
+//
+// Two instances ship with the repository: the minimum-degree measure
+// (delegating to the core package) and the triangle/k-truss measure
+// (delegating to the truss package). The instances exist both as the
+// mechanism behind Algorithm 6 and as an executable check that the
+// framework reproduces the specialized implementations exactly.
+package general
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"influcomm/internal/core"
+	"influcomm/internal/ecc"
+	"influcomm/internal/graph"
+	"influcomm/internal/truss"
+)
+
+// Community is a materialized influential γ-cohesive community
+// (Definition 5.2) under whatever measure produced it.
+type Community struct {
+	Keynode   int32
+	Influence float64
+	Vertices  []int32 // ascending rank
+}
+
+// Measure abstracts one cohesiveness measure for Algorithm 6. A Measure is
+// bound to a graph and a γ value; implementations must guarantee
+// Property-I and Property-II of §5.2 for the framework to be correct.
+type Measure interface {
+	// Name identifies the measure in diagnostics.
+	Name() string
+	// CountICC returns the number of influential γ-cohesive communities
+	// in the prefix subgraph [0, p).
+	CountICC(p int) int
+	// EnumICC returns the top-k such communities of the prefix [0, p) in
+	// decreasing influence order (all of them when k < 0).
+	EnumICC(p, k int) []Community
+}
+
+// Stats mirrors core.Stats for the generic framework.
+type Stats struct {
+	Rounds      int
+	FinalPrefix int
+	FinalSize   int64
+	TotalWork   int64
+	Communities int
+}
+
+// Result is the output of LocalSearch.
+type Result struct {
+	Communities []Community
+	Stats       Stats
+}
+
+// LocalSearch is Algorithm 6: grow the high-weight prefix geometrically
+// (δ = 2) until CountICC reports at least k communities, then enumerate.
+// By Theorem 5.2 the total cost is O(T_count(G≥τ*) + T_enum(G≥τ*)).
+func LocalSearch(g *graph.Graph, m Measure, k int, gamma int32) (*Result, error) {
+	switch {
+	case g == nil || g.NumVertices() == 0:
+		return nil, errors.New("general: nil or empty graph")
+	case m == nil:
+		return nil, errors.New("general: nil measure")
+	case k < 1:
+		return nil, fmt.Errorf("general: k must be >= 1, got %d", k)
+	case gamma < 1:
+		return nil, fmt.Errorf("general: gamma must be >= 1, got %d", gamma)
+	}
+	n := g.NumVertices()
+	p := k + int(gamma)
+	if p > n {
+		p = n
+	}
+	var st Stats
+	for {
+		cnt := m.CountICC(p)
+		st.Rounds++
+		st.TotalWork += g.PrefixSize(p)
+		if cnt >= k || p == n {
+			st.Communities = cnt
+			break
+		}
+		next := g.PrefixForSize(2 * g.PrefixSize(p))
+		if next <= p {
+			next = p + 1
+		}
+		if next > n {
+			next = n
+		}
+		p = next
+	}
+	st.FinalPrefix = p
+	st.FinalSize = g.PrefixSize(p)
+	return &Result{Communities: m.EnumICC(p, k), Stats: st}, nil
+}
+
+// MinDegree returns the γ-core (minimum degree) instance of the framework,
+// backed by the core package's CountIC / EnumIC.
+func MinDegree(g *graph.Graph, gamma int32) Measure {
+	return &minDegreeMeasure{g: g, gamma: gamma}
+}
+
+type minDegreeMeasure struct {
+	g     *graph.Graph
+	gamma int32
+}
+
+func (m *minDegreeMeasure) Name() string { return "min-degree" }
+
+func (m *minDegreeMeasure) CountICC(p int) int {
+	return core.NewEngine(m.g, m.gamma).Run(p, 0, 0).Count()
+}
+
+func (m *minDegreeMeasure) EnumICC(p, k int) []Community {
+	cvs := core.NewEngine(m.g, m.gamma).Run(p, 0, core.WantSeq)
+	comms := core.EnumIC(m.g, cvs, k)
+	out := make([]Community, 0, len(comms))
+	for _, c := range comms {
+		out = append(out, Community{
+			Keynode:   c.Keynode(),
+			Influence: c.Influence(),
+			Vertices:  c.Vertices(),
+		})
+	}
+	return out
+}
+
+// EdgeConnectivity returns the γ-edge-connected instance of the framework
+// (§5.2, [6, 40]), backed by the ecc package's min-cut decomposition. The
+// instance is reference-grade (see the ecc package doc) and intended for
+// small graphs and tests.
+func EdgeConnectivity(g *graph.Graph, gamma int32) Measure {
+	return &eccMeasure{g: g, gamma: gamma}
+}
+
+type eccMeasure struct {
+	g     *graph.Graph
+	gamma int32
+}
+
+func (m *eccMeasure) Name() string { return "edge-connectivity" }
+
+func (m *eccMeasure) CountICC(p int) int {
+	return ecc.CountICC(m.g, p, m.gamma)
+}
+
+func (m *eccMeasure) EnumICC(p, k int) []Community {
+	out := make([]Community, 0)
+	for _, c := range ecc.EnumICC(m.g, p, k, m.gamma) {
+		out = append(out, Community{Keynode: c.Keynode, Influence: c.Influence, Vertices: c.Vertices})
+	}
+	return out
+}
+
+// Truss returns the k-truss (triangle) instance of the framework, backed by
+// the truss package's CountICC / EnumICC.
+func Truss(ix *truss.Index, gamma int32) Measure {
+	return &trussMeasure{ix: ix, gamma: gamma}
+}
+
+type trussMeasure struct {
+	ix    *truss.Index
+	gamma int32
+}
+
+func (m *trussMeasure) Name() string { return "k-truss" }
+
+func (m *trussMeasure) CountICC(p int) int {
+	return truss.CountICC(m.ix, p, m.gamma).Count()
+}
+
+func (m *trussMeasure) EnumICC(p, k int) []Community {
+	cvs := truss.CountICC(m.ix, p, m.gamma)
+	comms := truss.EnumICC(m.ix, cvs, k)
+	out := make([]Community, 0, len(comms))
+	for _, c := range comms {
+		vs := c.Vertices()
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		out = append(out, Community{
+			Keynode:   c.Keynode(),
+			Influence: c.Influence(),
+			Vertices:  vs,
+		})
+	}
+	return out
+}

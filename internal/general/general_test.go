@@ -1,0 +1,140 @@
+package general
+
+import (
+	"fmt"
+	"testing"
+
+	"influcomm/internal/core"
+	"influcomm/internal/ecc"
+	"influcomm/internal/gen"
+	"influcomm/internal/truss"
+)
+
+func TestMinDegreeInstanceMatchesCore(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		g := gen.Random(80, 5, seed)
+		for _, gamma := range []int32{2, 3} {
+			for _, k := range []int{1, 4, 10} {
+				want, err := core.TopK(g, k, gamma, core.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := LocalSearch(g, MinDegree(g, gamma), k, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Communities) != len(want.Communities) {
+					t.Fatalf("seed %d γ=%d k=%d: %d vs %d communities",
+						seed, gamma, k, len(got.Communities), len(want.Communities))
+				}
+				for i := range want.Communities {
+					a := fmt.Sprintf("%d:%v", got.Communities[i].Keynode, got.Communities[i].Vertices)
+					b := fmt.Sprintf("%d:%v", want.Communities[i].Keynode(), want.Communities[i].Vertices())
+					if a != b {
+						t.Fatalf("seed %d γ=%d k=%d: community %d differs\n got %s\nwant %s",
+							seed, gamma, k, i, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrussInstanceMatchesTruss(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := gen.Random(60, 9, seed)
+		ix := truss.NewIndex(g)
+		for _, gamma := range []int32{3, 4} {
+			for _, k := range []int{1, 3} {
+				want, err := truss.LocalSearch(ix, k, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := LocalSearch(g, Truss(ix, gamma), k, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Communities) != len(want.Communities) {
+					t.Fatalf("seed %d γ=%d k=%d: %d vs %d communities",
+						seed, gamma, k, len(got.Communities), len(want.Communities))
+				}
+				for i := range want.Communities {
+					a := fmt.Sprintf("%d:%v", got.Communities[i].Keynode, got.Communities[i].Vertices)
+					b := fmt.Sprintf("%d:%v", want.Communities[i].Keynode(), want.Communities[i].Vertices())
+					if a != b {
+						t.Fatalf("seed %d γ=%d k=%d: truss community %d differs\n got %s\nwant %s",
+							seed, gamma, k, i, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeConnectivityInstanceMatchesNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := gen.Random(20, 4, seed)
+		gamma := int32(2)
+		naive := ecc.NaiveCommunities(g, gamma)
+		for _, k := range []int{1, 3} {
+			got, err := LocalSearch(g, EdgeConnectivity(g, gamma), k, gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naive
+			if len(want) > k {
+				want = want[:k]
+			}
+			if len(got.Communities) != len(want) {
+				t.Fatalf("seed %d k=%d: %d vs %d communities", seed, k, len(got.Communities), len(want))
+			}
+			for i := range want {
+				a := fmt.Sprintf("%d:%v", got.Communities[i].Keynode, got.Communities[i].Vertices)
+				b := fmt.Sprintf("%d:%v", want[i].Keynode, want[i].Vertices)
+				if a != b {
+					t.Fatalf("seed %d k=%d: community %d differs\n got %s\nwant %s", seed, k, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFrameworkAccessesPrefixOnly(t *testing.T) {
+	g, err := gen.PlantedCommunities(20, 12, 0.8, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LocalSearch(g, MinDegree(g, 4), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalPrefix >= g.NumVertices() {
+		t.Errorf("framework scanned the whole graph (%d vertices) for a top-2 query",
+			res.Stats.FinalPrefix)
+	}
+	if res.Stats.FinalSize != g.PrefixSize(res.Stats.FinalPrefix) {
+		t.Errorf("FinalSize accounting inconsistent")
+	}
+}
+
+func TestFrameworkValidation(t *testing.T) {
+	g := gen.Random(20, 3, 1)
+	if _, err := LocalSearch(nil, MinDegree(g, 2), 1, 2); err == nil {
+		t.Error("nil graph: want error")
+	}
+	if _, err := LocalSearch(g, nil, 1, 2); err == nil {
+		t.Error("nil measure: want error")
+	}
+	if _, err := LocalSearch(g, MinDegree(g, 2), 0, 2); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := LocalSearch(g, MinDegree(g, 2), 1, 0); err == nil {
+		t.Error("gamma=0: want error")
+	}
+	if MinDegree(g, 2).Name() != "min-degree" {
+		t.Error("measure name")
+	}
+	if Truss(truss.NewIndex(g), 3).Name() != "k-truss" {
+		t.Error("truss measure name")
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// binMagic identifies the binary graph format written by WriteBinary.
+const binMagic = uint32(0x1C0FFEE1)
+
+// WriteBinary serializes g in a compact little-endian binary format that
+// preserves the rank order, weights and adjacency exactly.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	var hdr [20]byte
+	le.PutUint32(hdr[0:], binMagic)
+	le.PutUint64(hdr[4:], uint64(g.n))
+	le.PutUint64(hdr[12:], uint64(g.m))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for u := 0; u < g.n; u++ {
+		le.PutUint64(buf[:], math.Float64bits(g.weights[u]))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		le.PutUint32(buf[:4], uint32(g.OrigID(int32(u))))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		le.PutUint32(buf[:4], uint32(g.upDeg[u]))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	for u := int32(0); int(u) < g.n; u++ {
+		for _, v := range g.UpNeighbors(u) {
+			le.PutUint32(buf[:4], uint32(v))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format produced by WriteBinary and reconstructs the
+// full CSR (both adjacency directions) from the stored up-edges.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if le.Uint32(hdr[0:]) != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x in binary graph", le.Uint32(hdr[0:]))
+	}
+	n := int(le.Uint64(hdr[4:]))
+	m := int64(le.Uint64(hdr[12:]))
+	if n < 0 || m < 0 || int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: implausible binary header n=%d m=%d", n, m)
+	}
+	// Arrays grow by append while reading, so a corrupt header claiming
+	// billions of vertices fails at EOF instead of attempting a
+	// multi-gigabyte allocation up front.
+	g := &Graph{n: n, m: m}
+	var buf [8]byte
+	for u := 0; u < n; u++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading weights: %w", err)
+		}
+		g.weights = append(g.weights, math.Float64frombits(le.Uint64(buf[:])))
+	}
+	for u := 0; u < n; u++ {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("graph: reading original IDs: %w", err)
+		}
+		g.origID = append(g.origID, int32(le.Uint32(buf[:4])))
+	}
+	g.upPrefix = append(g.upPrefix, 0)
+	for u := 0; u < n; u++ {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("graph: reading up-degrees: %w", err)
+		}
+		d := int32(le.Uint32(buf[:4]))
+		if d < 0 || int64(d) > m {
+			return nil, fmt.Errorf("graph: implausible up-degree %d of vertex %d", d, u)
+		}
+		g.upDeg = append(g.upDeg, d)
+		g.upPrefix = append(g.upPrefix, g.upPrefix[u]+int64(d))
+	}
+	if g.upPrefix[n] != m {
+		return nil, fmt.Errorf("graph: up-degrees sum to %d edges, header says %d", g.upPrefix[n], m)
+	}
+
+	// Read up-edges, then mirror them to obtain full adjacency. The
+	// capacity hint is bounded so a lying header cannot force a huge
+	// allocation before the stream runs dry.
+	type edge struct{ lo, hi int32 }
+	es := make([]edge, 0, minI64(m, 1<<20))
+	for u := int32(0); int(u) < n; u++ {
+		for i := int32(0); i < g.upDeg[u]; i++ {
+			if _, err := io.ReadFull(br, buf[:4]); err != nil {
+				return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+			}
+			v := int32(le.Uint32(buf[:4]))
+			if v < 0 || v >= u {
+				return nil, fmt.Errorf("graph: up-neighbor %d of vertex %d is not an up-edge", v, u)
+			}
+			es = append(es, edge{v, u})
+		}
+	}
+	deg := make([]int64, n)
+	for _, e := range es {
+		deg[e.lo]++
+		deg[e.hi]++
+	}
+	g.off = make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		g.off[u+1] = g.off[u] + deg[u]
+	}
+	g.adj = make([]int32, 2*m)
+	fill := make([]int64, n)
+	copy(fill, g.off[:n])
+	// Up-edges are stored grouped by the higher-rank endpoint in ascending
+	// order, so a two-pass fill keeps every row sorted: first the lo->hi
+	// direction (hi ascending per lo), then hi->lo. To keep rows strictly
+	// ascending we instead insert in rank order of the stored neighbor.
+	for _, e := range es {
+		g.adj[fill[e.hi]] = e.lo // up-neighbors of hi, ascending since file order is
+		fill[e.hi]++
+	}
+	for _, e := range es {
+		g.adj[fill[e.lo]] = e.hi
+		fill[e.lo]++
+	}
+	// Rows are now up-neighbors (sorted, if file order was sorted) followed
+	// by down-neighbors (sorted by construction order of es, which ascends
+	// in hi). Validate sortedness cheaply and fix if the file interleaved.
+	if err := g.sortRows(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: binary file inconsistent: %w", err)
+	}
+	return g, nil
+}
+
+func (g *Graph) sortRows() error {
+	for u := 0; u < g.n; u++ {
+		row := g.adj[g.off[u]:g.off[u+1]]
+		for i := 1; i < len(row); i++ {
+			if row[i-1] >= row[i] {
+				insertionSortInt32(row)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func insertionSortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

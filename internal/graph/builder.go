@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates a vertex-weighted edge list and produces an immutable
+// Graph sorted by decreasing weight. The zero value is ready to use.
+//
+// Vertices are identified by dense non-negative int32 IDs. Duplicate edges
+// and self loops are dropped during Build.
+type Builder struct {
+	weights []float64
+	labels  []string
+	edges   [][2]int32
+	labeled bool
+}
+
+// ErrNoVertices is returned by Build when no vertex was added.
+var ErrNoVertices = errors.New("graph: builder has no vertices")
+
+// AddVertex registers vertex id with the given weight, growing the vertex
+// set as needed. Re-adding an ID overwrites its weight.
+func (b *Builder) AddVertex(id int32, weight float64) {
+	b.grow(int(id) + 1)
+	b.weights[id] = weight
+}
+
+// AddLabeledVertex registers vertex id with a weight and a display name.
+func (b *Builder) AddLabeledVertex(id int32, weight float64, label string) {
+	b.AddVertex(id, weight)
+	b.labeled = true
+	for len(b.labels) < len(b.weights) {
+		b.labels = append(b.labels, "")
+	}
+	b.labels[id] = label
+}
+
+// AddEdge records an undirected edge between u and v, registering either
+// endpoint with weight 0 if it has not been seen yet.
+func (b *Builder) AddEdge(u, v int32) {
+	hi := u
+	if v > hi {
+		hi = v
+	}
+	b.grow(int(hi) + 1)
+	b.edges = append(b.edges, [2]int32{u, v})
+}
+
+// SetWeights replaces all vertex weights at once; len(w) must equal the
+// current vertex count.
+func (b *Builder) SetWeights(w []float64) error {
+	if len(w) != len(b.weights) {
+		return fmt.Errorf("graph: SetWeights got %d weights for %d vertices", len(w), len(b.weights))
+	}
+	copy(b.weights, w)
+	return nil
+}
+
+// NumVertices returns the number of vertices registered so far.
+func (b *Builder) NumVertices() int { return len(b.weights) }
+
+// Edges returns the raw edge list accumulated so far (including duplicates).
+// The caller must not modify it.
+func (b *Builder) Edges() [][2]int32 { return b.edges }
+
+func (b *Builder) grow(n int) {
+	for len(b.weights) < n {
+		b.weights = append(b.weights, 0)
+	}
+	if b.labeled {
+		for len(b.labels) < n {
+			b.labels = append(b.labels, "")
+		}
+	}
+}
+
+// Build sorts vertices by (weight desc, original ID asc), remaps the edge
+// list, deduplicates it, and returns the immutable Graph.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.weights)
+	if n == 0 {
+		return nil, ErrNoVertices
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: %d vertices exceed int32 range", n)
+	}
+	for id, w := range b.weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("graph: vertex %d has non-finite weight %v", id, w)
+		}
+	}
+
+	// order[rank] = original ID; rank[origID] = rank.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		wi, wj := b.weights[order[i]], b.weights[order[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	rank := make([]int32, n)
+	for r, id := range order {
+		rank[id] = int32(r)
+	}
+
+	g := &Graph{
+		n:       n,
+		weights: make([]float64, n),
+		origID:  order,
+	}
+	for r, id := range order {
+		g.weights[r] = b.weights[id]
+	}
+	if b.labeled {
+		g.labels = make([]string, n)
+		for r, id := range order {
+			g.labels[r] = b.labels[id]
+		}
+	}
+
+	// Remap, normalize (lo < hi), sort and deduplicate edges.
+	type edge struct{ lo, hi int32 }
+	es := make([]edge, 0, len(b.edges))
+	for _, e := range b.edges {
+		u, v := rank[e[0]], rank[e[1]]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		es = append(es, edge{u, v})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].lo != es[j].lo {
+			return es[i].lo < es[j].lo
+		}
+		return es[i].hi < es[j].hi
+	})
+	dedup := es[:0]
+	for i, e := range es {
+		if i > 0 && e == es[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	es = dedup
+	g.m = int64(len(es))
+
+	// CSR construction: count degrees, fill rows, then sort each row.
+	deg := make([]int64, n)
+	for _, e := range es {
+		deg[e.lo]++
+		deg[e.hi]++
+	}
+	g.off = make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		g.off[u+1] = g.off[u] + deg[u]
+	}
+	g.adj = make([]int32, 2*g.m)
+	fill := make([]int64, n)
+	copy(fill, g.off[:n])
+	for _, e := range es {
+		g.adj[fill[e.lo]] = e.hi
+		fill[e.lo]++
+		g.adj[fill[e.hi]] = e.lo
+		fill[e.hi]++
+	}
+	g.upDeg = make([]int32, n)
+	g.upPrefix = make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		row := g.adj[g.off[u]:g.off[u+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		up := sort.Search(len(row), func(i int) bool { return row[i] >= int32(u) })
+		g.upDeg[u] = int32(up)
+		g.upPrefix[u+1] = g.upPrefix[u] + int64(up)
+	}
+	return g, nil
+}
+
+// FromEdges builds a graph from an explicit weight vector and edge list.
+// Vertex IDs in edges must index into weights.
+func FromEdges(weights []float64, edges [][2]int32) (*Graph, error) {
+	var b Builder
+	for id, w := range weights {
+		b.AddVertex(int32(id), w)
+	}
+	for _, e := range edges {
+		if int(e[0]) >= len(weights) || int(e[1]) >= len(weights) || e[0] < 0 || e[1] < 0 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) references unknown vertex", e[0], e[1])
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges that panics on error; intended for tests and
+// fixtures with known-good inputs.
+func MustFromEdges(weights []float64, edges [][2]int32) *Graph {
+	g, err := FromEdges(weights, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

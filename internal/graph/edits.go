@@ -1,0 +1,70 @@
+package graph
+
+import "fmt"
+
+// Edit describes a batch of graph mutations. Endpoints are original vertex
+// IDs (the IDs used when the graph was built), not ranks, so edits written
+// against the input data keep working regardless of weight changes.
+type Edit struct {
+	AddEdges    [][2]int32
+	RemoveEdges [][2]int32
+	// SetWeights remaps vertex weights by original ID; missing entries
+	// keep their old weight.
+	SetWeights map[int32]float64
+}
+
+// ApplyEdits returns a new graph with the edit applied; g is unchanged
+// (graphs are immutable, so a batch rebuild in O(n + m) is the update
+// primitive). This is the operation that invalidates a prebuilt IndexAll
+// structure — after any edit the index must be reconstructed from scratch,
+// while LocalSearch simply queries the new graph (paper §1).
+func ApplyEdits(g *Graph, e Edit) (*Graph, error) {
+	var b Builder
+	maxID := int32(-1)
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		id := g.OrigID(u)
+		w := g.Weight(u)
+		if nw, ok := e.SetWeights[id]; ok {
+			w = nw
+		}
+		if g.HasLabels() {
+			b.AddLabeledVertex(id, w, g.Label(u))
+		} else {
+			b.AddVertex(id, w)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	removed := make(map[[2]int32]bool, len(e.RemoveEdges))
+	for _, ed := range e.RemoveEdges {
+		removed[normEdge(ed)] = true
+	}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.UpNeighbors(u) {
+			ed := normEdge([2]int32{g.OrigID(v), g.OrigID(u)})
+			if !removed[ed] {
+				b.AddEdge(ed[0], ed[1])
+			}
+		}
+	}
+	for _, ed := range e.AddEdges {
+		if ed[0] < 0 || ed[1] < 0 || ed[0] > maxID || ed[1] > maxID {
+			return nil, fmt.Errorf("graph: edit adds edge (%d,%d) outside the vertex set", ed[0], ed[1])
+		}
+		b.AddEdge(ed[0], ed[1])
+	}
+	for id := range e.SetWeights {
+		if id < 0 || id > maxID {
+			return nil, fmt.Errorf("graph: edit reweights unknown vertex %d", id)
+		}
+	}
+	return b.Build()
+}
+
+func normEdge(e [2]int32) [2]int32 {
+	if e[0] > e[1] {
+		e[0], e[1] = e[1], e[0]
+	}
+	return e
+}

@@ -1,0 +1,93 @@
+package graph
+
+import "testing"
+
+func TestApplyEditsAddRemove(t *testing.T) {
+	g := small(t) // 5 vertices, 6 edges
+	g2, err := ApplyEdits(g, Edit{
+		AddEdges:    [][2]int32{{0, 2}},
+		RemoveEdges: [][2]int32{{3, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d (one added, one removed)", g2.NumEdges(), g.NumEdges())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original graph is untouched.
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hasEdge := func(gr *Graph, a, b int32) bool {
+		// a, b are original IDs; find ranks.
+		var ra, rb int32 = -1, -1
+		for u := int32(0); int(u) < gr.NumVertices(); u++ {
+			if gr.OrigID(u) == a {
+				ra = u
+			}
+			if gr.OrigID(u) == b {
+				rb = u
+			}
+		}
+		for _, w := range gr.Neighbors(ra) {
+			if w == rb {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(g2, 0, 2) {
+		t.Error("added edge missing")
+	}
+	if hasEdge(g2, 3, 4) {
+		t.Error("removed edge still present")
+	}
+}
+
+func TestApplyEditsReweight(t *testing.T) {
+	g := small(t)
+	g2, err := ApplyEdits(g, Edit{SetWeights: map[int32]float64{2: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 2 had the lowest weight; now it must rank first.
+	if g2.OrigID(0) != 2 || g2.Weight(0) != 100 {
+		t.Errorf("rank 0 = vertex %d weight %v, want vertex 2 weight 100", g2.OrigID(0), g2.Weight(0))
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("reweight changed the edge set")
+	}
+}
+
+func TestApplyEditsRemoveDuplicatesAndReversed(t *testing.T) {
+	g := small(t)
+	// Removing an edge given in reversed orientation must still work.
+	g2, err := ApplyEdits(g, Edit{RemoveEdges: [][2]int32{{1, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges()-1 {
+		t.Errorf("edges = %d, want %d", g2.NumEdges(), g.NumEdges()-1)
+	}
+}
+
+func TestApplyEditsErrors(t *testing.T) {
+	g := small(t)
+	if _, err := ApplyEdits(g, Edit{AddEdges: [][2]int32{{0, 99}}}); err == nil {
+		t.Error("edge to unknown vertex: want error")
+	}
+	if _, err := ApplyEdits(g, Edit{SetWeights: map[int32]float64{99: 1}}); err == nil {
+		t.Error("reweighting unknown vertex: want error")
+	}
+	// Empty edit is a no-op clone.
+	g2, err := ApplyEdits(g, Edit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() {
+		t.Error("empty edit changed the graph")
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes g in a simple line-oriented format:
+//
+//	n m
+//	w_0 w_1 ... w_{n-1}        (one "v <origID> <weight>" line per vertex)
+//	e <u> <v>                  (one line per undirected edge, original IDs)
+//
+// The format round-trips through ReadText.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.n, g.m); err != nil {
+		return err
+	}
+	for u := int32(0); int(u) < g.n; u++ {
+		if _, err := fmt.Fprintf(bw, "v %d %g\n", g.OrigID(u), g.Weight(u)); err != nil {
+			return err
+		}
+	}
+	for u := int32(0); int(u) < g.n; u++ {
+		for _, v := range g.UpNeighbors(u) {
+			if _, err := fmt.Fprintf(bw, "e %d %d\n", g.OrigID(v), g.OrigID(u)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format produced by WriteText (and tolerates plain
+// "u v" edge lines with implicit unit weights for convenience).
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b Builder
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		switch {
+		case f[0] == "v":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'v id weight', got %q", line, text)
+			}
+			id, err := strconv.ParseInt(f[1], 10, 32)
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex id %q", line, f[1])
+			}
+			w, err := strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+			}
+			b.AddVertex(int32(id), w)
+		case f[0] == "e":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'e u v', got %q", line, text)
+			}
+			u, err := strconv.ParseInt(f[1], 10, 32)
+			if err != nil || u < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, f[1])
+			}
+			v, err := strconv.ParseInt(f[2], 10, 32)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, f[2])
+			}
+			b.AddEdge(int32(u), int32(v))
+		case !sawHeader && len(f) == 2:
+			// Header "n m"; values are advisory, the builder recounts.
+			sawHeader = true
+		case len(f) == 2:
+			// Bare edge line "u v".
+			u, err1 := strconv.ParseInt(f[0], 10, 32)
+			v, err2 := strconv.ParseInt(f[1], 10, 32)
+			if err1 != nil || err2 != nil || u < 0 || v < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge line %q", line, text)
+			}
+			b.AddEdge(int32(u), int32(v))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unrecognized line %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b.NumVertices() == 0 {
+		return nil, ErrNoVertices
+	}
+	return b.Build()
+}

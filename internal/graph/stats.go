@@ -1,0 +1,39 @@
+package graph
+
+// Stats summarizes a graph the way Table 1 of the paper does.
+type Stats struct {
+	Vertices  int
+	Edges     int64
+	MaxDegree int32
+	AvgDegree float64
+}
+
+// Statistics computes the Table 1 columns except γmax (which needs a core
+// decomposition; see the kcore package).
+func (g *Graph) Statistics() Stats {
+	s := Stats{Vertices: g.n, Edges: g.m}
+	for u := int32(0); int(u) < g.n; u++ {
+		if d := g.Degree(u); d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if g.n > 0 {
+		s.AvgDegree = 2 * float64(g.m) / float64(g.n)
+	}
+	return s
+}
+
+// DegreeHistogram returns hist where hist[d] counts vertices of degree d.
+func (g *Graph) DegreeHistogram() []int64 {
+	var maxD int32
+	for u := int32(0); int(u) < g.n; u++ {
+		if d := g.Degree(u); d > maxD {
+			maxD = d
+		}
+	}
+	hist := make([]int64, maxD+1)
+	for u := int32(0); int(u) < g.n; u++ {
+		hist[g.Degree(u)]++
+	}
+	return hist
+}

@@ -1,0 +1,220 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"influcomm/internal/core"
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+func TestIndexMatchesNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		g := gen.Random(70, 5, seed)
+		ix, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gamma := int32(1); gamma <= ix.GammaMax()+1; gamma++ {
+			want := core.NaiveCommunities(g, gamma)
+			if got := ix.CommunityCount(gamma); got != len(want) {
+				t.Fatalf("seed %d γ=%d: count %d, want %d", seed, gamma, got, len(want))
+			}
+			for _, k := range []int{1, 3, 1 << 20} {
+				comms, err := ix.TopK(k, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantK := want
+				if len(wantK) > k {
+					wantK = wantK[:k]
+				}
+				if len(comms) != len(wantK) {
+					t.Fatalf("seed %d γ=%d k=%d: got %d communities, want %d",
+						seed, gamma, k, len(comms), len(wantK))
+				}
+				for i := range wantK {
+					a := fmt.Sprintf("%d:%v", comms[i].Keynode(), comms[i].Vertices())
+					b := fmt.Sprintf("%d:%v", wantK[i].Keynode, wantK[i].Vertices)
+					if a != b {
+						t.Fatalf("seed %d γ=%d k=%d: community %d mismatch\n got %s\nwant %s",
+							seed, gamma, k, i, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIndexOnlyServesItsWeightVector(t *testing.T) {
+	// The paper's criticism: an index is bound to one weight vector. A
+	// reweighted copy of the graph must produce different answers than the
+	// stale index.
+	g := gen.Random(60, 6, 3)
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse all weights: ranks flip.
+	var b graph.Builder
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		b.AddVertex(g.OrigID(u), -g.Weight(u))
+	}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.UpNeighbors(u) {
+			b.AddEdge(g.OrigID(v), g.OrigID(u))
+		}
+	}
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := core.TopK(g2, 1, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := ix.TopK(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Communities) > 0 && len(stale) > 0 {
+		a := fresh.Communities[0].Influence()
+		b := stale[0].Influence()
+		if a == b {
+			t.Skip("weight flip coincidentally preserved the top influence")
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	g := gen.Random(80, 6, 9)
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	ix2, err := Read(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if ix2.GammaMax() != ix.GammaMax() {
+		t.Fatalf("gammaMax %d vs %d", ix2.GammaMax(), ix.GammaMax())
+	}
+	for gamma := int32(1); gamma <= ix.GammaMax(); gamma++ {
+		if ix2.CommunityCount(gamma) != ix.CommunityCount(gamma) {
+			t.Fatalf("γ=%d count differs after round trip", gamma)
+		}
+		a, err := ix.TopK(5, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ix2.TopK(5, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			x := fmt.Sprintf("%d:%v", a[i].Keynode(), a[i].Vertices())
+			y := fmt.Sprintf("%d:%v", b[i].Keynode(), b[i].Vertices())
+			if x != y {
+				t.Fatalf("γ=%d community %d differs after round trip", gamma, i)
+			}
+		}
+	}
+}
+
+func TestSerializationErrors(t *testing.T) {
+	g := gen.Random(30, 4, 2)
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(nil), g); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := Read(bytes.NewReader(make([]byte, 16)), g); err == nil {
+		t.Error("bad magic: want error")
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc), g); err == nil {
+		t.Error("truncated input: want error")
+	}
+	other := gen.Random(31, 4, 2)
+	if _, err := Read(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("vertex count mismatch: want error")
+	}
+}
+
+func TestSerializationRejectsCorruptPayload(t *testing.T) {
+	g := gen.Random(30, 5, 6)
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.GammaMax() < 1 {
+		t.Skip("fixture has no communities")
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	// Flip bytes throughout the payload; every corruption must either be
+	// rejected or produce an index whose queries still stay in range.
+	for off := 12; off < len(base); off += 7 {
+		corrupt := append([]byte(nil), base...)
+		corrupt[off] ^= 0xA5
+		ix2, err := Read(bytes.NewReader(corrupt), g)
+		if err != nil {
+			continue // rejected: good
+		}
+		for gamma := int32(1); gamma <= ix2.GammaMax(); gamma++ {
+			comms, err := ix2.TopK(3, gamma)
+			if err != nil {
+				continue
+			}
+			for _, c := range comms {
+				for _, v := range c.Vertices() {
+					if v < 0 || int(v) >= g.NumVertices() {
+						t.Fatalf("offset %d: corrupt index produced out-of-range vertex %d", off, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("nil graph: want error")
+	}
+	g := gen.Random(20, 3, 1)
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.TopK(0, 1); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := ix.TopK(1, 0); err == nil {
+		t.Error("gamma=0: want error")
+	}
+	comms, err := ix.TopK(1, ix.GammaMax()+5)
+	if err != nil || comms != nil {
+		t.Errorf("γ beyond γmax should return no communities, got %v, %v", comms, err)
+	}
+	if ix.MemoryFootprint() <= 0 {
+		t.Error("memory footprint should be positive")
+	}
+	if ix.CommunityCount(-3) != 0 {
+		t.Error("negative gamma count should be 0")
+	}
+}

@@ -1,0 +1,147 @@
+// Package kcore implements γ-core computation: the maximal subgraph whose
+// minimum degree is at least γ [Seidman 1983]. It is the cohesiveness
+// substrate of every influential-community algorithm in this repository,
+// and also provides the full core decomposition used for γmax in Table 1.
+package kcore
+
+import "influcomm/internal/graph"
+
+// PrefixCore peels the prefix subgraph [0, p) of g down to its γ-core.
+//
+// It returns alive and deg slices of length p: alive[u] reports membership
+// of u in the γ-core and deg[u] is u's degree inside it (undefined for dead
+// vertices). The slices are fresh allocations; use a Peeler to amortize.
+func PrefixCore(g *graph.Graph, p int, gamma int32) (alive []bool, deg []int32) {
+	pl := NewPeeler(g.NumVertices())
+	alive, deg = pl.PrefixCore(g, p, gamma)
+	out := make([]bool, p)
+	copy(out, alive[:p])
+	dout := make([]int32, p)
+	copy(dout, deg[:p])
+	return out, dout
+}
+
+// Peeler holds reusable scratch buffers for repeated γ-core computations on
+// prefixes of the same graph. It is not safe for concurrent use.
+type Peeler struct {
+	alive []bool
+	deg   []int32
+	queue []int32
+}
+
+// NewPeeler returns a Peeler able to handle prefixes of up to n vertices.
+func NewPeeler(n int) *Peeler {
+	return &Peeler{
+		alive: make([]bool, n),
+		deg:   make([]int32, n),
+		queue: make([]int32, 0, n),
+	}
+}
+
+// PrefixCore computes the γ-core of the prefix [0, p). The returned slices
+// alias the Peeler's buffers (valid until the next call) and have length p.
+func (pl *Peeler) PrefixCore(g *graph.Graph, p int, gamma int32) (alive []bool, deg []int32) {
+	alive = pl.alive[:p]
+	deg = pl.deg[:p]
+	for u := 0; u < p; u++ {
+		alive[u] = true
+		deg[u] = g.DegreeWithin(int32(u), p)
+	}
+	q := pl.queue[:0]
+	for u := 0; u < p; u++ {
+		if deg[u] < gamma {
+			alive[u] = false
+			q = append(q, int32(u))
+		}
+	}
+	for len(q) > 0 {
+		v := q[len(q)-1]
+		q = q[:len(q)-1]
+		for _, w := range g.NeighborsWithin(v, p) {
+			if !alive[w] {
+				continue
+			}
+			deg[w]--
+			if deg[w] < gamma {
+				alive[w] = false
+				q = append(q, w)
+			}
+		}
+	}
+	pl.queue = q[:0]
+	return alive, deg
+}
+
+// CoreNumbers computes the core decomposition of g with the linear-time
+// bucket algorithm of Batagelj–Zaveršnik: core[u] is the largest γ such
+// that u belongs to the γ-core.
+func CoreNumbers(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	core := make([]int32, n)
+	if n == 0 {
+		return core
+	}
+	deg := make([]int32, n)
+	var maxDeg int32
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(int32(u))
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int32, maxDeg+2)
+	for u := 0; u < n; u++ {
+		bin[deg[u]]++
+	}
+	start := int32(0)
+	for d := int32(0); d <= maxDeg; d++ {
+		cnt := bin[d]
+		bin[d] = start
+		start += cnt
+	}
+	pos := make([]int32, n)  // position of vertex in vert
+	vert := make([]int32, n) // vertices sorted by current degree
+	for u := 0; u < n; u++ {
+		pos[u] = bin[deg[u]]
+		vert[pos[u]] = int32(u)
+		bin[deg[u]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for _, w := range g.Neighbors(v) {
+			if deg[w] <= deg[v] {
+				continue
+			}
+			// Swap w to the front of its degree bucket, then shrink it.
+			dw := deg[w]
+			pw := pos[w]
+			pstart := bin[dw]
+			u := vert[pstart]
+			if u != w {
+				vert[pstart], vert[pw] = w, u
+				pos[w], pos[u] = pstart, pw
+			}
+			bin[dw]++
+			deg[w]--
+		}
+	}
+	return core
+}
+
+// MaxCore returns γmax: the largest γ for which g has a non-empty γ-core.
+func MaxCore(g *graph.Graph) int32 {
+	var gmax int32
+	for _, c := range CoreNumbers(g) {
+		if c > gmax {
+			gmax = c
+		}
+	}
+	return gmax
+}

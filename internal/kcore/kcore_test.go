@@ -1,0 +1,176 @@
+package kcore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+func TestPrefixCoreClique(t *testing.T) {
+	// K5: the 4-core is everything, the 5-core is empty.
+	weights := []float64{5, 4, 3, 2, 1}
+	var edges [][2]int32
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]int32{i, j})
+		}
+	}
+	g := graph.MustFromEdges(weights, edges)
+	alive, deg := PrefixCore(g, 5, 4)
+	for u := 0; u < 5; u++ {
+		if !alive[u] || deg[u] != 4 {
+			t.Errorf("vertex %d: alive=%v deg=%d, want alive deg=4", u, alive[u], deg[u])
+		}
+	}
+	alive, _ = PrefixCore(g, 5, 5)
+	for u := 0; u < 5; u++ {
+		if alive[u] {
+			t.Errorf("vertex %d alive in impossible 5-core", u)
+		}
+	}
+}
+
+func TestPrefixCoreCascade(t *testing.T) {
+	// Path a-b-c-d: the 2-core is empty (endpoints peel, cascade kills all).
+	g := graph.MustFromEdges([]float64{4, 3, 2, 1}, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	alive, _ := PrefixCore(g, 4, 2)
+	for u := 0; u < 4; u++ {
+		if alive[u] {
+			t.Errorf("vertex %d alive in 2-core of a path", u)
+		}
+	}
+	// Triangle plus pendant: 2-core keeps only the triangle.
+	g2 := graph.MustFromEdges([]float64{4, 3, 2, 1}, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	alive, deg := PrefixCore(g2, 4, 2)
+	want := []bool{true, true, true, false}
+	for u := 0; u < 4; u++ {
+		if alive[u] != want[u] {
+			t.Errorf("vertex %d alive=%v, want %v", u, alive[u], want[u])
+		}
+		if alive[u] && deg[u] != 2 {
+			t.Errorf("vertex %d deg=%d, want 2", u, deg[u])
+		}
+	}
+}
+
+func TestPrefixCoreRespectsPrefix(t *testing.T) {
+	// Triangle on ranks {0,1,4}: within prefix 4 the third vertex is
+	// missing, so no 2-core exists among ranks 0..3.
+	g := graph.MustFromEdges(
+		[]float64{50, 40, 30, 20, 10},
+		[][2]int32{{0, 1}, {0, 4}, {1, 4}, {2, 3}},
+	)
+	alive, _ := PrefixCore(g, 4, 2)
+	for u := 0; u < 4; u++ {
+		if alive[u] {
+			t.Errorf("vertex %d alive in 2-core of prefix 4", u)
+		}
+	}
+	alive5, _ := PrefixCore(g, 5, 2)
+	for _, u := range []int{0, 1, 4} {
+		if !alive5[u] {
+			t.Errorf("triangle vertex %d dead in full 2-core", u)
+		}
+	}
+}
+
+// coreNumbersNaive recomputes core numbers by repeated peeling at every γ.
+func coreNumbersNaive(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	core := make([]int32, n)
+	for gamma := int32(1); ; gamma++ {
+		alive, _ := PrefixCore(g, n, gamma)
+		any := false
+		for u := 0; u < n; u++ {
+			if alive[u] {
+				core[u] = gamma
+				any = true
+			}
+		}
+		if !any {
+			return core
+		}
+	}
+}
+
+func TestCoreNumbersAgainstNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		g := gen.Random(60, 6, seed)
+		want := coreNumbersNaive(g)
+		got := CoreNumbers(g)
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("seed %d: core[%d] = %d, want %d", seed, u, got[u], want[u])
+			}
+		}
+	}
+}
+
+func TestCoreNumbersProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 5
+		g := gen.Random(n, 4, seed)
+		core := CoreNumbers(g)
+		// Each vertex's core number is at most its degree, and the γmax-core
+		// is non-empty.
+		var gmax int32
+		for u := 0; u < g.NumVertices(); u++ {
+			if core[u] > g.Degree(int32(u)) {
+				return false
+			}
+			if core[u] > gmax {
+				gmax = core[u]
+			}
+		}
+		if MaxCore(g) != gmax {
+			return false
+		}
+		alive, deg := PrefixCore(g, g.NumVertices(), gmax)
+		found := false
+		for u := 0; u < g.NumVertices(); u++ {
+			if alive[u] {
+				found = true
+				if deg[u] < gmax {
+					return false
+				}
+			}
+		}
+		return found || gmax == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreNumbersEmpty(t *testing.T) {
+	var b graph.Builder
+	b.AddVertex(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := CoreNumbers(g); len(c) != 1 || c[0] != 0 {
+		t.Errorf("singleton core numbers = %v", c)
+	}
+	if MaxCore(g) != 0 {
+		t.Errorf("singleton MaxCore = %d", MaxCore(g))
+	}
+}
+
+func TestPeelerReuse(t *testing.T) {
+	g := gen.Random(50, 5, 3)
+	pl := NewPeeler(g.NumVertices())
+	for p := 1; p <= g.NumVertices(); p += 7 {
+		alive1, _ := pl.PrefixCore(g, p, 3)
+		got := make([]bool, p)
+		copy(got, alive1)
+		alive2, _ := PrefixCore(g, p, 3)
+		for u := 0; u < p; u++ {
+			if got[u] != alive2[u] {
+				t.Fatalf("peeler reuse diverges at prefix %d vertex %d", p, u)
+			}
+		}
+	}
+}

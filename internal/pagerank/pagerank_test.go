@@ -1,0 +1,149 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+func TestScoresSumToOne(t *testing.T) {
+	g := gen.Random(200, 5, 7)
+	scores := Scores(g, Options{})
+	var sum float64
+	for _, s := range scores {
+		if s <= 0 {
+			t.Fatalf("non-positive score %v", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("scores sum to %v, want 1", sum)
+	}
+}
+
+func TestStarGraphRanking(t *testing.T) {
+	// Star: hub 0 connected to 5 leaves; the hub must get the top score and
+	// all leaves equal scores.
+	weights := []float64{6, 5, 4, 3, 2, 1}
+	edges := [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}
+	g := graph.MustFromEdges(weights, edges)
+	scores := Scores(g, Options{})
+	hub := scores[0]
+	for i := 1; i < 6; i++ {
+		if scores[i] >= hub {
+			t.Errorf("leaf %d score %v >= hub %v", i, scores[i], hub)
+		}
+		if math.Abs(scores[i]-scores[1]) > 1e-12 {
+			t.Errorf("leaf scores differ: %v vs %v", scores[i], scores[1])
+		}
+	}
+}
+
+func TestDanglingVertices(t *testing.T) {
+	// Two isolated vertices and one edge pair: mass must still sum to 1.
+	weights := []float64{4, 3, 2, 1}
+	g := graph.MustFromEdges(weights, [][2]int32{{0, 1}})
+	scores := Scores(g, Options{})
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("dangling mass lost: sum %v", sum)
+	}
+}
+
+func TestReweightPreservesStructure(t *testing.T) {
+	g := gen.Random(80, 4, 3)
+	rw, err := Reweight(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.NumVertices() != g.NumVertices() || rw.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: (%d,%d) -> (%d,%d)",
+			g.NumVertices(), g.NumEdges(), rw.NumVertices(), rw.NumEdges())
+	}
+	if err := rw.Validate(); err != nil {
+		t.Fatalf("reweighted graph invalid: %v", err)
+	}
+	// Weight order must now follow PageRank: non-increasing by rank.
+	for u := 1; u < rw.NumVertices(); u++ {
+		if rw.Weight(int32(u)) > rw.Weight(int32(u-1)) {
+			t.Fatalf("weights not sorted after reweight at rank %d", u)
+		}
+	}
+	// Degree multiset must be preserved under the permutation.
+	var dOld, dNew int64
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		dOld += int64(g.Degree(u)) * int64(g.Degree(u))
+		dNew += int64(rw.Degree(u)) * int64(rw.Degree(u))
+	}
+	if dOld != dNew {
+		t.Errorf("degree distribution changed: %d vs %d", dOld, dNew)
+	}
+}
+
+func TestReweightKeepsLabels(t *testing.T) {
+	var b graph.Builder
+	b.AddLabeledVertex(0, 1, "a")
+	b.AddLabeledVertex(1, 2, "b")
+	b.AddLabeledVertex(2, 3, "c")
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Reweight(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rw.HasLabels() {
+		t.Fatal("labels lost in reweight")
+	}
+	seen := map[string]bool{}
+	for u := int32(0); u < 3; u++ {
+		seen[rw.Label(u)] = true
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !seen[want] {
+			t.Errorf("label %q lost", want)
+		}
+	}
+}
+
+func TestConvergenceEarlyStop(t *testing.T) {
+	g := gen.Random(50, 4, 1)
+	// A very tight iteration budget must still produce a valid distribution.
+	scores := Scores(g, Options{Iterations: 2})
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("2-iteration scores sum to %v", sum)
+	}
+	// High budgets converge: doubling iterations changes nothing.
+	a := Scores(g, Options{Iterations: 200})
+	b := Scores(g, Options{Iterations: 400})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("not converged at vertex %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmptyGraphScores(t *testing.T) {
+	var b graph.Builder
+	b.AddVertex(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := Scores(g, Options{})
+	if len(scores) != 1 || math.Abs(scores[0]-1) > 1e-9 {
+		t.Errorf("singleton scores = %v", scores)
+	}
+}

@@ -1,0 +1,144 @@
+package queryweight
+
+import (
+	"testing"
+
+	"influcomm/internal/core"
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+func path5(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.MustFromEdges(
+		[]float64{50, 40, 30, 20, 10},
+		[][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}},
+	)
+}
+
+func TestDistances(t *testing.T) {
+	g := path5(t)
+	dist, err := Distances(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, want := range []int32{0, 1, 2, 3, 4} {
+		if dist[u] != want {
+			t.Errorf("dist[%d] = %d, want %d", u, dist[u], want)
+		}
+	}
+	// Multi-source: distance to the nearest of {0, 4}.
+	dist, err = Distances(g, []int32{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, want := range []int32{0, 1, 2, 1, 0} {
+		if dist[u] != want {
+			t.Errorf("multi-source dist[%d] = %d, want %d", u, dist[u], want)
+		}
+	}
+}
+
+func TestDistancesUnreachable(t *testing.T) {
+	g := graph.MustFromEdges([]float64{3, 2, 1}, [][2]int32{{0, 1}})
+	dist, err := Distances(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != -1 {
+		t.Errorf("isolated vertex distance = %d, want -1", dist[2])
+	}
+}
+
+func TestDistancesErrors(t *testing.T) {
+	g := path5(t)
+	if _, err := Distances(g, nil); err == nil {
+		t.Error("no seeds: want error")
+	}
+	if _, err := Distances(g, []int32{99}); err == nil {
+		t.Error("out-of-range seed: want error")
+	}
+}
+
+func TestReweightOrdering(t *testing.T) {
+	g := path5(t)
+	rw, err := Reweight(g, []int32{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closest to the seed = highest weight: the seed itself is rank 0.
+	if rw.OrigID(0) != g.OrigID(2) {
+		t.Errorf("seed should have the top rank, got original vertex %d", rw.OrigID(0))
+	}
+	if rw.Weight(0) != 1 {
+		t.Errorf("seed weight = %v, want 1", rw.Weight(0))
+	}
+	if err := rw.Validate(); err != nil {
+		t.Fatalf("reweighted graph invalid: %v", err)
+	}
+}
+
+func TestQueryCentricCommunity(t *testing.T) {
+	// Two cliques joined by a path; a query seeded in the low-weight clique
+	// must surface that clique as the top community even though its
+	// original weights are lower.
+	var b graph.Builder
+	for id := int32(0); id < 11; id++ {
+		b.AddVertex(id, float64(100-id))
+	}
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)     // high-weight clique 0-4
+			b.AddEdge(i+6, j+6) // low-weight clique 6-10
+		}
+	}
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without reweighting, the top community is the high clique.
+	res, err := core.TopK(g, 1, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities[0].Contains(10) { // rank 10 = original vertex 10
+		t.Fatal("baseline top community unexpectedly contains the low clique")
+	}
+	// Seed the query at original vertex 8 (rank 8: weights are identity
+	// order here).
+	rw, err := Reweight(g, []int32{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := core.TopK(rw, 1, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res2.Communities[0]
+	orig := map[int32]bool{}
+	for _, v := range top.Vertices() {
+		orig[rw.OrigID(v)] = true
+	}
+	for _, want := range []int32{6, 7, 8, 9, 10} {
+		if !orig[want] {
+			t.Fatalf("query-centric top community %v missing seed-clique member %d", top.Vertices(), want)
+		}
+	}
+}
+
+func TestReweightLargeGraphConsistency(t *testing.T) {
+	g := gen.Random(300, 5, 13)
+	rw, err := Reweight(g, []int32{0, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.NumVertices() != g.NumVertices() || rw.NumEdges() != g.NumEdges() {
+		t.Fatal("reweight changed the graph shape")
+	}
+	// Queries still work end to end on the reweighted graph.
+	if _, err := core.TopK(rw, 3, 2, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package semiext
+
+import (
+	"fmt"
+
+	"influcomm/internal/baseline"
+	"influcomm/internal/core"
+	"influcomm/internal/graph"
+)
+
+// IOStats quantifies the disk and memory behavior of a semi-external run;
+// the quantities plotted in Figures 16 and 17.
+type IOStats struct {
+	// BytesRead is the edge payload volume fetched from disk.
+	BytesRead int64
+	// EdgesLoaded is the peak number of edges resident in memory: the
+	// "size of visited graph" of Figure 17.
+	EdgesLoaded int64
+	// VisitedFraction is EdgesLoaded / total edges.
+	VisitedFraction float64
+	// Rounds counts the prefix subgraphs processed (LocalSearchSE only).
+	Rounds int
+	// Communities found in the final subgraph.
+	Communities int
+}
+
+// buildPrefix assembles the in-memory prefix graph [0, p) from the vertex
+// weights and the streamed edges. Vertex IDs equal global ranks, so results
+// are directly comparable with in-memory algorithms.
+func buildPrefix(r *Reader, p int, edges [][2]int32) (*graph.Graph, error) {
+	var b graph.Builder
+	for u := 0; u < p; u++ {
+		b.AddVertex(int32(u), r.Weight(int32(u)))
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// LocalSearchSE answers a top-k influential γ-community query over the edge
+// file at path, reading the stream strictly sequentially and only as far as
+// the geometric growth of LocalSearch requires (see the semi-external
+// remark of §3.1). Communities are returned in decreasing influence order;
+// vertex IDs are global ranks.
+func LocalSearchSE(path string, k int, gamma int32) ([]*core.Community, IOStats, error) {
+	var st IOStats
+	if k < 1 || gamma < 1 {
+		return nil, st, fmt.Errorf("semiext: invalid query k=%d γ=%d", k, gamma)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		return nil, st, err
+	}
+	defer r.Close()
+
+	n := r.NumVertices()
+	if n == 0 {
+		return nil, st, fmt.Errorf("semiext: empty graph in %s", path)
+	}
+	p := k + int(gamma)
+	if p > n {
+		p = n
+	}
+	var edges [][2]int32
+	var cvs *core.CVS
+	var g *graph.Graph
+	for {
+		// Stream up-adjacency lists until the prefix [0, p) is complete.
+		for r.NextVertex() < p {
+			edges, err = r.ReadVertexEdges(edges)
+			if err != nil {
+				return nil, st, err
+			}
+		}
+		g, err = buildPrefix(r, p, edges)
+		if err != nil {
+			return nil, st, err
+		}
+		eng := core.NewEngine(g, gamma)
+		cvs = eng.Run(p, 0, core.WantSeq)
+		st.Rounds++
+		if cvs.Count() >= k || p == n {
+			st.Communities = cvs.Count()
+			break
+		}
+		// Grow to at least twice the current size, extending vertex by
+		// vertex using the in-memory up-degree vector (no disk seeks).
+		target := 2 * (int64(p) + int64(len(edges)))
+		size := int64(p) + int64(len(edges))
+		for p < n && size < target {
+			size += 1 + int64(r.UpDegree(int32(p)))
+			p++
+		}
+	}
+	st.BytesRead = r.BytesRead()
+	st.EdgesLoaded = int64(len(edges))
+	if r.NumEdges() > 0 {
+		st.VisitedFraction = float64(st.EdgesLoaded) / float64(r.NumEdges())
+	}
+	return core.EnumIC(g, cvs, k), st, nil
+}
+
+// OnlineAllSE is the semi-external OnlineAll of [27]: it ingests the entire
+// edge stream in decreasing weight order (the file order) into memory and
+// runs the global OnlineAll enumeration. Its visited graph is therefore
+// always the whole graph — the behavior Figure 17 contrasts with
+// LocalSearchSE. ([27] additionally evicts edges of already-reported
+// communities to bound peak RAM; that optimization changes neither the I/O
+// volume nor the visited-graph size, so this reproduction omits it — see
+// DESIGN.md §4.)
+func OnlineAllSE(path string, k int, gamma int32) ([]baseline.Community, IOStats, error) {
+	var st IOStats
+	if k < 1 || gamma < 1 {
+		return nil, st, fmt.Errorf("semiext: invalid query k=%d γ=%d", k, gamma)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		return nil, st, err
+	}
+	defer r.Close()
+
+	n := r.NumVertices()
+	if n == 0 {
+		return nil, st, fmt.Errorf("semiext: empty graph in %s", path)
+	}
+	var edges [][2]int32
+	for r.NextVertex() < n {
+		edges, err = r.ReadVertexEdges(edges)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	g, err := buildPrefix(r, n, edges)
+	if err != nil {
+		return nil, st, err
+	}
+	comms, bs, err := baseline.OnlineAll(g, k, gamma)
+	if err != nil {
+		return nil, st, err
+	}
+	st.BytesRead = r.BytesRead()
+	st.EdgesLoaded = int64(len(edges))
+	st.VisitedFraction = 1
+	st.Rounds = 1
+	st.Communities = bs.Communities
+	return comms, st, nil
+}

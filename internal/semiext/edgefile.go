@@ -1,0 +1,191 @@
+// Package semiext implements the I/O-efficient algorithm variants of
+// Eval-VI/VII: graphs whose edges live on disk sorted in decreasing edge
+// weight order (an edge's weight is the minimum weight of its endpoints,
+// following [27]), with only per-vertex information held in memory.
+//
+// LocalSearchSE is the semi-external version of LocalSearch-P: it reads the
+// on-disk edge stream strictly sequentially and only as far as the query
+// needs. OnlineAllSE is the semi-external version of OnlineAll [27], which
+// must ingest the entire file. The two reproduce Figure 16 (time) and
+// Figure 17 (size of visited graph).
+package semiext
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"influcomm/internal/graph"
+)
+
+const fileMagic = uint32(0x5EDB_E55A)
+
+// WriteEdgeFile serializes g to path in the semi-external layout: a header,
+// the vertex weight vector, the per-vertex up-degree vector, and then every
+// up-adjacency list in ascending rank order of its owner — which is exactly
+// decreasing edge weight order, so a prefix of the stream is a prefix
+// subgraph G≥τ.
+func WriteEdgeFile(path string, g *graph.Graph) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("semiext: creating edge file: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriter(f)
+	le := binary.LittleEndian
+	var hdr [20]byte
+	le.PutUint32(hdr[0:], fileMagic)
+	le.PutUint64(hdr[4:], uint64(g.NumVertices()))
+	le.PutUint64(hdr[12:], uint64(g.NumEdges()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		le.PutUint64(buf[:], math.Float64bits(g.Weight(u)))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		le.PutUint32(buf[:4], uint32(g.UpDegree(u)))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.UpNeighbors(u) {
+			le.PutUint32(buf[:4], uint32(v))
+			if _, err := w.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// Reader streams an edge file. Per the semi-external model it materializes
+// only O(n) per-vertex state (weights and up-degrees); edges are delivered
+// strictly sequentially and accounted in BytesRead.
+type Reader struct {
+	f       *os.File
+	br      *bufio.Reader
+	n       int
+	m       int64
+	weights []float64
+	upDeg   []int32
+
+	nextVertex int   // first vertex whose up-edges have not been read
+	bytesRead  int64 // edge payload bytes consumed so far
+	headerSize int64
+}
+
+// OpenReader opens path and loads the per-vertex information.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("semiext: opening edge file: %w", err)
+	}
+	r := &Reader{f: f, br: bufio.NewReaderSize(f, 1<<20)}
+	if err := r.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) readHeader() error {
+	le := binary.LittleEndian
+	var hdr [20]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return fmt.Errorf("semiext: reading header: %w", err)
+	}
+	if le.Uint32(hdr[0:]) != fileMagic {
+		return fmt.Errorf("semiext: bad magic %#x", le.Uint32(hdr[0:]))
+	}
+	r.n = int(le.Uint64(hdr[4:]))
+	r.m = int64(le.Uint64(hdr[12:]))
+	if r.n < 0 || r.m < 0 || int64(r.n) > math.MaxInt32 {
+		return fmt.Errorf("semiext: implausible header n=%d m=%d", r.n, r.m)
+	}
+	// The on-disk size must cover the header's claims; this rejects
+	// truncated or hostile files before any header-sized allocation.
+	if fi, err := r.f.Stat(); err == nil {
+		need := 20 + 12*int64(r.n) + 4*r.m
+		if fi.Size() < need {
+			return fmt.Errorf("semiext: file holds %d bytes, header needs %d", fi.Size(), need)
+		}
+	}
+	r.weights = make([]float64, r.n)
+	r.upDeg = make([]int32, r.n)
+	var buf [8]byte
+	for i := 0; i < r.n; i++ {
+		if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+			return fmt.Errorf("semiext: reading weights: %w", err)
+		}
+		r.weights[i] = math.Float64frombits(le.Uint64(buf[:]))
+	}
+	for i := 0; i < r.n; i++ {
+		if _, err := io.ReadFull(r.br, buf[:4]); err != nil {
+			return fmt.Errorf("semiext: reading degrees: %w", err)
+		}
+		r.upDeg[i] = int32(le.Uint32(buf[:4]))
+	}
+	r.headerSize = 20 + int64(r.n)*12
+	return nil
+}
+
+// NumVertices returns the vertex count.
+func (r *Reader) NumVertices() int { return r.n }
+
+// NumEdges returns the edge count.
+func (r *Reader) NumEdges() int64 { return r.m }
+
+// Weight returns the weight of vertex u (rank order, as in graph.Graph).
+func (r *Reader) Weight(u int32) float64 { return r.weights[u] }
+
+// UpDegree returns |N≥(u)| without touching the edge stream.
+func (r *Reader) UpDegree(u int32) int32 { return r.upDeg[u] }
+
+// NextVertex returns the first vertex whose adjacency has not been
+// streamed; the in-memory subgraph currently covers the prefix
+// [0, NextVertex()).
+func (r *Reader) NextVertex() int { return r.nextVertex }
+
+// BytesRead returns the number of edge payload bytes consumed.
+func (r *Reader) BytesRead() int64 { return r.bytesRead }
+
+// ReadVertexEdges streams the up-adjacency list of the next unread vertex,
+// appending (v, u) pairs to edges, and returns the extended slice. Calls
+// must proceed in vertex order; io.EOF is never returned for vertices whose
+// lists are empty.
+func (r *Reader) ReadVertexEdges(edges [][2]int32) ([][2]int32, error) {
+	if r.nextVertex >= r.n {
+		return edges, io.EOF
+	}
+	u := int32(r.nextVertex)
+	var buf [4]byte
+	for i := int32(0); i < r.upDeg[u]; i++ {
+		if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+			return edges, fmt.Errorf("semiext: reading adjacency of vertex %d: %w", u, err)
+		}
+		v := int32(binary.LittleEndian.Uint32(buf[:]))
+		if v < 0 || v >= u {
+			return edges, fmt.Errorf("semiext: corrupt up-edge (%d,%d)", v, u)
+		}
+		edges = append(edges, [2]int32{v, u})
+		r.bytesRead += 4
+	}
+	r.nextVertex++
+	return edges, nil
+}
+
+// Close releases the file handle.
+func (r *Reader) Close() error { return r.f.Close() }

@@ -1,0 +1,222 @@
+package semiext
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"influcomm/internal/core"
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+func writeTemp(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.edges")
+	if err := WriteEdgeFile(path, g); err != nil {
+		t.Fatalf("writing edge file: %v", err)
+	}
+	return path
+}
+
+func TestEdgeFileRoundTrip(t *testing.T) {
+	g := gen.Random(100, 6, 5)
+	path := writeTemp(t, g)
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer r.Close()
+	if r.NumVertices() != g.NumVertices() || r.NumEdges() != g.NumEdges() {
+		t.Fatalf("header (%d,%d), want (%d,%d)", r.NumVertices(), r.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		if r.Weight(u) != g.Weight(u) {
+			t.Fatalf("weight of %d = %v, want %v", u, r.Weight(u), g.Weight(u))
+		}
+		if r.UpDegree(u) != g.UpDegree(u) {
+			t.Fatalf("updeg of %d = %d, want %d", u, r.UpDegree(u), g.UpDegree(u))
+		}
+	}
+	var edges [][2]int32
+	for r.NextVertex() < r.NumVertices() {
+		edges, err = r.ReadVertexEdges(edges)
+		if err != nil {
+			t.Fatalf("streaming: %v", err)
+		}
+	}
+	if int64(len(edges)) != g.NumEdges() {
+		t.Fatalf("streamed %d edges, want %d", len(edges), g.NumEdges())
+	}
+	if r.BytesRead() != 4*g.NumEdges() {
+		t.Fatalf("BytesRead = %d, want %d", r.BytesRead(), 4*g.NumEdges())
+	}
+	// Rebuild and compare structure.
+	rebuilt, err := buildPrefix(r, r.NumVertices(), edges)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if err := rebuilt.Validate(); err != nil {
+		t.Fatalf("rebuilt graph invalid: %v", err)
+	}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		if rebuilt.Degree(u) != g.Degree(u) {
+			t.Fatalf("degree of %d = %d, want %d", u, rebuilt.Degree(u), g.Degree(u))
+		}
+	}
+}
+
+func TestLocalSearchSEMatchesInMemory(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g := gen.Random(150, 6, seed)
+		path := writeTemp(t, g)
+		for _, gamma := range []int32{2, 3} {
+			for _, k := range []int{1, 3, 8} {
+				want, err := core.TopK(g, k, gamma, core.Options{})
+				if err != nil {
+					t.Fatalf("in-memory: %v", err)
+				}
+				got, st, err := LocalSearchSE(path, k, gamma)
+				if err != nil {
+					t.Fatalf("LocalSearchSE: %v", err)
+				}
+				if len(got) != len(want.Communities) {
+					t.Fatalf("seed %d k=%d γ=%d: got %d communities, want %d",
+						seed, k, gamma, len(got), len(want.Communities))
+				}
+				for i := range got {
+					a := fmt.Sprintf("%d:%v", got[i].Keynode(), got[i].Vertices())
+					b := fmt.Sprintf("%d:%v", want.Communities[i].Keynode(), want.Communities[i].Vertices())
+					if a != b {
+						t.Fatalf("seed %d k=%d γ=%d: community %d differs\n got %s\nwant %s", seed, k, gamma, i, a, b)
+					}
+				}
+				if st.EdgesLoaded > g.NumEdges() {
+					t.Errorf("loaded %d edges, graph has %d", st.EdgesLoaded, g.NumEdges())
+				}
+			}
+		}
+	}
+}
+
+func TestOnlineAllSEMatchesInMemory(t *testing.T) {
+	g := gen.Random(120, 5, 9)
+	path := writeTemp(t, g)
+	got, st, err := OnlineAllSE(path, 5, 2)
+	if err != nil {
+		t.Fatalf("OnlineAllSE: %v", err)
+	}
+	want := core.NaiveTopK(g, 5, 2)
+	if len(got) != len(want) {
+		t.Fatalf("got %d communities, want %d", len(got), len(want))
+	}
+	for i := range want {
+		a := fmt.Sprintf("%d:%v", got[i].Keynode, got[i].Vertices)
+		b := fmt.Sprintf("%d:%v", want[i].Keynode, want[i].Vertices)
+		if a != b {
+			t.Fatalf("community %d differs\n got %s\nwant %s", i, a, b)
+		}
+	}
+	if st.VisitedFraction != 1 {
+		t.Errorf("OnlineAllSE visited fraction = %v, want 1", st.VisitedFraction)
+	}
+	if st.BytesRead != 4*g.NumEdges() {
+		t.Errorf("OnlineAllSE read %d bytes, want %d", st.BytesRead, 4*g.NumEdges())
+	}
+}
+
+func TestLocalSearchSEReadsLess(t *testing.T) {
+	// On a graph whose top communities live among the highest weights, the
+	// local algorithm must read strictly less of the file than a full scan.
+	g, err := gen.PlantedCommunities(20, 15, 0.8, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, g)
+	_, st, err := LocalSearchSE(path, 2, 4)
+	if err != nil {
+		t.Fatalf("LocalSearchSE: %v", err)
+	}
+	if st.BytesRead >= 4*g.NumEdges() {
+		t.Errorf("local search read the whole file: %d of %d bytes", st.BytesRead, 4*g.NumEdges())
+	}
+	if st.VisitedFraction >= 1 {
+		t.Errorf("visited fraction = %v, want < 1", st.VisitedFraction)
+	}
+}
+
+func TestEdgeFileProperty(t *testing.T) {
+	// Arbitrary random graphs round-trip through the edge file, and any
+	// prefix of the stream reconstructs exactly the prefix subgraph.
+	for seed := uint64(1); seed <= 10; seed++ {
+		g := gen.Random(40+int(seed*13)%80, 5, seed)
+		path := writeTemp(t, g)
+		r, err := OpenReader(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := g.NumVertices() / 2
+		var edges [][2]int32
+		for r.NextVertex() < p {
+			edges, err = r.ReadVertexEdges(edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		prefix, err := buildPrefix(r, p, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prefix.NumEdges() != g.PrefixEdges(p) {
+			t.Fatalf("seed %d: prefix %d has %d edges, want %d",
+				seed, p, prefix.NumEdges(), g.PrefixEdges(p))
+		}
+		for u := int32(0); int(u) < p; u++ {
+			if prefix.DegreeWithin(u, p) != g.DegreeWithin(u, p) {
+				t.Fatalf("seed %d: prefix degree of %d differs", seed, u)
+			}
+		}
+		r.Close()
+	}
+}
+
+func TestReaderRejectsTruncatedFile(t *testing.T) {
+	g := gen.Random(50, 5, 2)
+	path := writeTemp(t, g)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(t.TempDir(), "short.edges")
+	if err := os.WriteFile(short, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(short); err == nil {
+		t.Error("truncated edge file: want error at open (size check)")
+	}
+}
+
+func TestOpenReaderErrors(t *testing.T) {
+	if _, err := OpenReader(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not an edge file at all........"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(bad); err == nil {
+		t.Error("corrupt file: want error")
+	}
+}
+
+func TestQueryValidationSE(t *testing.T) {
+	g := gen.Random(20, 3, 1)
+	path := writeTemp(t, g)
+	if _, _, err := LocalSearchSE(path, 0, 3); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, _, err := OnlineAllSE(path, 1, 0); err == nil {
+		t.Error("gamma=0: want error")
+	}
+}

@@ -1,0 +1,206 @@
+// Package server exposes top-k influential community queries over HTTP:
+// the serving layer a downstream system would put in front of the library.
+// One immutable graph is loaded at startup; queries run concurrently, each
+// with its own search engine (the same isolation TopKBatch relies on).
+//
+// Endpoints:
+//
+//	GET /v1/stats                       graph statistics
+//	GET /v1/topk?k=10&gamma=5           top-k influential γ-communities
+//	GET /v1/topk?...&noncontainment=1   non-containment variant (§5.1)
+//	GET /v1/topk?...&truss=1            γ-truss variant (§5.2)
+//
+// Responses are JSON. Community members are reported as the graph's
+// original vertex IDs (plus labels when the graph has them).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"influcomm/internal/core"
+	"influcomm/internal/graph"
+	"influcomm/internal/truss"
+)
+
+// Server answers community-search queries over one graph. Create with New;
+// it is safe for concurrent use.
+type Server struct {
+	g   *graph.Graph
+	mux *http.ServeMux
+
+	// maxK bounds per-request work; requests beyond it are rejected.
+	maxK int
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxK overrides the per-request k limit (default 10000).
+func WithMaxK(maxK int) Option {
+	return func(s *Server) { s.maxK = maxK }
+}
+
+// New returns a Server for g.
+func New(g *graph.Graph, opts ...Option) (*Server, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, fmt.Errorf("server: nil or empty graph")
+	}
+	s := &Server{g: g, mux: http.NewServeMux(), maxK: 10000}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	MaxDegree int32   `json:"max_degree"`
+	AvgDegree float64 `json:"avg_degree"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.g.Statistics()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Vertices:  st.Vertices,
+		Edges:     st.Edges,
+		MaxDegree: st.MaxDegree,
+		AvgDegree: st.AvgDegree,
+	})
+}
+
+// communityJSON is one community of a /v1/topk response.
+type communityJSON struct {
+	Influence float64  `json:"influence"`
+	Size      int      `json:"size"`
+	Keynode   int32    `json:"keynode"`
+	Members   []int32  `json:"members"`
+	Labels    []string `json:"labels,omitempty"`
+}
+
+// topKResponse is the /v1/topk payload.
+type topKResponse struct {
+	K           int             `json:"k"`
+	Gamma       int             `json:"gamma"`
+	Mode        string          `json:"mode"`
+	Communities []communityJSON `json:"communities"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+	// AccessedVertices reports how much of the graph the local search
+	// touched (0 for the truss path, which reports via its own stats).
+	AccessedVertices int `json:"accessed_vertices,omitempty"`
+}
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.topK(r)
+	if err != nil {
+		he, ok := err.(*httpError)
+		if !ok {
+			he = &httpError{http.StatusInternalServerError, err.Error()}
+		}
+		writeJSON(w, he.code, map[string]string{"error": he.msg})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) topK(r *http.Request) (*topKResponse, error) {
+	q := r.URL.Query()
+	k, err := intParam(q.Get("k"), 10)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, "bad k: " + err.Error()}
+	}
+	gamma, err := intParam(q.Get("gamma"), 5)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, "bad gamma: " + err.Error()}
+	}
+	if k < 1 || k > s.maxK {
+		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("k must be in [1, %d]", s.maxK)}
+	}
+	if gamma < 1 {
+		return nil, &httpError{http.StatusBadRequest, "gamma must be >= 1"}
+	}
+	useTruss := q.Get("truss") == "1"
+	nonContain := q.Get("noncontainment") == "1"
+	if useTruss && nonContain {
+		return nil, &httpError{http.StatusBadRequest, "truss and noncontainment are mutually exclusive"}
+	}
+
+	start := time.Now()
+	resp := &topKResponse{K: k, Gamma: gamma, Mode: "core"}
+	switch {
+	case useTruss:
+		resp.Mode = "truss"
+		if gamma < 2 {
+			return nil, &httpError{http.StatusBadRequest, "truss queries need gamma >= 2"}
+		}
+		res, err := truss.LocalSearch(truss.NewIndex(s.g), k, int32(gamma))
+		if err != nil {
+			return nil, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		for _, c := range res.Communities {
+			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
+		}
+		resp.AccessedVertices = res.Stats.FinalPrefix
+	default:
+		if nonContain {
+			resp.Mode = "noncontainment"
+		}
+		res, err := core.TopK(s.g, k, int32(gamma), core.Options{NonContainment: nonContain})
+		if err != nil {
+			return nil, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		for _, c := range res.Communities {
+			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
+		}
+		resp.AccessedVertices = res.Stats.FinalPrefix
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+func (s *Server) render(influence float64, keynode int32, members []int32) communityJSON {
+	c := communityJSON{
+		Influence: influence,
+		Size:      len(members),
+		Keynode:   s.g.OrigID(keynode),
+	}
+	for _, v := range members {
+		c.Members = append(c.Members, s.g.OrigID(v))
+		if s.g.HasLabels() {
+			c.Labels = append(c.Labels, s.g.Label(v))
+		}
+	}
+	return c
+}
+
+func intParam(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	return strconv.Atoi(raw)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

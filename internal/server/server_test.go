@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"influcomm/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	weights := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	edges := [][2]int32{
+		{0, 1}, {0, 5}, {0, 6}, {1, 5}, {1, 6}, {5, 6},
+		{3, 4}, {3, 7}, {3, 8}, {4, 7}, {4, 8}, {7, 8},
+		{3, 9}, {7, 9}, {8, 9},
+		{1, 2}, {2, 3},
+	}
+	return graph.MustFromEdges(weights, edges)
+}
+
+func newTestServer(t *testing.T, opts ...Option) *httptest.Server {
+	t.Helper()
+	s, err := New(testGraph(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var got statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.Vertices != 10 || got.Edges != 17 {
+		t.Errorf("stats = %+v", got)
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var got topKResponse
+	if code := getJSON(t, ts.URL+"/v1/topk?k=2&gamma=3", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Communities) != 2 {
+		t.Fatalf("got %d communities, want 2", len(got.Communities))
+	}
+	if got.Communities[0].Influence != 13 || got.Communities[1].Influence != 10 {
+		t.Errorf("influences %v, %v", got.Communities[0].Influence, got.Communities[1].Influence)
+	}
+	if got.Communities[0].Size != 5 {
+		t.Errorf("top community size = %d, want 5", got.Communities[0].Size)
+	}
+	if got.Mode != "core" {
+		t.Errorf("mode = %q", got.Mode)
+	}
+	// Members are original IDs: {3,4,7,8,9}.
+	want := map[int32]bool{3: true, 4: true, 7: true, 8: true, 9: true}
+	for _, m := range got.Communities[0].Members {
+		if !want[m] {
+			t.Errorf("unexpected member %d", m)
+		}
+	}
+}
+
+func TestTopKDefaults(t *testing.T) {
+	ts := newTestServer(t)
+	var got topKResponse
+	if code := getJSON(t, ts.URL+"/v1/topk", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.K != 10 || got.Gamma != 5 {
+		t.Errorf("defaults = k=%d γ=%d", got.K, got.Gamma)
+	}
+}
+
+func TestTopKModes(t *testing.T) {
+	ts := newTestServer(t)
+	var nc topKResponse
+	if code := getJSON(t, ts.URL+"/v1/topk?k=5&gamma=3&noncontainment=1", &nc); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if nc.Mode != "noncontainment" || len(nc.Communities) != 2 {
+		t.Errorf("NC response: mode=%q n=%d", nc.Mode, len(nc.Communities))
+	}
+	var tr topKResponse
+	if code := getJSON(t, ts.URL+"/v1/topk?k=5&gamma=4&truss=1", &tr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if tr.Mode != "truss" || len(tr.Communities) == 0 {
+		t.Errorf("truss response: mode=%q n=%d", tr.Mode, len(tr.Communities))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, WithMaxK(50))
+	cases := []string{
+		"/v1/topk?k=abc",
+		"/v1/topk?gamma=x",
+		"/v1/topk?k=0",
+		"/v1/topk?k=51",
+		"/v1/topk?gamma=0",
+		"/v1/topk?truss=1&noncontainment=1",
+		"/v1/topk?truss=1&gamma=1",
+	}
+	for _, path := range cases {
+		var e map[string]string
+		if code := getJSON(t, ts.URL+path, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+		if e["error"] == "" {
+			t.Errorf("%s: missing error message", path)
+		}
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var got topKResponse
+			url := fmt.Sprintf("%s/v1/topk?k=%d&gamma=3", ts.URL, i%5+1)
+			resp, err := http.Get(url)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				errs <- err
+				return
+			}
+			if len(got.Communities) == 0 {
+				errs <- fmt.Errorf("request %d: empty result", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil graph: want error")
+	}
+}

@@ -1,0 +1,211 @@
+package truss
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Community is one influential γ-truss community, a node of the containment
+// forest exactly like core.Community (truss communities that share a vertex
+// are nested, so the same forest representation applies).
+type Community struct {
+	keynode   int32
+	influence float64
+	group     []int32 // vertices first claimed by this community
+	children  []*Community
+	size      int
+}
+
+// Keynode returns the community's minimum-weight vertex.
+func (c *Community) Keynode() int32 { return c.keynode }
+
+// Influence returns f(g), the minimum vertex weight.
+func (c *Community) Influence() float64 { return c.influence }
+
+// Size returns the total number of vertices including nested children.
+func (c *Community) Size() int { return c.size }
+
+// Children returns the directly nested communities.
+func (c *Community) Children() []*Community { return c.children }
+
+// Vertices materializes the community's vertex set in ascending rank order.
+func (c *Community) Vertices() []int32 {
+	out := make([]int32, 0, c.size)
+	var walk func(x *Community)
+	walk = func(x *Community) {
+		out = append(out, x.group...)
+		for _, ch := range x.children {
+			walk(ch)
+		}
+	}
+	walk(c)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CVS is the edge-sequence output of CountICC (Algorithm 7): keynodes in
+// increasing weight order and the removed-edge sequence partitioned into one
+// group per keynode.
+type CVS struct {
+	P      int
+	Keys   []int32
+	KeyPos []int32
+	Seq    []int64 // edge IDs
+}
+
+// Count returns the number of influential γ-truss communities found.
+func (c *CVS) Count() int { return len(c.Keys) }
+
+// Group returns the edge group of keynode j.
+func (c *CVS) Group(j int) []int64 { return c.Seq[c.KeyPos[j]:c.KeyPos[j+1]] }
+
+// CountICC runs Algorithm 7 on the prefix subgraph [0, p): reduce to the
+// γ-truss, then repeatedly remove the minimum-weight vertex and restore the
+// γ-truss, recording keynodes and the community-aware edge sequence.
+func CountICC(ix *Index, p int, gamma int32) *CVS {
+	return CountICCFrom(ix, p, 0, gamma)
+}
+
+// EnumICC reconstructs the top-k influential γ-truss communities (all of
+// them when k < 0) from a CountICC run, in decreasing influence order. Two
+// truss communities sharing a vertex are nested (see package doc of core),
+// so the EnumIC disjoint-set construction carries over with vertex sharing
+// as the linking relation.
+func EnumICC(ix *Index, c *CVS, k int) []*Community {
+	start := 0
+	if k >= 0 && len(c.Keys) > k {
+		start = len(c.Keys) - k
+	}
+	n := ix.g.NumVertices()
+	vgroup := make([]int32, n)
+	for i := range vgroup {
+		vgroup[i] = -1
+	}
+	var parent []int32
+	find := func(j int32) int32 {
+		for parent[j] != j {
+			parent[j] = parent[parent[j]]
+			j = parent[j]
+		}
+		return j
+	}
+	var comms []*Community
+	out := make([]*Community, 0, len(c.Keys)-start)
+	for j := len(c.Keys) - 1; j >= start; j-- {
+		u := c.Keys[j]
+		gid := int32(len(comms))
+		parent = append(parent, gid)
+		com := &Community{keynode: u, influence: ix.g.Weight(u)}
+		claim := func(w int32) {
+			if vgroup[w] < 0 {
+				vgroup[w] = gid
+				com.group = append(com.group, w)
+				com.size++
+				return
+			}
+			r := find(vgroup[w])
+			if r == gid {
+				return
+			}
+			child := comms[r]
+			com.children = append(com.children, child)
+			com.size += child.size
+			parent[r] = gid
+		}
+		for _, e := range c.Group(j) {
+			lo, hi := ix.Endpoints(e)
+			claim(lo)
+			claim(hi)
+		}
+		comms = append(comms, com)
+		out = append(out, com)
+	}
+	return out
+}
+
+// Stats mirrors core.Stats for the truss algorithms.
+type Stats struct {
+	Rounds      int
+	FinalPrefix int
+	FinalSize   int64
+	TotalWork   int64
+	Communities int
+}
+
+// Result is the output of LocalSearch and GlobalSearch.
+type Result struct {
+	Communities []*Community
+	Stats       Stats
+}
+
+func validate(ix *Index, k int, gamma int32) error {
+	if ix == nil || ix.g == nil {
+		return errors.New("truss: nil index")
+	}
+	if ix.g.NumVertices() == 0 {
+		return errors.New("truss: empty graph")
+	}
+	if k < 1 {
+		return fmt.Errorf("truss: k must be >= 1, got %d", k)
+	}
+	if gamma < 2 {
+		return fmt.Errorf("truss: gamma must be >= 2, got %d", gamma)
+	}
+	return nil
+}
+
+// LocalSearch computes the top-k influential γ-truss communities with the
+// generalized local search framework (Algorithm 6): grow the high-weight
+// prefix geometrically (δ = 2) until it holds k communities, then enumerate.
+func LocalSearch(ix *Index, k int, gamma int32) (*Result, error) {
+	if err := validate(ix, k, gamma); err != nil {
+		return nil, err
+	}
+	g := ix.g
+	n := g.NumVertices()
+	p := k + int(gamma)
+	if p > n {
+		p = n
+	}
+	var st Stats
+	var cvs *CVS
+	for {
+		cvs = CountICC(ix, p, gamma)
+		st.Rounds++
+		st.TotalWork += g.PrefixSize(p)
+		if cvs.Count() >= k || p == n {
+			st.Communities = cvs.Count()
+			break
+		}
+		next := g.PrefixForSize(2 * g.PrefixSize(p))
+		if next <= p {
+			next = p + 1
+		}
+		if next > n {
+			next = n
+		}
+		p = next
+	}
+	st.FinalPrefix = p
+	st.FinalSize = g.PrefixSize(p)
+	return &Result{Communities: EnumICC(ix, cvs, k), Stats: st}, nil
+}
+
+// GlobalSearch is the baseline of Eval-VIII: CountICC over the entire graph
+// followed by EnumICC for the top-k.
+func GlobalSearch(ix *Index, k int, gamma int32) (*Result, error) {
+	if err := validate(ix, k, gamma); err != nil {
+		return nil, err
+	}
+	n := ix.g.NumVertices()
+	cvs := CountICC(ix, n, gamma)
+	st := Stats{
+		Rounds:      1,
+		FinalPrefix: n,
+		FinalSize:   ix.g.Size(),
+		TotalWork:   ix.g.Size(),
+		Communities: cvs.Count(),
+	}
+	return &Result{Communities: EnumICC(ix, cvs, k), Stats: st}, nil
+}

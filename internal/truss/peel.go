@@ -1,0 +1,142 @@
+package truss
+
+import "sort"
+
+// runner holds the mutable edge state of one CountICC execution on a prefix
+// subgraph. It is created per run and not safe for concurrent use.
+type runner struct {
+	ix     *Index
+	gamma  int32
+	p      int   // prefix length
+	me     int64 // number of edges in the prefix
+	alive  []bool
+	queued []bool // scheduled for removal (may still be alive until popped)
+	supp   []int32
+	vdeg   []int32 // alive incident edges per vertex < p
+	queue  []int64
+	thresh int32 // γ-2 triangles per edge
+}
+
+func newRunner(ix *Index, p int, gamma int32) *runner {
+	r := &runner{
+		ix:     ix,
+		gamma:  gamma,
+		p:      p,
+		me:     ix.g.PrefixEdges(p),
+		thresh: gamma - 2,
+	}
+	r.alive = make([]bool, r.me)
+	r.queued = make([]bool, r.me)
+	r.supp = make([]int32, r.me)
+	r.vdeg = make([]int32, p)
+	return r
+}
+
+// commonNeighbors calls fn(c) for every common neighbor c of a and b within
+// the prefix, iterating the smaller adjacency row and binary-searching the
+// larger. Dead edges are not filtered here; callers check liveness.
+func (r *runner) commonNeighbors(a, b int32, fn func(c int32)) {
+	ra := r.ix.g.NeighborsWithin(a, r.p)
+	rb := r.ix.g.NeighborsWithin(b, r.p)
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	for _, c := range ra {
+		j := sort.Search(len(rb), func(i int) bool { return rb[i] >= c })
+		if j < len(rb) && rb[j] == c {
+			fn(c)
+		}
+	}
+}
+
+// initSupports computes the triangle support of every prefix edge.
+func (r *runner) initSupports() {
+	for e := int64(0); e < r.me; e++ {
+		r.alive[e] = true
+	}
+	for e := int64(0); e < r.me; e++ {
+		a, b := r.ix.elo[e], r.ix.ehi[e]
+		cnt := int32(0)
+		r.commonNeighbors(a, b, func(int32) { cnt++ })
+		r.supp[e] = cnt
+	}
+}
+
+// peelTruss reduces the prefix to its γ-truss: it kills every edge whose
+// support is below γ−2 and cascades, then tallies per-vertex alive degrees.
+func (r *runner) peelTruss() {
+	r.initSupports()
+	q := r.queue[:0]
+	for e := int64(0); e < r.me; e++ {
+		if r.supp[e] < r.thresh {
+			r.queued[e] = true
+			q = append(q, e)
+		}
+	}
+	r.queue = q
+	r.drain(nil)
+	for e := int64(0); e < r.me; e++ {
+		if r.alive[e] {
+			r.vdeg[r.ix.elo[e]]++
+			r.vdeg[r.ix.ehi[e]]++
+		}
+	}
+}
+
+// drain processes the pending removal queue. An edge dies when popped; at
+// that moment every triangle it still forms with two alive edges is
+// destroyed, so both partners lose one support. (Killing at pop rather than
+// at enqueue is what guarantees each destroyed triangle decrements each
+// surviving edge exactly once.) If seq is non-nil every removed edge is
+// appended to it — the edge cvs of Algorithm 7 — and per-vertex alive
+// degrees are maintained.
+func (r *runner) drain(seq *[]int64) {
+	q := r.queue
+	for len(q) > 0 {
+		e := q[len(q)-1]
+		q = q[:len(q)-1]
+		if !r.alive[e] {
+			continue
+		}
+		r.alive[e] = false
+		a, b := r.ix.elo[e], r.ix.ehi[e]
+		if seq != nil {
+			*seq = append(*seq, e)
+			r.vdeg[a]--
+			r.vdeg[b]--
+		}
+		r.commonNeighbors(a, b, func(c int32) {
+			eac := r.ix.EdgeID(a, c)
+			ebc := r.ix.EdgeID(b, c)
+			if eac < 0 || ebc < 0 || !r.alive[eac] || !r.alive[ebc] {
+				return
+			}
+			r.supp[eac]--
+			if r.supp[eac] < r.thresh && !r.queued[eac] {
+				r.queued[eac] = true
+				q = append(q, eac)
+			}
+			r.supp[ebc]--
+			if r.supp[ebc] < r.thresh && !r.queued[ebc] {
+				r.queued[ebc] = true
+				q = append(q, ebc)
+			}
+		})
+	}
+	r.queue = q[:0]
+}
+
+// removeVertex force-removes every alive edge incident to u and cascades,
+// appending removed edges to seq (Lines 7–8 of Algorithm 7).
+func (r *runner) removeVertex(u int32, seq *[]int64) {
+	q := r.queue[:0]
+	for _, v := range r.ix.g.NeighborsWithin(u, r.p) {
+		e := r.ix.EdgeID(u, v)
+		if e >= 0 && r.alive[e] && !r.queued[e] {
+			r.queued[e] = true
+			q = append(q, e)
+		}
+	}
+	r.queue = q
+	r.drain(seq)
+}

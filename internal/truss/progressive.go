@@ -1,0 +1,129 @@
+package truss
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CountICCFrom is the truss ConstructCVS (the Algorithm 5 counterpart for
+// the truss measure): it runs CountICC on the prefix [0, p) but stops
+// before processing any keynode with rank < stopBefore, producing only the
+// keynodes new to this round. The suffix property of §4 carries over to
+// the truss measure (Property-II of §5.2), which the property tests check.
+func CountICCFrom(ix *Index, p, stopBefore int, gamma int32) *CVS {
+	r := newRunner(ix, p, gamma)
+	r.peelTruss()
+	c := &CVS{P: p, KeyPos: []int32{0}}
+	for u := int32(p) - 1; u >= int32(stopBefore); u-- {
+		if r.vdeg[u] == 0 {
+			continue
+		}
+		c.Keys = append(c.Keys, u)
+		r.removeVertex(u, &c.Seq)
+		c.KeyPos = append(c.KeyPos, int32(len(c.Seq)))
+	}
+	return c
+}
+
+// EnumState is the persistent cross-round state of progressive truss
+// enumeration, mirroring core.EnumState.
+type EnumState struct {
+	ix     *Index
+	vgroup []int32
+	parent []int32
+	comms  []*Community
+}
+
+// NewEnumState returns an EnumState for the indexed graph.
+func NewEnumState(ix *Index) *EnumState {
+	s := &EnumState{ix: ix, vgroup: make([]int32, ix.g.NumVertices())}
+	for i := range s.vgroup {
+		s.vgroup[i] = -1
+	}
+	return s
+}
+
+func (s *EnumState) find(j int32) int32 {
+	for s.parent[j] != j {
+		s.parent[j] = s.parent[s.parent[j]]
+		j = s.parent[j]
+	}
+	return j
+}
+
+// Process enumerates the communities of one round's CVS in decreasing
+// influence order, linking them to communities from earlier rounds.
+func (s *EnumState) Process(c *CVS) []*Community {
+	out := make([]*Community, 0, len(c.Keys))
+	for j := len(c.Keys) - 1; j >= 0; j-- {
+		u := c.Keys[j]
+		gid := int32(len(s.comms))
+		s.parent = append(s.parent, gid)
+		com := &Community{keynode: u, influence: s.ix.g.Weight(u)}
+		claim := func(w int32) {
+			if s.vgroup[w] < 0 {
+				s.vgroup[w] = gid
+				com.group = append(com.group, w)
+				com.size++
+				return
+			}
+			r := s.find(s.vgroup[w])
+			if r == gid {
+				return
+			}
+			child := s.comms[r]
+			com.children = append(com.children, child)
+			com.size += child.size
+			s.parent[r] = gid
+		}
+		for _, e := range c.Group(j) {
+			lo, hi := s.ix.Endpoints(e)
+			claim(lo)
+			claim(hi)
+		}
+		s.comms = append(s.comms, com)
+		out = append(out, com)
+	}
+	return out
+}
+
+// Stream progressively reports influential γ-truss communities in
+// decreasing influence order (the §4 progressive technique applied to the
+// §5.2 truss measure). yield returning false stops the search; the number
+// of vertices of the largest prefix processed is returned.
+func Stream(ix *Index, gamma int32, yield func(*Community) bool) (int, error) {
+	if ix == nil || ix.g == nil {
+		return 0, errors.New("truss: nil index")
+	}
+	if gamma < 2 {
+		return 0, fmt.Errorf("truss: gamma must be >= 2, got %d", gamma)
+	}
+	g := ix.g
+	n := g.NumVertices()
+	p := 1 + int(gamma)
+	if p > n {
+		p = n
+	}
+	prev := 0
+	st := NewEnumState(ix)
+	for {
+		cvs := CountICCFrom(ix, p, prev, gamma)
+		for _, c := range st.Process(cvs) {
+			if !yield(c) {
+				return p, nil
+			}
+		}
+		if p == n {
+			return p, nil
+		}
+		prev = p
+		next := g.PrefixForSize(2 * g.PrefixSize(p))
+		if next <= p {
+			next = p + 1
+		}
+		if next > n {
+			next = n
+		}
+		p = next
+	}
+}

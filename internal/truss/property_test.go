@@ -1,0 +1,170 @@
+package truss
+
+import (
+	"testing"
+	"testing/quick"
+
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+// TestTrussCountMonotonicityProperty is the truss analogue of Lemma 3.1:
+// the community count is non-decreasing as the prefix grows (Property-I of
+// §5.2, the precondition of the generalized framework).
+func TestTrussCountMonotonicityProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, gammaRaw uint8) bool {
+		n := int(nRaw%30) + 10
+		g := gen.Random(n, 6, seed|1)
+		gamma := int32(gammaRaw%3) + 3
+		ix := NewIndex(g)
+		prev := 0
+		for p := 0; p <= g.NumVertices(); p += 3 {
+			cnt := CountICC(ix, p, gamma).Count()
+			if cnt < prev {
+				return false
+			}
+			prev = cnt
+		}
+		return CountICC(ix, g.NumVertices(), gamma).Count() >= prev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrussCohesionProperty checks the guarantees a γ-truss community's
+// vertex set implies. (A truss community is an *edge* subgraph — the
+// vertex-induced closure may contain additional low-support edges — so the
+// checkable vertex-level consequences are: every member touches a truss
+// edge and therefore has at least γ−1 neighbors inside the community, the
+// set is connected, and the influence is the minimum member weight. The
+// edge-level support invariant is cross-validated against the naive
+// reference in TestTrussAgainstNaive.)
+func TestTrussCohesionProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 15
+		g := gen.Random(n, 8, seed|1)
+		gamma := int32(4)
+		ix := NewIndex(g)
+		cvs := CountICC(ix, g.NumVertices(), gamma)
+		for _, c := range EnumICC(ix, cvs, -1) {
+			vs := c.Vertices()
+			in := map[int32]bool{}
+			for _, v := range vs {
+				in[v] = true
+			}
+			// A vertex with an alive edge of support >= γ-2 has >= γ-1
+			// alive neighbors, all inside the community.
+			for _, v := range vs {
+				deg := int32(0)
+				for _, w := range g.Neighbors(v) {
+					if in[w] {
+						deg++
+					}
+				}
+				if deg < gamma-1 {
+					return false
+				}
+			}
+			if !connectedSet(g, vs) {
+				return false
+			}
+			// Influence is the minimum member weight.
+			for _, v := range vs {
+				if g.Weight(v) < c.Influence() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func connectedSet(g *graph.Graph, vs []int32) bool {
+	if len(vs) == 0 {
+		return true
+	}
+	in := map[int32]bool{}
+	for _, v := range vs {
+		in[v] = true
+	}
+	seen := map[int32]bool{vs[0]: true}
+	stack := []int32{vs[0]}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Neighbors(v) {
+			if in[w] && !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return len(seen) == len(vs)
+}
+
+// TestTrussNestingProperty: truss communities sharing a vertex are nested
+// (the structural fact EnumICC's vertex-linking relies on).
+func TestTrussNestingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.Random(40, 8, seed|1)
+		all := NaiveCommunities(g, 4)
+		sets := make([]map[int32]bool, len(all))
+		for i, c := range all {
+			sets[i] = map[int32]bool{}
+			for _, v := range c.Vertices {
+				sets[i][v] = true
+			}
+		}
+		for i := range all {
+			for j := i + 1; j < len(all); j++ {
+				inter, small := 0, len(sets[j])
+				if len(sets[i]) < small {
+					small = len(sets[i])
+				}
+				for v := range sets[i] {
+					if sets[j][v] {
+						inter++
+					}
+				}
+				if inter != 0 && inter != small {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrussSuffixProperty is the §4 suffix property for the truss measure:
+// keys of a smaller prefix are a suffix of keys of a larger prefix
+// (Property-II underlies it).
+func TestTrussSuffixProperty(t *testing.T) {
+	f := func(seed uint64, cut uint8) bool {
+		g := gen.Random(40, 8, seed|1)
+		n := g.NumVertices()
+		p1 := int(cut)%n + 1
+		ix := NewIndex(g)
+		small := CountICC(ix, p1, 4)
+		big := CountICC(ix, n, 4)
+		if len(small.Keys) > len(big.Keys) {
+			return false
+		}
+		off := len(big.Keys) - len(small.Keys)
+		for i, k := range small.Keys {
+			if big.Keys[off+i] != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package truss
+
+import (
+	"fmt"
+	"testing"
+
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+// clique builds a K_n with weights 100, 99, ... so vertex i has rank i.
+func clique(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = float64(100 - i)
+	}
+	var edges [][2]int32
+	for i := int32(0); int(i) < n; i++ {
+		for j := i + 1; int(j) < n; j++ {
+			edges = append(edges, [2]int32{i, j})
+		}
+	}
+	g, err := graph.FromEdges(weights, edges)
+	if err != nil {
+		t.Fatalf("building clique: %v", err)
+	}
+	return g
+}
+
+func TestCliqueTrussCommunities(t *testing.T) {
+	// In K6, the γ-truss for γ = 4 (each edge in >= 2 triangles) of every
+	// prefix K_i with i >= 4 is the whole K_i, so keynodes are vertices
+	// 3..5 and communities are the nested prefixes.
+	g := clique(t, 6)
+	ix := NewIndex(g)
+	res, err := LocalSearch(ix, 10, 4)
+	if err != nil {
+		t.Fatalf("LocalSearch: %v", err)
+	}
+	if len(res.Communities) != 3 {
+		t.Fatalf("got %d communities, want 3", len(res.Communities))
+	}
+	for idx, c := range res.Communities {
+		if want := int32(3 + idx); c.Keynode() != want {
+			t.Errorf("community %d keynode = %d, want %d", idx, c.Keynode(), want)
+		}
+		if want := 4 + idx; c.Size() != want {
+			t.Errorf("community %d size = %d, want %d", idx, c.Size(), want)
+		}
+	}
+}
+
+func TestEdgeID(t *testing.T) {
+	g := clique(t, 5)
+	ix := NewIndex(g)
+	seen := map[int64]bool{}
+	for a := int32(0); a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			e := ix.EdgeID(a, b)
+			if e < 0 || e >= g.NumEdges() {
+				t.Fatalf("EdgeID(%d,%d) = %d out of range", a, b, e)
+			}
+			if seen[e] {
+				t.Fatalf("EdgeID(%d,%d) = %d duplicated", a, b, e)
+			}
+			seen[e] = true
+			lo, hi := ix.Endpoints(e)
+			if lo != a || hi != b {
+				t.Errorf("Endpoints(%d) = (%d,%d), want (%d,%d)", e, lo, hi, a, b)
+			}
+			if ix.EdgeID(b, a) != e {
+				t.Errorf("EdgeID not symmetric for (%d,%d)", a, b)
+			}
+		}
+	}
+	if ix.EdgeID(0, 0) != -1 {
+		t.Error("self loop should have no edge ID")
+	}
+}
+
+func TestTrussAgainstNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		g := gen.Random(40, 8, seed)
+		for _, gamma := range []int32{3, 4} {
+			want := NaiveCommunities(g, gamma)
+			ix := NewIndex(g)
+			cvs := CountICC(ix, g.NumVertices(), gamma)
+			if cvs.Count() != len(want) {
+				t.Fatalf("seed %d γ=%d: CountICC = %d, naive = %d", seed, gamma, cvs.Count(), len(want))
+			}
+			got := EnumICC(ix, cvs, -1)
+			for i := range want {
+				w := fmt.Sprintf("%d:%v", want[i].Keynode, want[i].Vertices)
+				gk := fmt.Sprintf("%d:%v", got[i].Keynode(), got[i].Vertices())
+				if w != gk {
+					t.Fatalf("seed %d γ=%d: community %d mismatch\n got %s\nwant %s", seed, gamma, i, gk, w)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalMatchesGlobal(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g := gen.Random(60, 10, seed)
+		ix := NewIndex(g)
+		for _, gamma := range []int32{3, 4} {
+			for _, k := range []int{1, 2, 5} {
+				glob, err := GlobalSearch(ix, k, gamma)
+				if err != nil {
+					t.Fatalf("GlobalSearch: %v", err)
+				}
+				loc, err := LocalSearch(ix, k, gamma)
+				if err != nil {
+					t.Fatalf("LocalSearch: %v", err)
+				}
+				if len(glob.Communities) != len(loc.Communities) {
+					t.Fatalf("seed %d k=%d γ=%d: global %d vs local %d communities",
+						seed, k, gamma, len(glob.Communities), len(loc.Communities))
+				}
+				for i := range glob.Communities {
+					a := fmt.Sprintf("%d:%v", glob.Communities[i].Keynode(), glob.Communities[i].Vertices())
+					b := fmt.Sprintf("%d:%v", loc.Communities[i].Keynode(), loc.Communities[i].Vertices())
+					if a != b {
+						t.Fatalf("seed %d k=%d γ=%d: community %d differs\nglobal %s\nlocal  %s", seed, k, gamma, i, a, b)
+					}
+				}
+				if loc.Stats.FinalSize > glob.Stats.FinalSize {
+					t.Errorf("local search accessed more than the whole graph")
+				}
+			}
+		}
+	}
+}
+
+// TestTrussInsideCore checks the relationship the case study reports: every
+// influential γ-truss community is contained in some influential
+// (γ-1)-community with at most the same influence (the γ-truss is a
+// subgraph of the (γ-1)-core).
+func TestTrussInsideCore(t *testing.T) {
+	g := gen.Random(50, 9, 99)
+	gamma := int32(4)
+	trussComms := NaiveCommunities(g, gamma)
+	if len(trussComms) == 0 {
+		t.Skip("no truss communities in fixture")
+	}
+	// A γ-truss has minimum degree >= γ-1, so each truss community must be
+	// inside the (γ-1)-core of its own prefix.
+	for _, tc := range trussComms {
+		in := map[int32]bool{}
+		for _, v := range tc.Vertices {
+			in[v] = true
+		}
+		for _, v := range tc.Vertices {
+			deg := 0
+			for _, w := range g.Neighbors(v) {
+				if in[w] {
+					deg++
+				}
+			}
+			if int32(deg) < gamma-1 {
+				t.Fatalf("truss community of keynode %d has vertex %d with degree %d < γ-1", tc.Keynode, v, deg)
+			}
+		}
+	}
+}
+
+func TestTrussValidation(t *testing.T) {
+	g := clique(t, 5)
+	ix := NewIndex(g)
+	if _, err := LocalSearch(nil, 1, 3); err == nil {
+		t.Error("nil index: want error")
+	}
+	if _, err := LocalSearch(ix, 0, 3); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := LocalSearch(ix, 1, 1); err == nil {
+		t.Error("gamma=1: want error")
+	}
+	if _, err := GlobalSearch(ix, 0, 3); err == nil {
+		t.Error("global k=0: want error")
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"os"
+	"testing"
+
+	"influcomm/internal/kcore"
+)
+
+func TestRegistryLoads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	d, err := ByName("email")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != d.N {
+		t.Fatalf("email has %d vertices, want %d", g.NumVertices(), d.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	// Weights must be PageRank scores: positive and summing to ~1.
+	var sum float64
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		w := g.Weight(u)
+		if w <= 0 {
+			t.Fatalf("vertex %d has non-positive PageRank %v", u, w)
+		}
+		sum += w
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("PageRank weights sum to %v, want ~1", sum)
+	}
+	// γmax must support the default γ=10 queries.
+	if gmax := kcore.MaxCore(g); gmax < 5 {
+		t.Fatalf("email γmax = %d, too small for experiments", gmax)
+	}
+	// Loading again returns the cached instance.
+	g2, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Error("Load is not cached")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("facebook"); err == nil {
+		t.Error("unknown dataset: want error")
+	}
+}
+
+func TestEdgeFileCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	d, err := ByName("email")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := d.EdgeFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p1); err != nil {
+		t.Fatalf("edge file missing: %v", err)
+	}
+	p2, err := d.EdgeFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("EdgeFile is not cached")
+	}
+}
+
+func TestClampGamma(t *testing.T) {
+	cases := []struct{ gamma, gmax, want int32 }{
+		{10, 43, 10},
+		{50, 43, 43},
+		{50, 0, 1},
+		{0, 10, 1},
+	}
+	for _, c := range cases {
+		if got := ClampGamma(c.gamma, c.gmax); got != c.want {
+			t.Errorf("ClampGamma(%d, %d) = %d, want %d", c.gamma, c.gmax, got, c.want)
+		}
+	}
+}
