@@ -1,10 +1,9 @@
 package influcomm
 
 import (
+	"context"
 	"fmt"
 	"sync"
-
-	"influcomm/internal/core"
 )
 
 // Query is one top-k influential community query of a batch.
@@ -23,33 +22,98 @@ type QueryResult struct {
 	Err    error
 }
 
+// BatchOptions tunes TopKBatchContext.
+type BatchOptions struct {
+	// Parallelism bounds the number of concurrent worker goroutines
+	// (capped at the number of queries; values < 1 mean 1).
+	Parallelism int
+
+	// FailFast cancels the remaining queries as soon as one fails
+	// (errgroup semantics): unstarted queries report the first failure —
+	// the cancellation cause — in their Err, and it is also returned as
+	// the batch error.
+	FailFast bool
+
+	// Pool, when non-nil, supplies the search engines; pass the pool a
+	// serving system already holds so batch and interactive traffic share
+	// warm scratch state. A fresh pool is created otherwise.
+	Pool *QueryPool
+}
+
 // TopKBatch answers many queries over the same graph concurrently, using up
 // to parallelism goroutines (capped at the number of queries; values < 1
-// mean 1). The graph is immutable and safely shared; every query gets its
-// own search engine. Results are returned in query order.
+// mean 1). The graph is immutable and safely shared; engines are drawn from
+// a pool so the batch allocates O(parallelism), not O(queries), scratch
+// state. Results are returned in query order; per-query failures are
+// recorded in QueryResult.Err without affecting the other queries.
 //
 // The paper's algorithms are single-threaded per query — batching is how a
 // serving system exploits multiple cores, since CountIC's sequential
 // peeling is inherently order-dependent.
 func TopKBatch(g *Graph, queries []Query, parallelism int) []QueryResult {
+	out, _ := TopKBatchContext(context.Background(), g, queries, BatchOptions{Parallelism: parallelism})
+	return out
+}
+
+// TopKBatchContext is TopKBatch under a context and explicit options. The
+// context cancels the whole batch: in-flight queries stop mid-search and
+// unstarted ones are skipped, all reporting ctx.Err(). The returned error
+// is the batch-level failure — ctx.Err() on cancellation, or the first
+// query error when opts.FailFast is set — and nil otherwise, even when
+// individual queries failed.
+func TopKBatchContext(ctx context.Context, g *Graph, queries []Query, opts BatchOptions) ([]QueryResult, error) {
 	out := make([]QueryResult, len(queries))
+	if len(queries) == 0 {
+		return out, ctx.Err()
+	}
+	parallelism := opts.Parallelism
 	if parallelism < 1 {
 		parallelism = 1
 	}
 	if parallelism > len(queries) {
 		parallelism = len(queries)
 	}
-	var wg sync.WaitGroup
+	pool := opts.Pool
+	if pool == nil {
+		pool = NewQueryPool(g)
+	}
+
+	// Errgroup-style wiring without the external dependency: a derived
+	// context that the first failure cancels with itself as the cause, plus
+	// a once-guarded slot for that failure.
+	bctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	var (
+		failOnce sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancel(err)
+		})
+	}
+
 	work := make(chan int)
+	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
 				q := queries[i]
-				res, err := core.TopK(g, q.K, int32(q.Gamma), q.Options)
+				if bctx.Err() != nil {
+					// Cause is the first failure under FailFast, or
+					// ctx.Err() when the caller's context fired.
+					out[i] = QueryResult{Query: q, Err: context.Cause(bctx)}
+					continue
+				}
+				res, err := pool.TopKWithOptions(bctx, q.K, q.Gamma, q.Options)
 				if err != nil {
 					err = fmt.Errorf("influcomm: query %d (k=%d, γ=%d): %w", i, q.K, q.Gamma, err)
+					if opts.FailFast {
+						fail(err)
+					}
 				}
 				out[i] = QueryResult{Query: q, Result: res, Err: err}
 			}
@@ -60,5 +124,9 @@ func TopKBatch(g *Graph, queries []Query, parallelism int) []QueryResult {
 	}
 	close(work)
 	wg.Wait()
-	return out
+
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, firstErr
 }

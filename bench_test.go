@@ -9,6 +9,7 @@
 package influcomm
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -465,6 +466,35 @@ func BenchmarkPrefixExtraction_Twitter(b *testing.B) {
 		p := g.PrefixForSize(g.Size() / 2)
 		_ = g.PrefixSize(p)
 	}
+}
+
+// BenchmarkPooledTopK compares the pooled query path (engines and CVS
+// buffers reused via QueryPool) against the seed per-query path that builds
+// a fresh engine — four O(n) slices — for every call. The pooled variant's
+// allocs/op must stay far below the per-query variant: in steady state it
+// allocates only the returned Result.
+func BenchmarkPooledTopK(b *testing.B) {
+	g := loadBench(b, "email")
+	gamma := workload.ClampGamma(10, kcore.MaxCore(g))
+	b.Run("PerQuery", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.TopK(g, 10, gamma, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Pooled", func(b *testing.B) {
+		pool := NewQueryPool(g)
+		ctx := context.Background()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.TopK(ctx, 10, int(gamma)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkStreamLatency measures time-to-first-community, the headline

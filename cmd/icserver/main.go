@@ -3,50 +3,135 @@
 // Usage:
 //
 //	icserver -graph g.txt [-addr :8080] [-pagerank] [-maxk 10000]
+//	         [-query-timeout 30s] [-max-inflight 64]
+//	         [-read-timeout 10s] [-write-timeout 60s] [-idle-timeout 2m]
+//	         [-shutdown-timeout 15s]
 //
 // Endpoints (JSON):
 //
+//	GET /healthz
 //	GET /v1/stats
 //	GET /v1/topk?k=10&gamma=5[&noncontainment=1|&truss=1]
+//
+// The server drains in-flight requests on SIGINT/SIGTERM, waiting up to
+// -shutdown-timeout before closing remaining connections.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"influcomm"
 	"influcomm/internal/server"
 )
 
+// config collects the flag values; main parses, serve runs.
+type config struct {
+	graphPath       string
+	addr            string
+	usePagerank     bool
+	maxK            int
+	maxInFlight     int
+	queryTimeout    time.Duration
+	readTimeout     time.Duration
+	writeTimeout    time.Duration
+	idleTimeout     time.Duration
+	shutdownTimeout time.Duration
+}
+
 func main() {
-	var (
-		graphPath   = flag.String("graph", "", "path to the graph file (required)")
-		addr        = flag.String("addr", ":8080", "listen address")
-		usePagerank = flag.Bool("pagerank", false, "replace vertex weights with PageRank scores")
-		maxK        = flag.Int("maxk", 10000, "largest k a single request may ask for")
-	)
+	var cfg config
+	flag.StringVar(&cfg.graphPath, "graph", "", "path to the graph file (required)")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores")
+	flag.IntVar(&cfg.maxK, "maxk", 10000, "largest k a single request may ask for")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "concurrent query limit, 503 beyond it (0 = 4×GOMAXPROCS, -1 = unlimited)")
+	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 30*time.Second, "per-request search deadline (0 = none)")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP write timeout")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "HTTP idle connection timeout")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 15*time.Second, "graceful shutdown drain limit")
 	flag.Parse()
-	if *graphPath == "" {
+	if cfg.graphPath == "" {
 		fmt.Fprintln(os.Stderr, "icserver: -graph is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	g, err := influcomm.LoadGraph(*graphPath)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, cfg, nil); err != nil {
 		log.Fatalf("icserver: %v", err)
 	}
-	if *usePagerank {
+}
+
+// serve loads the graph and runs the HTTP server until ctx is cancelled,
+// then drains gracefully. When ready is non-nil the bound listener address
+// is sent on it once the server is accepting connections (used by tests to
+// serve on an ephemeral port).
+func serve(ctx context.Context, cfg config, ready chan<- string) error {
+	g, err := influcomm.LoadGraph(cfg.graphPath)
+	if err != nil {
+		return err
+	}
+	if cfg.usePagerank {
 		if g, err = influcomm.PageRankWeights(g); err != nil {
-			log.Fatalf("icserver: %v", err)
+			return err
 		}
 	}
-	srv, err := server.New(g, server.WithMaxK(*maxK))
-	if err != nil {
-		log.Fatalf("icserver: %v", err)
+	opts := []server.Option{
+		server.WithMaxK(cfg.maxK),
+		server.WithQueryTimeout(cfg.queryTimeout),
 	}
-	log.Printf("icserver: serving %d vertices, %d edges on %s", g.NumVertices(), g.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	if cfg.maxInFlight != 0 {
+		opts = append(opts, server.WithMaxInFlight(cfg.maxInFlight))
+	}
+	h, err := server.New(g, opts...)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           h,
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("icserver: serving %d vertices, %d edges on %s", g.NumVertices(), g.NumEdges(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("icserver: shutting down, draining for up to %s", cfg.shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

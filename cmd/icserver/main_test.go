@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"influcomm"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	var b influcomm.Builder
+	for id := int32(0); id < 10; id++ {
+		b.AddVertex(id, float64(10+id))
+	}
+	for _, e := range [][2]int32{
+		{0, 1}, {0, 5}, {0, 6}, {1, 5}, {1, 6}, {5, 6},
+		{3, 4}, {3, 7}, {3, 8}, {4, 7}, {4, 8}, {7, 8},
+		{3, 9}, {7, 9}, {8, 9},
+		{1, 2}, {2, 3},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := influcomm.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testConfig(graphPath string) config {
+	return config{
+		graphPath:       graphPath,
+		addr:            "127.0.0.1:0",
+		maxK:            100,
+		queryTimeout:    10 * time.Second,
+		readTimeout:     5 * time.Second,
+		writeTimeout:    10 * time.Second,
+		idleTimeout:     time.Minute,
+		shutdownTimeout: 5 * time.Second,
+	}
+}
+
+// TestServeSmoke boots the real server on an ephemeral port, exercises
+// every endpoint, then checks SIGTERM-style cancellation shuts it down
+// cleanly.
+func TestServeSmoke(t *testing.T) {
+	cfg := testConfig(writeFixture(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, ready) }()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	var health map[string]string
+	mustGet(t, base+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Errorf("healthz = %v", health)
+	}
+
+	var topk struct {
+		Communities []struct {
+			Influence float64 `json:"influence"`
+		} `json:"communities"`
+	}
+	mustGet(t, base+"/v1/topk?k=2&gamma=3", &topk)
+	if len(topk.Communities) != 2 || topk.Communities[0].Influence != 13 {
+		t.Errorf("topk = %+v", topk)
+	}
+
+	var stats struct {
+		Vertices int   `json:"vertices"`
+		Queries  int64 `json:"queries"`
+	}
+	mustGet(t, base+"/v1/stats", &stats)
+	if stats.Vertices != 10 || stats.Queries != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	cancel() // deliver the shutdown signal
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestServeBadGraph(t *testing.T) {
+	cfg := testConfig(filepath.Join(t.TempDir(), "missing.txt"))
+	if err := serve(context.Background(), cfg, nil); err == nil {
+		t.Error("missing graph file: want error")
+	}
+}
+
+func mustGet(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}

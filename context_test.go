@@ -1,0 +1,166 @@
+package influcomm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTopKContextExpiredDeadline(t *testing.T) {
+	g := figure1(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := TopKContext(ctx, g, 2, 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TopKContext err = %v, want DeadlineExceeded", err)
+	}
+	if _, err := StreamContext(ctx, g, 3, func(*Community) bool { return true }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("StreamContext err = %v, want DeadlineExceeded", err)
+	}
+	if _, err := TopKTrussContext(ctx, g, 2, 4); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TopKTrussContext err = %v, want DeadlineExceeded", err)
+	}
+	if err := StreamTrussContext(ctx, g, 4, func(*TrussCommunity) bool { return true }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("StreamTrussContext err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestTopKContextMatchesTopK(t *testing.T) {
+	g := figure1(t)
+	want, err := TopK(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TopKContext(context.Background(), g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Communities) != len(want.Communities) {
+		t.Fatalf("got %d communities, want %d", len(got.Communities), len(want.Communities))
+	}
+	for i := range want.Communities {
+		if got.Communities[i].Influence() != want.Communities[i].Influence() {
+			t.Errorf("community %d: influence %v, want %v",
+				i, got.Communities[i].Influence(), want.Communities[i].Influence())
+		}
+	}
+}
+
+func TestQueryPool(t *testing.T) {
+	g := figure1(t)
+	pool := NewQueryPool(g)
+	if pool.Graph() != g {
+		t.Fatal("pool graph mismatch")
+	}
+	for i := 0; i < 10; i++ {
+		res, err := pool.TopK(context.Background(), 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Communities) != 2 || res.Communities[0].Influence() != 13 {
+			t.Fatalf("iteration %d: unexpected result %+v", i, res.Communities)
+		}
+	}
+	var influences []float64
+	if _, err := pool.Stream(context.Background(), 3, func(c *Community) bool {
+		influences = append(influences, c.Influence())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(influences) != 2 || influences[0] != 13 || influences[1] != 10 {
+		t.Fatalf("pooled stream = %v, want [13 10]", influences)
+	}
+}
+
+func TestTopKBatchContextCanceled(t *testing.T) {
+	g := figure1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	queries := []Query{{K: 1, Gamma: 3}, {K: 2, Gamma: 3}}
+	out, err := TopKBatchContext(ctx, g, queries, BatchOptions{Parallelism: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want Canceled", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d results, want 2", len(out))
+	}
+	for i, r := range out {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("query %d err = %v, want Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestTopKBatchContextFailFast(t *testing.T) {
+	g := figure1(t)
+	// One poisoned query among many; fail-fast must surface it as the
+	// batch error while normal mode keeps it per-query.
+	queries := make([]Query, 32)
+	for i := range queries {
+		queries[i] = Query{K: i%3 + 1, Gamma: 3}
+	}
+	queries[0] = Query{K: 0, Gamma: 3}
+
+	out, err := TopKBatchContext(context.Background(), g, queries, BatchOptions{Parallelism: 4, FailFast: true})
+	if err == nil {
+		t.Fatal("fail-fast batch with an invalid query: want error")
+	}
+	if out[0].Err == nil {
+		t.Error("poisoned query should carry its error")
+	}
+
+	// With one worker the failure order is deterministic: every query
+	// after the poisoned one is skipped and must report the first failure
+	// as its cancellation cause, not a bare context.Canceled.
+	out, err = TopKBatchContext(context.Background(), g, queries, BatchOptions{Parallelism: 1, FailFast: true})
+	if err == nil || out[0].Err == nil {
+		t.Fatal("fail-fast serial batch: want error")
+	}
+	for i := 1; i < len(out); i++ {
+		if !errors.Is(out[i].Err, out[0].Err) {
+			t.Fatalf("query %d err = %v, want the first failure as cause", i, out[i].Err)
+		}
+	}
+
+	out, err = TopKBatchContext(context.Background(), g, queries, BatchOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("non-fail-fast batch error: %v", err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Err != nil {
+			t.Errorf("query %d: unexpected error %v", i, out[i].Err)
+		}
+	}
+}
+
+func TestTopKBatchSharedPool(t *testing.T) {
+	g := figure1(t)
+	pool := NewQueryPool(g)
+	queries := make([]Query, 16)
+	for i := range queries {
+		queries[i] = Query{K: 2, Gamma: 3}
+	}
+	out, err := TopKBatchContext(context.Background(), g, queries, BatchOptions{Parallelism: 4, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out {
+		if r.Err != nil || len(r.Result.Communities) != 2 {
+			t.Fatalf("query %d: %+v", i, r)
+		}
+	}
+}
+
+func TestIsBinaryPathCaseInsensitive(t *testing.T) {
+	for _, path := range []string{"g.bin", "g.BIN", "g.Bin", "G.bIn"} {
+		if !isBinaryPath(path) {
+			t.Errorf("isBinaryPath(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{"g.txt", "bin", "g.binx", ""} {
+		if isBinaryPath(path) {
+			t.Errorf("isBinaryPath(%q) = true, want false", path)
+		}
+	}
+}

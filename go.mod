@@ -1,0 +1,3 @@
+module influcomm
+
+go 1.22

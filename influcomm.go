@@ -19,9 +19,11 @@
 package influcomm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"influcomm/internal/core"
 	"influcomm/internal/graph"
@@ -83,6 +85,64 @@ func StreamWithOptions(g *Graph, gamma int, opts Options, yield func(*Community)
 	return core.Stream(g, int32(gamma), opts, yield)
 }
 
+// TopKContext is TopK under a context: the search observes cancellation at
+// round boundaries and every few thousand peeling steps inside a round, so
+// a call with an already-expired deadline returns ctx.Err() promptly and a
+// cancelled request stops the search mid-query.
+func TopKContext(ctx context.Context, g *Graph, k int, gamma int) (*Result, error) {
+	return core.TopKCtx(ctx, g, k, int32(gamma), core.Options{})
+}
+
+// TopKContextWithOptions is TopKContext with explicit algorithm options.
+func TopKContextWithOptions(ctx context.Context, g *Graph, k int, gamma int, opts Options) (*Result, error) {
+	return core.TopKCtx(ctx, g, k, int32(gamma), opts)
+}
+
+// StreamContext is Stream under a context: cancellation stops the
+// progressive search between yields, returning ctx.Err().
+func StreamContext(ctx context.Context, g *Graph, gamma int, yield func(*Community) bool) (Stats, error) {
+	return core.StreamCtx(ctx, g, int32(gamma), core.Options{}, yield)
+}
+
+// StreamContextWithOptions is StreamContext with explicit algorithm options.
+func StreamContextWithOptions(ctx context.Context, g *Graph, gamma int, opts Options, yield func(*Community) bool) (Stats, error) {
+	return core.StreamCtx(ctx, g, int32(gamma), opts, yield)
+}
+
+// QueryPool amortizes per-query setup for repeated queries over one graph:
+// search engines (four O(n) scratch slices each) and round buffers are
+// pooled and reused, so steady-state queries allocate only their results.
+// Use one QueryPool per graph for serving workloads; it is safe for
+// concurrent use.
+type QueryPool struct {
+	pool *core.Pool
+}
+
+// NewQueryPool returns a QueryPool answering queries over g.
+func NewQueryPool(g *Graph) *QueryPool {
+	return &QueryPool{pool: core.NewPool(g)}
+}
+
+// Graph returns the pool's graph.
+func (q *QueryPool) Graph() *Graph { return q.pool.Graph() }
+
+// TopK answers a top-k query with pooled scratch state; semantically
+// identical to TopKContext.
+func (q *QueryPool) TopK(ctx context.Context, k int, gamma int) (*Result, error) {
+	return q.pool.TopK(ctx, k, int32(gamma), core.Options{})
+}
+
+// TopKWithOptions is TopK with explicit algorithm options.
+func (q *QueryPool) TopKWithOptions(ctx context.Context, k int, gamma int, opts Options) (*Result, error) {
+	return q.pool.TopK(ctx, k, int32(gamma), opts)
+}
+
+// Stream answers a progressive query with a pooled engine; semantically
+// identical to StreamContext.
+func (q *QueryPool) Stream(ctx context.Context, gamma int, yield func(*Community) bool) (Stats, error) {
+	return q.pool.Stream(ctx, int32(gamma), core.Options{}, yield)
+}
+
 // TopKNonContainment returns the top-k non-containment influential
 // γ-communities (§5.1): communities with no nested sub-community. The
 // result set is pairwise disjoint.
@@ -105,6 +165,22 @@ func TopKTruss(g *Graph, k int, gamma int) ([]*TrussCommunity, error) {
 // truss measure; yield returning false stops the search.
 func StreamTruss(g *Graph, gamma int, yield func(*TrussCommunity) bool) error {
 	_, err := truss.Stream(truss.NewIndex(g), int32(gamma), yield)
+	return err
+}
+
+// TopKTrussContext is TopKTruss under a context: cancellation is observed
+// at round boundaries and inside the truss peeling loops.
+func TopKTrussContext(ctx context.Context, g *Graph, k int, gamma int) ([]*TrussCommunity, error) {
+	res, err := truss.LocalSearchCtx(ctx, truss.NewIndex(g), k, int32(gamma))
+	if err != nil {
+		return nil, err
+	}
+	return res.Communities, nil
+}
+
+// StreamTrussContext is StreamTruss under a context.
+func StreamTrussContext(ctx context.Context, g *Graph, gamma int, yield func(*TrussCommunity) bool) error {
+	_, err := truss.StreamCtx(ctx, truss.NewIndex(g), int32(gamma), yield)
 	return err
 }
 
@@ -177,5 +253,5 @@ func SaveGraph(path string, g *Graph) (err error) {
 }
 
 func isBinaryPath(path string) bool {
-	return len(path) >= 4 && path[len(path)-4:] == ".bin"
+	return len(path) >= 4 && strings.EqualFold(path[len(path)-4:], ".bin")
 }

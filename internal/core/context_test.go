@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTopKCtxExpiredDeadline(t *testing.T) {
+	g := nestedChain(t, 200)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	_, err := TopKCtx(ctx, g, 10, 3, Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("expired-deadline query took %v, want prompt return", d)
+	}
+}
+
+func TestTopKCtxCanceled(t *testing.T) {
+	g := figure1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TopKCtx(ctx, g, 2, 3, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	// Validation still beats the context check, matching TopK.
+	if _, err := TopKCtx(ctx, g, 0, 3, Options{}); errors.Is(err, context.Canceled) {
+		t.Fatal("invalid k should fail validation, not report cancellation")
+	}
+}
+
+// TestStreamCtxCancelMidQuery cancels the context from inside the first
+// yield: the search must stop at the next cancellation point and return
+// ctx.Err() even though the graph holds many more communities.
+func TestStreamCtxCancelMidQuery(t *testing.T) {
+	g := nestedChain(t, 500) // one community per prefix ≥ 4: hundreds total
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	yields := 0
+	st, err := StreamCtx(ctx, g, 3, Options{}, func(*Community) bool {
+		yields++
+		cancel()
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if yields == 0 {
+		t.Fatal("search never reached a yield")
+	}
+	if st.Communities >= 496 {
+		t.Errorf("cancellation did not stop the search: %d communities reported", st.Communities)
+	}
+}
+
+func TestEngineRemoveStopsOnCancel(t *testing.T) {
+	// Drive the step-wise API with a cancelled context: Remove must stop
+	// its cascade early and record the error.
+	// More vertices than one poll interval, so the cancellation must be
+	// observed strictly before the peel sequence completes.
+	n := ctxCheckInterval + 1000
+	g := nestedChain(t, n)
+	e := NewEngine(g, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetContext(ctx)
+	e.Peel(n)
+	cancel()
+	for e.Err() == nil {
+		u := e.NextMin()
+		if u < 0 {
+			break
+		}
+		e.Remove(u, nil)
+	}
+	if e.Err() == nil {
+		t.Fatal("engine never observed the cancelled context")
+	}
+	if !errors.Is(e.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want Canceled", e.Err())
+	}
+	if e.NextMin() < 0 {
+		t.Error("cascade ran to completion despite cancellation")
+	}
+}
+
+// TestPoolMatchesTopK checks that pooled queries return the same
+// communities as the per-query path, including after engine reuse across
+// different γ values and semantics.
+func TestPoolMatchesTopK(t *testing.T) {
+	g := figure1(t)
+	pool := NewPool(g)
+	cases := []struct {
+		k     int
+		gamma int32
+		opts  Options
+	}{
+		{1, 3, Options{}},
+		{2, 3, Options{}},
+		{5, 3, Options{}},
+		{2, 2, Options{}},
+		{1, 4, Options{}},
+		{2, 3, Options{NonContainment: true}},
+	}
+	for round := 0; round < 3; round++ { // repeat so engines are reused
+		for _, c := range cases {
+			want, err := TopK(g, c.k, c.gamma, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pool.TopK(context.Background(), c.k, c.gamma, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Communities) != len(want.Communities) {
+				t.Fatalf("k=%d γ=%d: pooled %d communities, want %d",
+					c.k, c.gamma, len(got.Communities), len(want.Communities))
+			}
+			for i := range want.Communities {
+				w, gc := want.Communities[i], got.Communities[i]
+				if gc.Influence() != w.Influence() || gc.Size() != w.Size() || gc.Keynode() != w.Keynode() {
+					t.Errorf("k=%d γ=%d community %d: got (%v,%d,%d), want (%v,%d,%d)",
+						c.k, c.gamma, i, gc.Influence(), gc.Size(), gc.Keynode(),
+						w.Influence(), w.Size(), w.Keynode())
+				}
+				if !equalVertices(gc.Vertices(), w.Vertices()) {
+					t.Errorf("k=%d γ=%d community %d: vertex sets differ", c.k, c.gamma, i)
+				}
+			}
+			if got.Stats != want.Stats {
+				t.Errorf("k=%d γ=%d: stats %+v, want %+v", c.k, c.gamma, got.Stats, want.Stats)
+			}
+		}
+	}
+}
+
+// TestPoolResultOwnsMemory ensures a pooled result stays intact after the
+// pool's buffers are reused by later queries (the CompactTail contract).
+func TestPoolResultOwnsMemory(t *testing.T) {
+	g := figure1(t)
+	pool := NewPool(g)
+	res, err := pool.TopK(context.Background(), 2, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([][]int32, len(res.Communities))
+	for i, c := range res.Communities {
+		snapshot[i] = c.Vertices()
+	}
+	for i := 0; i < 50; i++ { // churn the pooled buffers
+		if _, err := pool.TopK(context.Background(), i%5+1, 3, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range res.Communities {
+		if !equalVertices(c.Vertices(), snapshot[i]) {
+			t.Fatalf("community %d mutated by later pooled queries", i)
+		}
+	}
+}
+
+func TestPoolStreamMatchesStream(t *testing.T) {
+	g := figure1(t)
+	pool := NewPool(g)
+	var want, got []float64
+	if _, err := Stream(g, 3, Options{}, func(c *Community) bool {
+		want = append(want, c.Influence())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Stream(context.Background(), 3, Options{}, func(c *Community) bool {
+		got = append(got, c.Influence())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pooled stream yielded %d communities, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("yield %d: influence %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func equalVertices(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

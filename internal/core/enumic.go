@@ -22,6 +22,22 @@ func NewEnumState(n int) *EnumState {
 	return s
 }
 
+// Recycle returns the state to its freshly-constructed condition by
+// undoing exactly the assignments the previous enumeration made (touched
+// vertices are recorded in the communities' group slices), so a pooled
+// state resets in output-size rather than O(n) time. The communities
+// themselves are not touched — they are owned by the caller of Process.
+func (s *EnumState) Recycle() {
+	for i, c := range s.comms {
+		for _, v := range c.group {
+			s.vgroup[v] = -1
+		}
+		s.comms[i] = nil // drop the reference; the result owns the community
+	}
+	s.comms = s.comms[:0]
+	s.parent = s.parent[:0]
+}
+
 // find returns the representative group of j with path halving. Combined
 // with the directed unions below this gives the amortized near-constant
 // Find/Union of Algorithm 3 [12].

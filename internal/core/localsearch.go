@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -142,15 +143,36 @@ func growPrefix(g *graph.Graph, p int, opts Options) int {
 // by Theorem 3.3 its total work is O(2δ²/(δ−1) · size(G≥τ*)) where G≥τ* is
 // the smallest subgraph any index-free algorithm must access.
 func TopK(g *graph.Graph, k int, gamma int32, opts Options) (*Result, error) {
+	return TopKCtx(context.Background(), g, k, gamma, opts)
+}
+
+// TopKCtx is TopK under a context: cancellation is observed at round
+// boundaries and every few thousand removal/traversal steps inside a round,
+// so an expired context makes the call return ctx.Err() promptly even on
+// graphs where a single round is large.
+func TopKCtx(ctx context.Context, g *graph.Graph, k int, gamma int32, opts Options) (*Result, error) {
 	if err := validateQuery(g, k, gamma); err != nil {
 		return nil, err
 	}
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	n := g.NumVertices()
-	p := initialPrefix(g, k, gamma, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	eng := NewEngine(g, gamma)
+	eng.SetContext(ctx)
+	return runTopK(ctx, eng, nil, nil, g, k, opts)
+}
+
+// runTopK is the shared LocalSearch driver behind TopKCtx and Pool.TopK.
+// When scratch is non-nil every round runs into it and enumeration works on
+// a compact copy of the tail, so the scratch (and the engine) can go back
+// to a pool while the returned Result owns only its own memory. A non-nil
+// enum replaces EnumIC's fresh per-query state; the caller recycles it.
+func runTopK(ctx context.Context, eng *Engine, scratch *CVS, enum *EnumState, g *graph.Graph, k int, opts Options) (*Result, error) {
+	n := g.NumVertices()
+	p := initialPrefix(g, k, eng.Gamma(), opts)
 	flags := WantSeq
 	if opts.NonContainment {
 		flags |= WantNC
@@ -158,7 +180,11 @@ func TopK(g *graph.Graph, k int, gamma int32, opts Options) (*Result, error) {
 	var st Stats
 	var cvs *CVS
 	for {
-		cvs = eng.Run(p, 0, flags)
+		var err error
+		cvs, err = eng.RunInto(scratch, p, 0, flags)
+		if err != nil {
+			return nil, err
+		}
 		st.Rounds++
 		st.TotalWork += g.PrefixSize(p)
 		cnt := countOf(cvs, opts.NonContainment)
@@ -166,15 +192,30 @@ func TopK(g *graph.Graph, k int, gamma int32, opts Options) (*Result, error) {
 			st.Communities = cnt
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p = growPrefix(g, p, opts)
 	}
 	st.FinalPrefix = p
 	st.FinalSize = g.PrefixSize(p)
 
+	if scratch != nil {
+		if opts.NonContainment {
+			// Non-containment keynodes are sparse among all keynodes, so
+			// the whole tail may be needed to collect k of them.
+			cvs = cvs.CompactTail(-1)
+		} else {
+			cvs = cvs.CompactTail(k)
+		}
+	}
 	var comms []*Community
-	if opts.NonContainment {
+	switch {
+	case opts.NonContainment:
 		comms = nonContainmentCommunities(g, cvs, k)
-	} else {
+	case enum != nil:
+		comms = enum.Process(g, cvs, k)
+	default:
 		comms = EnumIC(g, cvs, k)
 	}
 	return &Result{Communities: comms, Stats: st}, nil

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"influcomm/internal/graph"
+)
+
+// Pool amortizes per-query setup cost for repeated LocalSearch queries over
+// one graph. A fresh query through TopK builds four O(n) engine slices and
+// per-round CVS buffers; under serving traffic that allocation dominates
+// small queries and pressures the GC. A Pool keeps engines (rebound to each
+// query's γ on checkout, which subsumes keeping one pool per γ — the
+// scratch depends only on the graph) and CVS buffers in sync.Pools, so
+// steady-state queries perform zero engine allocations.
+//
+// A Pool is safe for concurrent use; each checked-out engine is used by one
+// goroutine at a time.
+type Pool struct {
+	g       *graph.Graph
+	engines sync.Pool // *Engine
+	buffers sync.Pool // *CVS
+	enums   sync.Pool // *EnumState
+}
+
+// NewPool returns a Pool serving queries over g.
+func NewPool(g *graph.Graph) *Pool {
+	p := &Pool{g: g}
+	p.engines.New = func() any { return NewEngine(g, 0) }
+	p.buffers.New = func() any { return new(CVS) }
+	p.enums.New = func() any { return NewEnumState(g.NumVertices()) }
+	return p
+}
+
+// Graph returns the pool's graph.
+func (p *Pool) Graph() *graph.Graph { return p.g }
+
+// Get checks an engine out of the pool, reset to the given γ. Return it
+// with Put when the query is done.
+func (p *Pool) Get(gamma int32) *Engine {
+	e := p.engines.Get().(*Engine)
+	e.Reset(gamma)
+	return e
+}
+
+// Put returns an engine obtained from Get to the pool.
+func (p *Pool) Put(e *Engine) {
+	e.SetContext(nil)
+	p.engines.Put(e)
+}
+
+// TopK answers a top-k query with pooled scratch state: equivalent to
+// TopKCtx but allocation-free in steady state apart from the returned
+// Result, which owns its own memory.
+func (p *Pool) TopK(ctx context.Context, k int, gamma int32, opts Options) (*Result, error) {
+	if err := validateQuery(p.g, k, gamma); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eng := p.Get(gamma)
+	defer p.Put(eng)
+	eng.SetContext(ctx)
+	scratch := p.buffers.Get().(*CVS)
+	defer p.buffers.Put(scratch)
+	var enum *EnumState
+	if !opts.NonContainment {
+		enum = p.enums.Get().(*EnumState)
+		defer func() {
+			enum.Recycle()
+			p.enums.Put(enum)
+		}()
+	}
+	return runTopK(ctx, eng, scratch, enum, p.g, k, opts)
+}
+
+// Stream answers a progressive query with a pooled engine: equivalent to
+// StreamCtx. CVS buffers are not reused here — the yielded communities
+// retain each round's group slices — so only the engine allocation is
+// saved.
+func (p *Pool) Stream(ctx context.Context, gamma int32, opts Options, yield func(*Community) bool) (Stats, error) {
+	var st Stats
+	if err := validateQuery(p.g, 1, gamma); err != nil {
+		return st, err
+	}
+	if err := opts.validate(); err != nil {
+		return st, err
+	}
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+	eng := p.Get(gamma)
+	defer p.Put(eng)
+	eng.SetContext(ctx)
+	return runStream(ctx, eng, p.g, opts, yield)
+}

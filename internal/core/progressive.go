@@ -1,6 +1,10 @@
 package core
 
-import "influcomm/internal/graph"
+import (
+	"context"
+
+	"influcomm/internal/graph"
+)
 
 // Stream runs LocalSearch-P (Algorithm 4): it computes and reports
 // influential γ-communities progressively in decreasing influence order,
@@ -11,6 +15,13 @@ import "influcomm/internal/graph"
 // caller stops after k communities — LocalSearch's instance-optimality
 // carries over.
 func Stream(g *graph.Graph, gamma int32, opts Options, yield func(*Community) bool) (Stats, error) {
+	return StreamCtx(context.Background(), g, gamma, opts, yield)
+}
+
+// StreamCtx is Stream under a context: cancellation is observed at round
+// boundaries and inside rounds every few thousand steps, so a cancelled
+// context stops the search promptly between yields.
+func StreamCtx(ctx context.Context, g *graph.Graph, gamma int32, opts Options, yield func(*Community) bool) (Stats, error) {
 	var st Stats
 	if err := validateQuery(g, 1, gamma); err != nil {
 		return st, err
@@ -18,11 +29,24 @@ func Stream(g *graph.Graph, gamma int32, opts Options, yield func(*Community) bo
 	if err := opts.validate(); err != nil {
 		return st, err
 	}
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+	eng := NewEngine(g, gamma)
+	eng.SetContext(ctx)
+	return runStream(ctx, eng, g, opts, yield)
+}
+
+// runStream is the shared LocalSearch-P driver behind StreamCtx and
+// Pool.Stream. Unlike runTopK it never reuses CVS buffers across rounds:
+// progressive enumeration retains each round's group slices in the
+// communities it yields, so every round's CVS must own its memory.
+func runStream(ctx context.Context, eng *Engine, g *graph.Graph, opts Options, yield func(*Community) bool) (Stats, error) {
+	var st Stats
 	n := g.NumVertices()
 	// Line 1 of Algorithm 4: largest τ that could hold one community.
-	p := initialPrefix(g, 1, gamma, opts)
+	p := initialPrefix(g, 1, eng.Gamma(), opts)
 	prev := 0
-	eng := NewEngine(g, gamma)
 	enum := NewEnumState(n)
 	flags := WantSeq
 	if opts.NonContainment {
@@ -33,7 +57,10 @@ func Stream(g *graph.Graph, gamma int32, opts Options, yield func(*Community) bo
 		// in the previous round's prefix are produced, implementing the
 		// computation sharing that makes LocalSearch-P no slower than
 		// LocalSearch (Figure 15).
-		cvs := eng.Run(p, prev, flags)
+		cvs, err := eng.RunInto(nil, p, prev, flags)
+		if err != nil {
+			return st, err
+		}
 		st.Rounds++
 		st.TotalWork += g.PrefixSize(p)
 		st.FinalPrefix = p
@@ -66,6 +93,9 @@ func Stream(g *graph.Graph, gamma int32, opts Options, yield func(*Community) bo
 		}
 		if p == n {
 			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
 		}
 		prev = p
 		p = growPrefix(g, p, opts)

@@ -1,11 +1,14 @@
 // Package server exposes top-k influential community queries over HTTP:
 // the serving layer a downstream system would put in front of the library.
-// One immutable graph is loaded at startup; queries run concurrently, each
-// with its own search engine (the same isolation TopKBatch relies on).
+// One immutable graph is loaded at startup; queries run concurrently on
+// pooled search engines, each request under its own context with a
+// per-request deadline, so steady-state queries allocate no engine state
+// and abandoned requests stop searching.
 //
 // Endpoints:
 //
-//	GET /v1/stats                       graph statistics
+//	GET /healthz                        liveness probe
+//	GET /v1/stats                       graph statistics and serving counters
 //	GET /v1/topk?k=10&gamma=5           top-k influential γ-communities
 //	GET /v1/topk?...&noncontainment=1   non-containment variant (§5.1)
 //	GET /v1/topk?...&truss=1            γ-truss variant (§5.2)
@@ -15,10 +18,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"influcomm/internal/core"
@@ -29,11 +37,35 @@ import (
 // Server answers community-search queries over one graph. Create with New;
 // it is safe for concurrent use.
 type Server struct {
-	g   *graph.Graph
-	mux *http.ServeMux
+	g    *graph.Graph
+	mux  *http.ServeMux
+	pool *core.Pool
+
+	// trussIndex is built once, on the first truss query: the graph is
+	// immutable, so rebuilding the O(m) index per request would be the
+	// same per-query setup waste the engine pool exists to avoid, while
+	// building it eagerly would tax servers that never see truss traffic.
+	trussOnce  sync.Once
+	trussIndex *truss.Index
 
 	// maxK bounds per-request work; requests beyond it are rejected.
 	maxK int
+	// queryTimeout is the per-request search deadline; 0 disables it.
+	queryTimeout time.Duration
+	// inflight is the admission semaphore; nil means unlimited.
+	inflight chan struct{}
+
+	metrics metrics
+}
+
+// metrics holds the serving counters reported on /v1/stats.
+type metrics struct {
+	queries    atomic.Int64 // admitted /v1/topk requests
+	inFlight   atomic.Int64 // currently executing queries
+	rejected   atomic.Int64 // 503s from the in-flight limit
+	errors     atomic.Int64 // bad requests and query failures
+	canceled   atomic.Int64 // queries stopped by disconnect or deadline
+	durationUS atomic.Int64 // cumulative query time of admitted requests
 }
 
 // Option configures a Server.
@@ -44,15 +76,42 @@ func WithMaxK(maxK int) Option {
 	return func(s *Server) { s.maxK = maxK }
 }
 
+// WithQueryTimeout overrides the per-request search deadline (default 30s);
+// d <= 0 disables the deadline.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queryTimeout = d }
+}
+
+// WithMaxInFlight overrides the concurrent query limit (default
+// 4×GOMAXPROCS). Requests arriving beyond the limit are rejected with 503;
+// n <= 0 removes the limit.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) {
+		if n <= 0 {
+			s.inflight = nil
+			return
+		}
+		s.inflight = make(chan struct{}, n)
+	}
+}
+
 // New returns a Server for g.
 func New(g *graph.Graph, opts ...Option) (*Server, error) {
 	if g == nil || g.NumVertices() == 0 {
 		return nil, fmt.Errorf("server: nil or empty graph")
 	}
-	s := &Server{g: g, mux: http.NewServeMux(), maxK: 10000}
+	s := &Server{
+		g:            g,
+		mux:          http.NewServeMux(),
+		pool:         core.NewPool(g),
+		maxK:         10000,
+		queryTimeout: 30 * time.Second,
+		inflight:     make(chan struct{}, 4*runtime.GOMAXPROCS(0)),
+	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	return s, nil
@@ -63,22 +122,45 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// statsResponse is the /v1/stats payload.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse is the /v1/stats payload: static graph shape plus the
+// serving counters since startup.
 type statsResponse struct {
 	Vertices  int     `json:"vertices"`
 	Edges     int64   `json:"edges"`
 	MaxDegree int32   `json:"max_degree"`
 	AvgDegree float64 `json:"avg_degree"`
+
+	Queries     int64   `json:"queries"`
+	InFlight    int64   `json:"in_flight"`
+	Rejected    int64   `json:"rejected"`
+	Errors      int64   `json:"errors"`
+	Canceled    int64   `json:"canceled"`
+	AvgLatency  float64 `json:"avg_latency_ms"`
+	MaxInFlight int     `json:"max_in_flight"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.g.Statistics()
-	writeJSON(w, http.StatusOK, statsResponse{
-		Vertices:  st.Vertices,
-		Edges:     st.Edges,
-		MaxDegree: st.MaxDegree,
-		AvgDegree: st.AvgDegree,
-	})
+	resp := statsResponse{
+		Vertices:    st.Vertices,
+		Edges:       st.Edges,
+		MaxDegree:   st.MaxDegree,
+		AvgDegree:   st.AvgDegree,
+		Queries:     s.metrics.queries.Load(),
+		InFlight:    s.metrics.inFlight.Load(),
+		Rejected:    s.metrics.rejected.Load(),
+		Errors:      s.metrics.errors.Load(),
+		Canceled:    s.metrics.canceled.Load(),
+		MaxInFlight: cap(s.inflight),
+	}
+	if resp.Queries > 0 {
+		resp.AvgLatency = float64(s.metrics.durationUS.Load()) / 1000 / float64(resp.Queries)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // communityJSON is one community of a /v1/topk response.
@@ -98,7 +180,7 @@ type topKResponse struct {
 	Communities []communityJSON `json:"communities"`
 	ElapsedMS   float64         `json:"elapsed_ms"`
 	// AccessedVertices reports how much of the graph the local search
-	// touched (0 for the truss path, which reports via its own stats).
+	// touched.
 	AccessedVertices int `json:"accessed_vertices,omitempty"`
 }
 
@@ -110,19 +192,61 @@ type httpError struct {
 func (e *httpError) Error() string { return e.msg }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	resp, err := s.topK(r)
-	if err != nil {
-		he, ok := err.(*httpError)
-		if !ok {
-			he = &httpError{http.StatusInternalServerError, err.Error()}
+	// Admission control: a saturated server sheds load immediately rather
+	// than queueing unbounded work behind slow searches.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server saturated, retry later"})
+			return
 		}
-		writeJSON(w, he.code, map[string]string{"error": he.msg})
+	}
+	s.metrics.queries.Add(1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	resp, err := s.topK(ctx, r)
+	s.metrics.durationUS.Add(time.Since(start).Microseconds())
+	if err != nil {
+		writeJSON(w, s.classify(err), map[string]string{"error": err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) topK(r *http.Request) (*topKResponse, error) {
+// classify maps a query error to an HTTP status, counting it in the
+// serving metrics. Context errors mean the search was stopped mid-query:
+// a hit deadline is a 504, a client disconnect a 499 (the nginx
+// convention; the client is gone, the code is for the counters and logs).
+func (s *Server) classify(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.canceled.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		s.metrics.canceled.Add(1)
+		return 499
+	}
+	s.metrics.errors.Add(1)
+	if he := (*httpError)(nil); errors.As(err, &he) {
+		return he.code
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, error) {
 	q := r.URL.Query()
 	k, err := intParam(q.Get("k"), 10)
 	if err != nil {
@@ -152,9 +276,10 @@ func (s *Server) topK(r *http.Request) (*topKResponse, error) {
 		if gamma < 2 {
 			return nil, &httpError{http.StatusBadRequest, "truss queries need gamma >= 2"}
 		}
-		res, err := truss.LocalSearch(truss.NewIndex(s.g), k, int32(gamma))
+		s.trussOnce.Do(func() { s.trussIndex = truss.NewIndex(s.g) })
+		res, err := truss.LocalSearchCtx(ctx, s.trussIndex, k, int32(gamma))
 		if err != nil {
-			return nil, &httpError{http.StatusBadRequest, err.Error()}
+			return nil, queryError(err)
 		}
 		for _, c := range res.Communities {
 			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
@@ -164,9 +289,9 @@ func (s *Server) topK(r *http.Request) (*topKResponse, error) {
 		if nonContain {
 			resp.Mode = "noncontainment"
 		}
-		res, err := core.TopK(s.g, k, int32(gamma), core.Options{NonContainment: nonContain})
+		res, err := s.pool.TopK(ctx, k, int32(gamma), core.Options{NonContainment: nonContain})
 		if err != nil {
-			return nil, &httpError{http.StatusBadRequest, err.Error()}
+			return nil, queryError(err)
 		}
 		for _, c := range res.Communities {
 			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
@@ -175,6 +300,15 @@ func (s *Server) topK(r *http.Request) (*topKResponse, error) {
 	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return resp, nil
+}
+
+// queryError passes context errors through for classify and wraps anything
+// else as a bad request (the search layer only fails on invalid queries).
+func queryError(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &httpError{http.StatusBadRequest, err.Error()}
 }
 
 func (s *Server) render(influence float64, keynode int32, members []int32) communityJSON {

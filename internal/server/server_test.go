@@ -1,12 +1,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"influcomm/internal/graph"
 )
@@ -171,5 +174,174 @@ func TestConcurrentRequests(t *testing.T) {
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil); err == nil {
 		t.Error("nil graph: want error")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	var got map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got["status"] != "ok" {
+		t.Errorf("healthz = %v", got)
+	}
+}
+
+// TestAbortedRequestStopsSearch drives the handler with already-cancelled
+// and already-expired request contexts: the search must stop, the status
+// must reflect why, and the canceled counter must advance — the end-to-end
+// cancellation path without any timing dependence.
+func TestAbortedRequestStopsSearch(t *testing.T) {
+	s, err := New(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/v1/topk?k=2&gamma=3", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Errorf("cancelled request: status %d, want 499", rec.Code)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	req = httptest.NewRequest("GET", "/v1/topk?k=2&gamma=3&truss=1", nil).WithContext(dctx)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("expired request: status %d, want 504", rec.Code)
+	}
+
+	if got := s.metrics.canceled.Load(); got != 2 {
+		t.Errorf("canceled counter = %d, want 2", got)
+	}
+	if got := s.metrics.inFlight.Load(); got != 0 {
+		t.Errorf("in-flight counter = %d after completion, want 0", got)
+	}
+}
+
+// TestSaturationRejects fills the admission semaphore by hand and checks
+// the next request is shed with a 503 and counted.
+func TestSaturationRejects(t *testing.T) {
+	s, err := New(testGraph(t), WithMaxInFlight(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.inflight <- struct{}{}
+	s.inflight <- struct{}{}
+	req := httptest.NewRequest("GET", "/v1/topk?k=1&gamma=3", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After")
+	}
+	if got := s.metrics.rejected.Load(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+	<-s.inflight
+	<-s.inflight
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/topk?k=1&gamma=3", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("drained server: status %d, want 200", rec.Code)
+	}
+}
+
+// TestConcurrentLoad hammers a limited server from many goroutines (run
+// under -race): every response is a 200 or a shed 503, and the counters
+// reconcile exactly with what the clients saw.
+func TestConcurrentLoad(t *testing.T) {
+	s, err := New(testGraph(t), WithMaxInFlight(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	const total = 128
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/topk?k=%d&gamma=3", ts.URL, i%5+1)
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var got topKResponse
+				if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+					t.Errorf("request %d: %v", i, err)
+					return
+				}
+				if len(got.Communities) == 0 {
+					t.Errorf("request %d: empty result", i)
+				}
+				ok.Add(1)
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+			default:
+				other.Add(1)
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ok.Load()+shed.Load()+other.Load() != total {
+		t.Fatalf("accounting mismatch: %d ok, %d shed, %d other", ok.Load(), shed.Load(), other.Load())
+	}
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Queries != ok.Load() || st.Rejected != shed.Load() {
+		t.Errorf("stats queries=%d rejected=%d, clients saw ok=%d shed=%d",
+			st.Queries, st.Rejected, ok.Load(), shed.Load())
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight = %d after load, want 0", st.InFlight)
+	}
+	if st.MaxInFlight != 2 {
+		t.Errorf("max_in_flight = %d, want 2", st.MaxInFlight)
+	}
+}
+
+// TestStatsCounters checks the query counter and latency accumulator move.
+func TestStatsCounters(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		var got topKResponse
+		if code := getJSON(t, ts.URL+"/v1/topk?k=2&gamma=3", &got); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+	}
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/v1/topk?k=0", &e); code != http.StatusBadRequest {
+		t.Fatalf("bad request status %d", code)
+	}
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Queries != 4 {
+		t.Errorf("queries = %d, want 4 (bad requests are admitted before validation)", st.Queries)
+	}
+	if st.Errors != 1 {
+		t.Errorf("errors = %d, want 1", st.Errors)
+	}
+	if st.Canceled != 0 || st.Rejected != 0 {
+		t.Errorf("canceled=%d rejected=%d, want 0/0", st.Canceled, st.Rejected)
 	}
 }

@@ -1,6 +1,7 @@
 package truss
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -159,7 +160,17 @@ func validate(ix *Index, k int, gamma int32) error {
 // generalized local search framework (Algorithm 6): grow the high-weight
 // prefix geometrically (δ = 2) until it holds k communities, then enumerate.
 func LocalSearch(ix *Index, k int, gamma int32) (*Result, error) {
+	return LocalSearchCtx(context.Background(), ix, k, gamma)
+}
+
+// LocalSearchCtx is LocalSearch under a context: cancellation is observed
+// at round boundaries and inside CountICC every few thousand edge removals,
+// so the call returns ctx.Err() promptly once the context expires.
+func LocalSearchCtx(ctx context.Context, ix *Index, k int, gamma int32) (*Result, error) {
 	if err := validate(ix, k, gamma); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	g := ix.g
@@ -171,12 +182,19 @@ func LocalSearch(ix *Index, k int, gamma int32) (*Result, error) {
 	var st Stats
 	var cvs *CVS
 	for {
-		cvs = CountICC(ix, p, gamma)
+		var err error
+		cvs, err = countICCFromCtx(ctx, ix, p, 0, gamma)
+		if err != nil {
+			return nil, err
+		}
 		st.Rounds++
 		st.TotalWork += g.PrefixSize(p)
 		if cvs.Count() >= k || p == n {
 			st.Communities = cvs.Count()
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		next := g.PrefixForSize(2 * g.PrefixSize(p))
 		if next <= p {

@@ -1,6 +1,9 @@
 package truss
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // runner holds the mutable edge state of one CountICC execution on a prefix
 // subgraph. It is created per run and not safe for concurrent use.
@@ -15,21 +18,47 @@ type runner struct {
 	vdeg   []int32 // alive incident edges per vertex < p
 	queue  []int64
 	thresh int32 // γ-2 triangles per edge
+
+	// Cancellation: ctx is polled every ctxCheckInterval work units; once
+	// it fires, err is sticky and the peeling loops stop early.
+	ctx    context.Context
+	budget int
+	err    error
 }
 
-func newRunner(ix *Index, p int, gamma int32) *runner {
+func newRunner(ctx context.Context, ix *Index, p int, gamma int32) *runner {
 	r := &runner{
 		ix:     ix,
 		gamma:  gamma,
 		p:      p,
 		me:     ix.g.PrefixEdges(p),
 		thresh: gamma - 2,
+		ctx:    ctx,
+		budget: ctxCheckInterval,
 	}
 	r.alive = make([]bool, r.me)
 	r.queued = make([]bool, r.me)
 	r.supp = make([]int32, r.me)
 	r.vdeg = make([]int32, p)
 	return r
+}
+
+// tick consumes n work units and polls the context when the budget is
+// spent; it reports whether the run may continue.
+func (r *runner) tick(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	r.budget -= n
+	if r.budget > 0 {
+		return true
+	}
+	r.budget = ctxCheckInterval
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+		return false
+	}
+	return true
 }
 
 // commonNeighbors calls fn(c) for every common neighbor c of a and b within
@@ -49,12 +78,16 @@ func (r *runner) commonNeighbors(a, b int32, fn func(c int32)) {
 	}
 }
 
-// initSupports computes the triangle support of every prefix edge.
+// initSupports computes the triangle support of every prefix edge. This is
+// the dominant cost of a truss round, so it polls the context per edge.
 func (r *runner) initSupports() {
 	for e := int64(0); e < r.me; e++ {
 		r.alive[e] = true
 	}
 	for e := int64(0); e < r.me; e++ {
+		if !r.tick(1) {
+			return
+		}
 		a, b := r.ix.elo[e], r.ix.ehi[e]
 		cnt := int32(0)
 		r.commonNeighbors(a, b, func(int32) { cnt++ })
@@ -66,6 +99,9 @@ func (r *runner) initSupports() {
 // support is below γ−2 and cascades, then tallies per-vertex alive degrees.
 func (r *runner) peelTruss() {
 	r.initSupports()
+	if r.err != nil {
+		return
+	}
 	q := r.queue[:0]
 	for e := int64(0); e < r.me; e++ {
 		if r.supp[e] < r.thresh {
@@ -97,6 +133,9 @@ func (r *runner) drain(seq *[]int64) {
 		q = q[:len(q)-1]
 		if !r.alive[e] {
 			continue
+		}
+		if !r.tick(1) {
+			break
 		}
 		r.alive[e] = false
 		a, b := r.ix.elo[e], r.ix.ehi[e]

@@ -1,6 +1,7 @@
 package truss
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -11,18 +12,41 @@ import (
 // keynodes new to this round. The suffix property of §4 carries over to
 // the truss measure (Property-II of §5.2), which the property tests check.
 func CountICCFrom(ix *Index, p, stopBefore int, gamma int32) *CVS {
-	r := newRunner(ix, p, gamma)
+	c, _ := countICCFromCtx(context.Background(), ix, p, stopBefore, gamma)
+	return c
+}
+
+// ctxCheckInterval is the number of work units (support computations,
+// removed edges, keynode iterations) between two context polls inside a
+// CountICC run.
+const ctxCheckInterval = 4096
+
+// countICCFromCtx is CountICCFrom under a context: the runner polls it
+// throughout support initialization, truss peeling, and keynode removal —
+// the peel is the dominant cost, so a cancelled context aborts the run
+// promptly with ctx.Err().
+func countICCFromCtx(ctx context.Context, ix *Index, p, stopBefore int, gamma int32) (*CVS, error) {
+	r := newRunner(ctx, ix, p, gamma)
 	r.peelTruss()
+	if r.err != nil {
+		return nil, r.err
+	}
 	c := &CVS{P: p, KeyPos: []int32{0}}
 	for u := int32(p) - 1; u >= int32(stopBefore); u-- {
+		if !r.tick(1) {
+			return nil, r.err
+		}
 		if r.vdeg[u] == 0 {
 			continue
 		}
 		c.Keys = append(c.Keys, u)
 		r.removeVertex(u, &c.Seq)
+		if r.err != nil {
+			return nil, r.err
+		}
 		c.KeyPos = append(c.KeyPos, int32(len(c.Seq)))
 	}
-	return c
+	return c, nil
 }
 
 // EnumState is the persistent cross-round state of progressive truss
@@ -92,11 +116,20 @@ func (s *EnumState) Process(c *CVS) []*Community {
 // §5.2 truss measure). yield returning false stops the search; the number
 // of vertices of the largest prefix processed is returned.
 func Stream(ix *Index, gamma int32, yield func(*Community) bool) (int, error) {
+	return StreamCtx(context.Background(), ix, gamma, yield)
+}
+
+// StreamCtx is Stream under a context: cancellation is observed at round
+// boundaries and inside CountICC, stopping the search promptly.
+func StreamCtx(ctx context.Context, ix *Index, gamma int32, yield func(*Community) bool) (int, error) {
 	if ix == nil || ix.g == nil {
 		return 0, errors.New("truss: nil index")
 	}
 	if gamma < 2 {
 		return 0, fmt.Errorf("truss: gamma must be >= 2, got %d", gamma)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	g := ix.g
 	n := g.NumVertices()
@@ -107,7 +140,10 @@ func Stream(ix *Index, gamma int32, yield func(*Community) bool) (int, error) {
 	prev := 0
 	st := NewEnumState(ix)
 	for {
-		cvs := CountICCFrom(ix, p, prev, gamma)
+		cvs, err := countICCFromCtx(ctx, ix, p, prev, gamma)
+		if err != nil {
+			return p, err
+		}
 		for _, c := range st.Process(cvs) {
 			if !yield(c) {
 				return p, nil
@@ -115,6 +151,9 @@ func Stream(ix *Index, gamma int32, yield func(*Community) bool) (int, error) {
 		}
 		if p == n {
 			return p, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return p, err
 		}
 		prev = p
 		next := g.PrefixForSize(2 * g.PrefixSize(p))

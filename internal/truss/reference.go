@@ -1,6 +1,7 @@
 package truss
 
 import (
+	"context"
 	"sort"
 
 	"influcomm/internal/graph"
@@ -25,7 +26,7 @@ func NaiveCommunities(g *graph.Graph, gamma int32) []NaiveCommunity {
 	var out []NaiveCommunity
 	for u := int32(0); int(u) < n; u++ {
 		p := int(u) + 1
-		r := newRunner(ix, p, gamma)
+		r := newRunner(context.Background(), ix, p, gamma)
 		r.peelTruss()
 		if r.vdeg[u] == 0 {
 			continue
