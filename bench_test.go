@@ -419,6 +419,16 @@ func BenchmarkIndexAll_Livejournal_Build(b *testing.B) {
 	g := loadBench(b, "livejournal")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if _, err := index.BuildContext(context.Background(), g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexAll_Livejournal_BuildParallel(b *testing.B) {
+	g := loadBench(b, "livejournal")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if _, err := index.Build(g); err != nil {
 			b.Fatal(err)
 		}

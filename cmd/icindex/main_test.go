@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"influcomm"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	var b influcomm.Builder
+	for id := int32(0); id < 10; id++ {
+		b.AddVertex(id, float64(10+id))
+	}
+	for _, e := range [][2]int32{
+		{0, 1}, {0, 5}, {0, 6}, {1, 5}, {1, 6}, {5, 6},
+		{3, 4}, {3, 7}, {3, 8}, {4, 7}, {4, 8}, {7, 8},
+		{3, 9}, {7, 9}, {8, 9},
+		{1, 2}, {2, 3},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := influcomm.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildPersistServe(t *testing.T) {
+	graphPath := writeFixture(t)
+	outPath := filepath.Join(t.TempDir(), "g.icx")
+	var logs []string
+	logf := func(format string, args ...any) { logs = append(logs, format) }
+	cfg := config{graphPath: graphPath, outPath: outPath, workers: 2, verify: true}
+	if err := run(context.Background(), cfg, logf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(logs) != 2 || !strings.Contains(logs[1], "verify ok") {
+		t.Errorf("logs = %q, want build line plus verify line", logs)
+	}
+
+	// The written file serves identical answers through the public API.
+	g, err := influcomm.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := influcomm.LoadIndex(outPath, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := influcomm.TopK(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := ix.TopK(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served) != len(online.Communities) {
+		t.Fatalf("index served %d communities, online %d", len(served), len(online.Communities))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	logf := func(string, ...any) {}
+	if err := run(context.Background(), config{graphPath: filepath.Join(dir, "missing.txt"), outPath: filepath.Join(dir, "o.icx")}, logf); err == nil {
+		t.Error("missing graph: want error")
+	}
+	graphPath := writeFixture(t)
+	if err := run(context.Background(), config{graphPath: graphPath, outPath: filepath.Join(dir, "nosuchdir", "o.icx")}, logf); err == nil {
+		t.Error("unwritable output path: want error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, config{graphPath: graphPath, outPath: filepath.Join(dir, "o.icx"), timeout: time.Minute}, logf); err == nil {
+		t.Error("cancelled context: want error")
+	}
+}

@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	icserver -graph g.txt [-addr :8080] [-pagerank] [-maxk 10000]
-//	         [-query-timeout 30s] [-max-inflight 64]
+//	icserver -graph g.txt [-index g.icx] [-addr :8080] [-pagerank]
+//	         [-maxk 10000] [-query-timeout 30s] [-max-inflight 64]
 //	         [-read-timeout 10s] [-write-timeout 60s] [-idle-timeout 2m]
 //	         [-shutdown-timeout 15s]
 //
@@ -12,6 +12,13 @@
 //	GET /healthz
 //	GET /v1/stats
 //	GET /v1/topk?k=10&gamma=5[&noncontainment=1|&truss=1]
+//
+// With -index, a prebuilt index file (see icindex) is loaded and validated
+// against the graph at startup; default-semantics queries are then served
+// from the index in output-proportional time, with pooled LocalSearch
+// answering the variants the index does not cover. A stale index — built
+// for a different graph — is rejected before the server starts. Build the
+// index with the same -pagerank setting the server runs with.
 //
 // The server drains in-flight requests on SIGINT/SIGTERM, waiting up to
 // -shutdown-timeout before closing remaining connections.
@@ -37,6 +44,7 @@ import (
 // config collects the flag values; main parses, serve runs.
 type config struct {
 	graphPath       string
+	indexPath       string
 	addr            string
 	usePagerank     bool
 	maxK            int
@@ -51,6 +59,7 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.graphPath, "graph", "", "path to the graph file (required)")
+	flag.StringVar(&cfg.indexPath, "index", "", "prebuilt index file (icindex output); serves queries index-first when set")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores")
 	flag.IntVar(&cfg.maxK, "maxk", 10000, "largest k a single request may ask for")
@@ -90,6 +99,14 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 	opts := []server.Option{
 		server.WithMaxK(cfg.maxK),
 		server.WithQueryTimeout(cfg.queryTimeout),
+	}
+	if cfg.indexPath != "" {
+		ix, err := influcomm.LoadIndex(cfg.indexPath, g)
+		if err != nil {
+			return fmt.Errorf("loading index: %w", err)
+		}
+		log.Printf("icserver: index loaded from %s (γmax %d, %d int32 slots), serving index-first", cfg.indexPath, ix.GammaMax(), ix.MemoryFootprint())
+		opts = append(opts, server.WithIndex(ix))
 	}
 	if cfg.maxInFlight != 0 {
 		opts = append(opts, server.WithMaxInFlight(cfg.maxInFlight))

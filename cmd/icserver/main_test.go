@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -110,6 +111,97 @@ func TestServeBadGraph(t *testing.T) {
 	cfg := testConfig(filepath.Join(t.TempDir(), "missing.txt"))
 	if err := serve(context.Background(), cfg, nil); err == nil {
 		t.Error("missing graph file: want error")
+	}
+}
+
+// TestServeWithIndex boots with a prebuilt index and checks queries are
+// answered from it (index_queries on /v1/stats) with the same payload the
+// online path produces.
+func TestServeWithIndex(t *testing.T) {
+	graphPath := writeFixture(t)
+	g, err := influcomm.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := influcomm.BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath := filepath.Join(t.TempDir(), "g.icx")
+	if err := influcomm.SaveIndex(indexPath, ix); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(graphPath)
+	cfg.indexPath = indexPath
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, ready) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	var topk struct {
+		Communities []struct {
+			Influence float64 `json:"influence"`
+		} `json:"communities"`
+	}
+	mustGet(t, base+"/v1/topk?k=2&gamma=3", &topk)
+	if len(topk.Communities) != 2 || topk.Communities[0].Influence != 13 {
+		t.Errorf("index-served topk = %+v", topk)
+	}
+	var stats struct {
+		IndexLoaded  bool  `json:"index_loaded"`
+		IndexQueries int64 `json:"index_queries"`
+		LocalQueries int64 `json:"local_queries"`
+	}
+	mustGet(t, base+"/v1/stats", &stats)
+	if !stats.IndexLoaded || stats.IndexQueries != 1 || stats.LocalQueries != 0 {
+		t.Errorf("stats = %+v, want index_loaded with 1 index query", stats)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+}
+
+// TestServeStaleIndexRejected: an index built for a different graph must
+// fail startup with a clear error, not serve wrong answers.
+func TestServeStaleIndexRejected(t *testing.T) {
+	var b influcomm.Builder
+	for id := int32(0); id < 4; id++ {
+		b.AddVertex(id, float64(id+1))
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	small, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := influcomm.BuildIndex(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath := filepath.Join(t.TempDir(), "stale.icx")
+	if err := influcomm.SaveIndex(indexPath, ix); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(writeFixture(t)) // 10-vertex graph, 4-vertex index
+	cfg.indexPath = indexPath
+	err = serve(context.Background(), cfg, nil)
+	if err == nil {
+		t.Fatal("stale index: want startup error")
+	}
+	if !strings.Contains(err.Error(), "stale index") {
+		t.Errorf("error %q does not name the stale index", err)
 	}
 }
 

@@ -1,22 +1,86 @@
 package influcomm
 
 import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
 	"influcomm/internal/core"
 	"influcomm/internal/graph"
 	"influcomm/internal/index"
 )
 
 // Index is a prebuilt IndexAll structure [26]: it materializes the
-// community decomposition of every γ so queries cost only their output
-// size. The trade-offs the paper's introduction describes apply: building
-// costs ~γmax full-graph passes, the structure serves exactly one graph and
-// weight vector, and any edit invalidates it. Prefer TopK/Stream unless the
-// same weighted graph is queried many times.
+// community decomposition of every γ so any (k, γ) query via Index.TopK
+// costs only its output size. The trade-offs the paper's introduction
+// describes apply: building costs ~γmax full-graph passes, the structure
+// serves exactly one graph and weight vector, and any edit invalidates it.
+// Prefer TopK/Stream unless the same weighted graph is queried many times —
+// then prebuild once (icindex), persist with SaveIndex, and serve with
+// LoadIndex (icserver -index).
 type Index = index.Index
 
-// BuildIndex constructs the IndexAll structure for g.
+// BuildIndex constructs the IndexAll structure for g, fanning the
+// independent per-γ decompositions out over all available cores.
 func BuildIndex(g *Graph) (*Index, error) {
 	return index.Build(g)
+}
+
+// BuildIndexContext is BuildIndex with cancellation and an explicit worker
+// count: workers <= 0 uses GOMAXPROCS, workers == 1 builds sequentially.
+// The index content is identical regardless of worker count.
+func BuildIndexContext(ctx context.Context, g *Graph, workers int) (*Index, error) {
+	return index.BuildContext(ctx, g, workers)
+}
+
+// SaveIndex writes ix to the file at path in the versioned binary index
+// format. The graph is not included — persist it separately (SaveGraph) and
+// pass it to LoadIndex; an index is only valid with the exact graph and
+// weight vector it was built from.
+//
+// The write is atomic: the index is written to a temporary file in the
+// same directory and renamed over path on success, so a failed or
+// interrupted rebuild never truncates an index a server is about to load.
+func SaveIndex(path string, ix *Index) (err error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("influcomm: creating temporary index file for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = ix.WriteTo(f); err != nil {
+		return fmt.Errorf("influcomm: writing %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("influcomm: writing %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("influcomm: replacing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadIndex reads an index previously written with SaveIndex and binds it
+// to g. The file's magic, format version, and vertex count are validated
+// against g; a stale or corrupt index is rejected with an error.
+func LoadIndex(path string, g *Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("influcomm: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	ix, err := index.ReadFrom(f, g)
+	if err != nil {
+		return nil, fmt.Errorf("influcomm: loading %s: %w", path, err)
+	}
+	return ix, nil
 }
 
 // Edit is a batch of graph mutations expressed in original vertex IDs.

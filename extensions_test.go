@@ -1,6 +1,100 @@
 package influcomm
 
-import "testing"
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestIndexFileRoundTrip is the acceptance criterion end to end:
+// LoadIndex(SaveIndex(BuildIndex(g))) serves TopK answers identical to the
+// online influcomm.TopK for every valid (k, γ) on the test graph.
+func TestIndexFileRoundTrip(t *testing.T) {
+	g := figure1(t)
+	ix, err := BuildIndexContext(context.Background(), g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fig1.icx")
+	if err := SaveIndex(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gamma := 1; gamma <= int(loaded.GammaMax())+1; gamma++ {
+		for k := 1; k <= 5; k++ {
+			online, err := TopK(g, k, gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			served, err := loaded.TopK(k, int32(gamma))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(served) != len(online.Communities) {
+				t.Fatalf("k=%d γ=%d: index served %d communities, online %d", k, gamma, len(served), len(online.Communities))
+			}
+			for i := range served {
+				a := fmt.Sprintf("%v:%d:%v", served[i].Influence(), served[i].Keynode(), served[i].Vertices())
+				b := fmt.Sprintf("%v:%d:%v", online.Communities[i].Influence(), online.Communities[i].Keynode(), online.Communities[i].Vertices())
+				if a != b {
+					t.Fatalf("k=%d γ=%d community %d: index %s, online %s", k, gamma, i, a, b)
+				}
+			}
+		}
+	}
+	// A stale index (different vertex count) is rejected at load time.
+	var b Builder
+	b.AddVertex(0, 1)
+	b.AddVertex(1, 2)
+	b.AddEdge(0, 1)
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(path, g2); err == nil {
+		t.Error("loading an index against a graph with a different vertex count: want error")
+	}
+	if _, err := LoadIndex(filepath.Join(t.TempDir(), "missing.icx"), g); err == nil {
+		t.Error("missing index file: want error")
+	}
+}
+
+// TestSaveIndexAtomic: rebuilding over an existing index file must leave
+// exactly one loadable file — no truncation window, no temp litter — and a
+// save into an unwritable location must not disturb anything.
+func TestSaveIndexAtomic(t *testing.T) {
+	g := figure1(t)
+	ix, err := BuildIndex(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.icx")
+	if err := SaveIndex(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndex(path, ix); err != nil { // overwrite in place
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.icx" {
+		t.Fatalf("directory holds %v, want exactly g.icx", entries)
+	}
+	if _, err := LoadIndex(path, g); err != nil {
+		t.Fatalf("rewritten index does not load: %v", err)
+	}
+	if err := SaveIndex(filepath.Join(dir, "nosuchdir", "g.icx"), ix); err == nil {
+		t.Error("unwritable destination: want error")
+	}
+}
 
 func TestPublicIndex(t *testing.T) {
 	g := figure1(t)

@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"influcomm/internal/core"
 	"influcomm/internal/index"
@@ -25,13 +27,24 @@ func AblationIndexAll(cfg Config) (*Figure, error) {
 	gamma := gammaFor(name, g, workload.DefaultGamma)
 
 	var ix *index.Index
-	buildMS := timeMS(func() {
+	seqBuildMS := timeMS(func() {
 		var err error
-		ix, err = index.Build(g)
+		ix, err = index.BuildContext(context.Background(), g, 1)
 		if err != nil {
 			panic(err)
 		}
 	})
+	parBuildMS := timeMS(func() {
+		var err error
+		ix, err = index.Build(g) // bounded worker pool, all cores
+		if err != nil {
+			panic(err)
+		}
+	})
+	serialized, err := ix.WriteTo(io.Discard)
+	if err != nil {
+		return nil, err
+	}
 
 	f := &Figure{
 		ID:     "ablation/indexall/" + name,
@@ -53,8 +66,9 @@ func AblationIndexAll(cfg Config) (*Figure, error) {
 		})
 	}
 	f.Notes = append(f.Notes,
-		fmt.Sprintf("IndexAll construction: %.1f ms (one-off, per weight vector; %d int32 slots)",
-			buildMS, ix.MemoryFootprint()),
-		"the index must be rebuilt on every graph or weight change; LocalSearch needs no preparation")
+		fmt.Sprintf("IndexAll construction: %.1f ms sequential, %.1f ms parallel (one-off, per weight vector; %d int32 slots, %d bytes serialized)",
+			seqBuildMS, parBuildMS, ix.MemoryFootprint(), serialized),
+		"the index must be rebuilt on every graph or weight change; LocalSearch needs no preparation",
+		"prebuild and persist with icindex, serve index-first with icserver -index")
 	return f, nil
 }

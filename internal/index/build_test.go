@@ -1,0 +1,122 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"influcomm/internal/gen"
+)
+
+// TestBuildContextMatchesSequential is the determinism contract of the
+// parallel build: any worker count produces exactly the per-γ sequences of
+// a sequential build.
+func TestBuildContextMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := gen.Random(120, 8, seed)
+		seq, err := BuildContext(ctx, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 7} {
+			par, err := BuildContext(ctx, g, workers)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if par.GammaMax() != seq.GammaMax() {
+				t.Fatalf("seed %d workers %d: γmax %d, want %d", seed, workers, par.GammaMax(), seq.GammaMax())
+			}
+			for gi := range seq.perGamma {
+				a, b := seq.perGamma[gi], par.perGamma[gi]
+				if !reflect.DeepEqual(a.Keys, b.Keys) || !reflect.DeepEqual(a.KeyPos, b.KeyPos) || !reflect.DeepEqual(a.Seq, b.Seq) {
+					t.Fatalf("seed %d workers %d: γ=%d decomposition differs from sequential", seed, workers, gi+1)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildContextCancellation(t *testing.T) {
+	g := gen.Random(400, 10, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildContext(ctx, g, 4); err == nil {
+		t.Error("cancelled context: want error")
+	}
+	if _, err := BuildContext(ctx, g, 1); err == nil {
+		t.Error("cancelled context, sequential: want error")
+	}
+	// An expiring deadline must abort a running build, not just a pending one.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer dcancel()
+	big := gen.Random(3000, 20, 2)
+	if _, err := BuildContext(dctx, big, 2); err == nil {
+		t.Error("expired deadline mid-build: want error")
+	}
+}
+
+func TestBuildContextEdgeCases(t *testing.T) {
+	if _, err := BuildContext(context.Background(), nil, 0); err == nil {
+		t.Error("nil graph: want error")
+	}
+	// More workers than γ values must still build the whole index.
+	g := gen.Random(40, 3, 4)
+	ix, err := BuildContext(context.Background(), g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gamma := int32(1); gamma <= ix.GammaMax(); gamma++ {
+		if ix.perGamma[gamma-1] == nil {
+			t.Fatalf("γ=%d slot not built", gamma)
+		}
+	}
+}
+
+// BenchmarkIndexBuild compares sequential and parallel construction on a
+// multi-γ workload: the wall-clock gap is the tentpole speedup the bounded
+// worker pool buys.
+func BenchmarkIndexBuild(b *testing.B) {
+	g := gen.Random(6000, 24, 7)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildContext(context.Background(), g, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndexServe measures the index-first query path end to end for a
+// few k values, the serving-side half of the build/query trade-off.
+func BenchmarkIndexServe(b *testing.B) {
+	g := gen.Random(6000, 24, 7)
+	ix, err := Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gamma := ix.GammaMax() / 2
+	if gamma < 1 {
+		gamma = 1
+	}
+	for _, k := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.TopK(k, gamma); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"influcomm/internal/gen"
+)
+
+// fuzzGraph is the fixed graph fuzz inputs are bound against; ReadFrom
+// validates input against the graph, so the graph must stay constant while
+// the bytes vary.
+func fuzzGraph() (*Index, []byte) {
+	g := gen.Random(40, 5, 11)
+	ix, err := Build(g)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	return ix, buf.Bytes()
+}
+
+// FuzzReadFrom feeds arbitrary bytes to the deserializer: it must reject
+// anything malformed with an error — never panic — and anything it does
+// accept must answer queries with in-range vertices only.
+func FuzzReadFrom(f *testing.F) {
+	ix, valid := fuzzGraph()
+	g := ix.Graph()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:7])
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[9] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrom(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		for gamma := int32(1); gamma <= got.GammaMax(); gamma++ {
+			comms, err := got.TopK(3, gamma)
+			if err != nil {
+				continue
+			}
+			for _, c := range comms {
+				for _, v := range c.Vertices() {
+					if v < 0 || int(v) >= g.NumVertices() {
+						t.Fatalf("accepted input produced out-of-range vertex %d", v)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestRoundTripAllQueries is the full property the acceptance criteria
+// name: WriteTo → ReadFrom on generated graphs yields identical TopK
+// answers for every valid (k, γ), including γ beyond γmax and k beyond the
+// community count.
+func TestRoundTripAllQueries(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g := gen.Random(60+10*int(seed), 4+float64(seed)/2, seed)
+		ix, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		ix2, err := ReadFrom(bytes.NewReader(buf.Bytes()), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gamma := int32(1); gamma <= ix.GammaMax()+2; gamma++ {
+			maxK := ix.CommunityCount(gamma) + 2
+			for k := 1; k <= maxK; k++ {
+				a, err := ix.TopK(k, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := ix2.TopK(k, gamma)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("seed %d γ=%d k=%d: %d vs %d communities", seed, gamma, k, len(a), len(b))
+				}
+				for i := range a {
+					x := fmt.Sprintf("%v:%d:%v", a[i].Influence(), a[i].Keynode(), a[i].Vertices())
+					y := fmt.Sprintf("%v:%d:%v", b[i].Influence(), b[i].Keynode(), b[i].Vertices())
+					if x != y {
+						t.Fatalf("seed %d γ=%d k=%d: community %d differs after round trip\n got %s\nwant %s", seed, gamma, k, i, y, x)
+					}
+				}
+			}
+		}
+	}
+}

@@ -8,12 +8,23 @@
 // describes: construction costs O(γmax · size(G)), the structure must be
 // rebuilt when the graph changes, and it serves only the single vertex
 // weight vector it was built with — whereas LocalSearch needs no
-// preparation at all. BenchmarkIndexAll* quantifies both sides.
+// preparation at all. BenchmarkIndexAll* and BenchmarkIndexBuild quantify
+// both sides.
+//
+// The per-γ decompositions are independent, so Build fans them out over a
+// bounded worker pool (BuildContext controls worker count and
+// cancellation). A built index can be persisted with WriteTo and attached
+// to its graph again with ReadFrom, which is what the icindex command and
+// the server's index-first serving path are built on.
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"influcomm/internal/core"
 	"influcomm/internal/graph"
@@ -28,16 +39,92 @@ type Index struct {
 	perGamma []*core.CVS // index γ-1
 }
 
-// Build constructs the full index in O(γmax · size(G)).
+// Build constructs the full index in O(γmax · size(G)) total work, using
+// all available cores (the per-γ decompositions are independent). Use
+// BuildContext for cancellation or an explicit worker count.
 func Build(g *graph.Graph) (*Index, error) {
+	return BuildContext(context.Background(), g, 0)
+}
+
+// BuildContext constructs the index with a bounded pool of workers, each
+// owning one search engine and pulling γ values off a shared counter.
+// workers <= 0 uses GOMAXPROCS; workers == 1 builds sequentially on the
+// calling goroutine. Cancelling ctx aborts the build (workers observe the
+// context every few thousand peeling steps) and returns ctx.Err().
+//
+// The result is deterministic: every worker computes the same per-γ
+// decomposition a sequential build would, so the index content is
+// identical regardless of worker count.
+func BuildContext(ctx context.Context, g *graph.Graph, workers int) (*Index, error) {
 	if g == nil || g.NumVertices() == 0 {
 		return nil, errors.New("index: nil or empty graph")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	gmax := kcore.MaxCore(g)
 	ix := &Index{g: g, gammaMax: gmax, perGamma: make([]*core.CVS, gmax)}
+	if gmax == 0 {
+		return ix, nil
+	}
 	n := g.NumVertices()
-	for gamma := int32(1); gamma <= gmax; gamma++ {
-		ix.perGamma[gamma-1] = core.NewEngine(g, gamma).Run(n, 0, core.WantSeq)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > int(gmax) {
+		workers = int(gmax)
+	}
+	if workers == 1 {
+		// Sequential fast path: one engine, reset per γ, no goroutines.
+		eng := core.NewEngine(g, 1)
+		for gamma := int32(1); gamma <= gmax; gamma++ {
+			eng.Reset(gamma)
+			eng.SetContext(ctx)
+			cvs, err := eng.RunInto(nil, n, 0, core.WantSeq)
+			if err != nil {
+				return nil, err
+			}
+			ix.perGamma[gamma-1] = cvs
+		}
+		return ix, nil
+	}
+
+	var (
+		next     atomic.Int32 // next γ to claim, minus one
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := core.NewEngine(g, 1)
+			for !failed.Load() {
+				gamma := next.Add(1)
+				if gamma > gmax {
+					return
+				}
+				eng.Reset(gamma)
+				eng.SetContext(ctx)
+				cvs, err := eng.RunInto(nil, n, 0, core.WantSeq)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				ix.perGamma[gamma-1] = cvs
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return ix, nil
 }

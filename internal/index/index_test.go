@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"testing"
 
@@ -98,7 +99,7 @@ func TestSerializationRoundTrip(t *testing.T) {
 	if _, err := ix.WriteTo(&buf); err != nil {
 		t.Fatalf("WriteTo: %v", err)
 	}
-	ix2, err := Read(bytes.NewReader(buf.Bytes()), g)
+	ix2, err := ReadFrom(bytes.NewReader(buf.Bytes()), g)
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
@@ -137,18 +138,18 @@ func TestSerializationErrors(t *testing.T) {
 	if _, err := ix.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Read(bytes.NewReader(nil), g); err == nil {
+	if _, err := ReadFrom(bytes.NewReader(nil), g); err == nil {
 		t.Error("empty input: want error")
 	}
-	if _, err := Read(bytes.NewReader(make([]byte, 16)), g); err == nil {
+	if _, err := ReadFrom(bytes.NewReader(make([]byte, 16)), g); err == nil {
 		t.Error("bad magic: want error")
 	}
 	trunc := buf.Bytes()[:buf.Len()/2]
-	if _, err := Read(bytes.NewReader(trunc), g); err == nil {
+	if _, err := ReadFrom(bytes.NewReader(trunc), g); err == nil {
 		t.Error("truncated input: want error")
 	}
 	other := gen.Random(31, 4, 2)
-	if _, err := Read(bytes.NewReader(buf.Bytes()), other); err == nil {
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes()), other); err == nil {
 		t.Error("vertex count mismatch: want error")
 	}
 }
@@ -172,7 +173,7 @@ func TestSerializationRejectsCorruptPayload(t *testing.T) {
 	for off := 12; off < len(base); off += 7 {
 		corrupt := append([]byte(nil), base...)
 		corrupt[off] ^= 0xA5
-		ix2, err := Read(bytes.NewReader(corrupt), g)
+		ix2, err := ReadFrom(bytes.NewReader(corrupt), g)
 		if err != nil {
 			continue // rejected: good
 		}
@@ -188,6 +189,35 @@ func TestSerializationRejectsCorruptPayload(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestReadFromRejectsEmptyGroups guards the never-panic contract against
+// a crafted file whose header passes every size check but declares an
+// empty keynode group: ReadFrom must return an error, not index past the
+// end of the (empty) sequence.
+func TestReadFromRejectsEmptyGroups(t *testing.T) {
+	g := gen.Random(30, 4, 2)
+	craft := func(words []uint32) []byte {
+		buf := make([]byte, 0, 4*len(words))
+		for _, w := range words {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], w)
+			buf = append(buf, b[:]...)
+		}
+		return buf
+	}
+	n := uint32(g.NumVertices())
+	cases := map[string][]uint32{
+		// gmax=1; nk=1, ns=0: one keynode whose group is empty.
+		"trailing empty group": {indexMagic, indexVersion, n, 1, 1, 0, 0, 0, 0},
+		// gmax=1; nk=2, ns=1, KeyPos=[0,1,1]: the second group is empty.
+		"mid empty group": {indexMagic, indexVersion, n, 1, 2, 1, 0, 1, 0, 1, 1, 0},
+	}
+	for name, words := range cases {
+		if _, err := ReadFrom(bytes.NewReader(craft(words)), g); err == nil {
+			t.Errorf("%s: want error, got accepted index", name)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package index
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -11,11 +12,19 @@ import (
 	"influcomm/internal/graph"
 )
 
-const indexMagic = uint32(0x1C91DE3A)
+const (
+	indexMagic = uint32(0x1C91DE3A)
+	// indexVersion is the on-disk format version. Bump it whenever the
+	// layout changes; ReadFrom rejects any other version so a server never
+	// silently misinterprets an index written by a different build.
+	indexVersion = uint32(1)
+)
 
 // WriteTo serializes the index's materialized sequences (not the graph —
 // an index is only valid together with the exact graph and weight vector
-// it was built from, which callers persist separately).
+// it was built from, which callers persist separately). The layout is
+// little-endian uint32s: magic, version, vertex count, γmax, then for each
+// γ the key count, sequence length, keys, group offsets, and sequence.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
@@ -28,6 +37,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return err
 	}
 	if err := put32(indexMagic); err != nil {
+		return written, err
+	}
+	if err := put32(indexVersion); err != nil {
 		return written, err
 	}
 	if err := put32(uint32(ix.g.NumVertices())); err != nil {
@@ -62,11 +74,17 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// Read deserializes an index previously written with WriteTo, binding it
-// to g. It validates that the vertex count matches; deeper consistency
-// (same weights, same edges) is the caller's responsibility, exactly the
-// fragility the paper attributes to index-based approaches.
-func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+// ReadFrom deserializes an index previously written with WriteTo, binding
+// it to g. It validates the magic, the format version, and that the vertex
+// count matches g; deeper consistency (same weights, same edges) is the
+// caller's responsibility, exactly the fragility the paper attributes to
+// index-based approaches. Corrupt or truncated input returns an error,
+// never a panic, and every structural invariant EnumIC relies on is
+// re-checked before the index is accepted.
+func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
+	if g == nil {
+		return nil, errors.New("index: nil graph")
+	}
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
 	var buf [4]byte
@@ -81,14 +99,21 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 		return nil, fmt.Errorf("index: reading header: %w", err)
 	}
 	if magic != indexMagic {
-		return nil, fmt.Errorf("index: bad magic %#x", magic)
+		return nil, fmt.Errorf("index: bad magic %#x (not an index file)", magic)
+	}
+	version, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("index: reading version: %w", err)
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("index: unsupported format version %d (this build reads version %d)", version, indexVersion)
 	}
 	n, err := get32()
 	if err != nil {
 		return nil, err
 	}
 	if int(n) != g.NumVertices() {
-		return nil, fmt.Errorf("index: built for %d vertices, graph has %d", n, g.NumVertices())
+		return nil, fmt.Errorf("index: stale index: built for %d vertices, graph has %d (rebuild with icindex)", n, g.NumVertices())
 	}
 	gmaxRaw, err := get32()
 	if err != nil {
@@ -121,7 +146,7 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 		for i := range c.Keys {
 			v, err := get32()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("index: truncated reading γ=%d keynodes: %w", gi+1, err)
 			}
 			if v >= n {
 				return nil, fmt.Errorf("index: γ=%d keynode %d out of range", gi+1, v)
@@ -131,7 +156,7 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 		for i := range c.KeyPos {
 			v, err := get32()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("index: truncated reading γ=%d group offsets: %w", gi+1, err)
 			}
 			if int64(v) > int64(ns) || (i > 0 && int32(v) < c.KeyPos[i-1]) {
 				return nil, fmt.Errorf("index: γ=%d group offsets corrupt", gi+1)
@@ -144,16 +169,21 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 		for i := range c.Seq {
 			v, err := get32()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("index: truncated reading γ=%d sequence: %w", gi+1, err)
 			}
 			if v >= n {
 				return nil, fmt.Errorf("index: γ=%d sequence vertex %d out of range", gi+1, v)
 			}
 			c.Seq[i] = int32(v)
 		}
-		// Every group must begin with its keynode (Algorithm 2 invariant);
-		// EnumIC depends on it.
+		// Every group must be non-empty and begin with its keynode
+		// (Algorithm 2 invariant); EnumIC depends on it. The non-empty
+		// check also keeps the Seq index in bounds for crafted files whose
+		// offsets park a group at the end of the sequence.
 		for j := range c.Keys {
+			if c.KeyPos[j] >= c.KeyPos[j+1] {
+				return nil, fmt.Errorf("index: γ=%d group %d is empty", gi+1, j)
+			}
 			if c.Seq[c.KeyPos[j]] != c.Keys[j] {
 				return nil, fmt.Errorf("index: γ=%d group %d does not start with its keynode", gi+1, j)
 			}

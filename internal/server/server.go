@@ -5,6 +5,11 @@
 // per-request deadline, so steady-state queries allocate no engine state
 // and abandoned requests stop searching.
 //
+// When a prebuilt index is attached (WithIndex), default-semantics queries
+// are answered from it in output-proportional time and pooled LocalSearch
+// serves the rest; /v1/stats reports the per-path split as index_queries
+// vs local_queries.
+//
 // Endpoints:
 //
 //	GET /healthz                        liveness probe
@@ -31,6 +36,7 @@ import (
 
 	"influcomm/internal/core"
 	"influcomm/internal/graph"
+	"influcomm/internal/index"
 	"influcomm/internal/truss"
 )
 
@@ -40,6 +46,11 @@ type Server struct {
 	g    *graph.Graph
 	mux  *http.ServeMux
 	pool *core.Pool
+
+	// index, when non-nil, answers default-semantics queries in
+	// output-proportional time; LocalSearch remains the fallback for the
+	// variants the index does not materialize (non-containment, truss).
+	index *index.Index
 
 	// trussIndex is built once, on the first truss query: the graph is
 	// immutable, so rebuilding the O(m) index per request would be the
@@ -66,6 +77,9 @@ type metrics struct {
 	errors     atomic.Int64 // bad requests and query failures
 	canceled   atomic.Int64 // queries stopped by disconnect or deadline
 	durationUS atomic.Int64 // cumulative query time of admitted requests
+
+	indexServed atomic.Int64 // queries answered from the prebuilt index
+	localServed atomic.Int64 // queries answered by online LocalSearch/truss
 }
 
 // Option configures a Server.
@@ -80,6 +94,15 @@ func WithMaxK(maxK int) Option {
 // d <= 0 disables the deadline.
 func WithQueryTimeout(d time.Duration) Option {
 	return func(s *Server) { s.queryTimeout = d }
+}
+
+// WithIndex attaches a prebuilt IndexAll structure: default-semantics
+// /v1/topk queries are then answered from the index in output-proportional
+// time, with pooled LocalSearch remaining the fallback for non-containment
+// and truss queries. The index must have been built on (or loaded against)
+// exactly the graph the server serves; New rejects any other index.
+func WithIndex(ix *index.Index) Option {
+	return func(s *Server) { s.index = ix }
 }
 
 // WithMaxInFlight overrides the concurrent query limit (default
@@ -111,6 +134,10 @@ func New(g *graph.Graph, opts ...Option) (*Server, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.index != nil && s.index.Graph() != g {
+		return nil, fmt.Errorf("server: index is bound to a different graph than the one being served (%d vs %d vertices); rebuild or reload it against this graph",
+			s.index.Graph().NumVertices(), g.NumVertices())
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
@@ -141,6 +168,13 @@ type statsResponse struct {
 	Canceled    int64   `json:"canceled"`
 	AvgLatency  float64 `json:"avg_latency_ms"`
 	MaxInFlight int     `json:"max_in_flight"`
+
+	// Serving-path split: IndexQueries were answered from the prebuilt
+	// index, LocalQueries by online search (LocalSearch or truss).
+	IndexLoaded   bool  `json:"index_loaded"`
+	IndexGammaMax int32 `json:"index_gamma_max,omitempty"`
+	IndexQueries  int64 `json:"index_queries"`
+	LocalQueries  int64 `json:"local_queries"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -156,6 +190,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Errors:      s.metrics.errors.Load(),
 		Canceled:    s.metrics.canceled.Load(),
 		MaxInFlight: cap(s.inflight),
+
+		IndexLoaded:  s.index != nil,
+		IndexQueries: s.metrics.indexServed.Load(),
+		LocalQueries: s.metrics.localServed.Load(),
+	}
+	if s.index != nil {
+		resp.IndexGammaMax = s.index.GammaMax()
 	}
 	if resp.Queries > 0 {
 		resp.AvgLatency = float64(s.metrics.durationUS.Load()) / 1000 / float64(resp.Queries)
@@ -281,10 +322,24 @@ func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, erro
 		if err != nil {
 			return nil, queryError(err)
 		}
+		s.metrics.localServed.Add(1)
 		for _, c := range res.Communities {
 			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
 		}
 		resp.AccessedVertices = res.Stats.FinalPrefix
+	case s.index != nil && !nonContain:
+		// Index-first path: the materialized decomposition answers the
+		// default semantics in output-proportional time. AccessedVertices
+		// stays 0 — the point of the index is that no part of the graph
+		// outside the reported communities is touched.
+		comms, err := s.index.TopK(k, int32(gamma))
+		if err != nil {
+			return nil, queryError(err)
+		}
+		s.metrics.indexServed.Add(1)
+		for _, c := range comms {
+			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
+		}
 	default:
 		if nonContain {
 			resp.Mode = "noncontainment"
@@ -293,6 +348,7 @@ func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, erro
 		if err != nil {
 			return nil, queryError(err)
 		}
+		s.metrics.localServed.Add(1)
 		for _, c := range res.Communities {
 			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
 		}
