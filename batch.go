@@ -62,6 +62,27 @@ func TopKBatch(g *Graph, queries []Query, parallelism int) []QueryResult {
 // query error when opts.FailFast is set — and nil otherwise, even when
 // individual queries failed.
 func TopKBatchContext(ctx context.Context, g *Graph, queries []Query, opts BatchOptions) ([]QueryResult, error) {
+	pool := opts.Pool
+	if pool == nil {
+		pool = NewQueryPool(g)
+	}
+	return runBatch(ctx, pool.TopKWithOptions, queries, opts)
+}
+
+// TopKBatchStoreContext is TopKBatchContext routed through a Store: the
+// same bounded-worker fan-out, fail-fast wiring, and per-query error
+// reporting, but each query executes against the store's backend — pooled
+// in-memory engines or semi-external edge-file streams. opts.Pool is
+// ignored; the store supplies the execution path.
+func TopKBatchStoreContext(ctx context.Context, st Store, queries []Query, opts BatchOptions) ([]QueryResult, error) {
+	return runBatch(ctx, func(ctx context.Context, k, gamma int, o Options) (*Result, error) {
+		return st.TopK(ctx, k, int32(gamma), o)
+	}, queries, opts)
+}
+
+// runBatch is the shared batch driver: exec answers one query under the
+// batch's derived context.
+func runBatch(ctx context.Context, exec func(context.Context, int, int, Options) (*Result, error), queries []Query, opts BatchOptions) ([]QueryResult, error) {
 	out := make([]QueryResult, len(queries))
 	if len(queries) == 0 {
 		return out, ctx.Err()
@@ -72,10 +93,6 @@ func TopKBatchContext(ctx context.Context, g *Graph, queries []Query, opts Batch
 	}
 	if parallelism > len(queries) {
 		parallelism = len(queries)
-	}
-	pool := opts.Pool
-	if pool == nil {
-		pool = NewQueryPool(g)
 	}
 
 	// Errgroup-style wiring without the external dependency: a derived
@@ -108,7 +125,7 @@ func TopKBatchContext(ctx context.Context, g *Graph, queries []Query, opts Batch
 					out[i] = QueryResult{Query: q, Err: context.Cause(bctx)}
 					continue
 				}
-				res, err := pool.TopKWithOptions(bctx, q.K, q.Gamma, q.Options)
+				res, err := exec(bctx, q.K, q.Gamma, q.Options)
 				if err != nil {
 					err = fmt.Errorf("influcomm: query %d (k=%d, γ=%d): %w", i, q.K, q.Gamma, err)
 					if opts.FailFast {

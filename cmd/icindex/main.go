@@ -1,18 +1,23 @@
-// Command icindex builds the IndexAll structure for a graph and persists
-// it, so a server (icserver -index) can answer any (k, γ) query in
-// output-proportional time instead of searching online.
+// Command icindex builds serving artifacts for a graph: the IndexAll
+// structure (-out), so a server (icserver -index) can answer any (k, γ)
+// query in output-proportional time instead of searching online, and/or a
+// semi-external edge file (-edges), so a server can serve the graph with
+// only per-vertex state in memory (icserver -dataset
+// name=g.edges,backend=semiext).
 //
 // Usage:
 //
-//	icindex -graph g.txt -out g.icx [-pagerank] [-workers N]
-//	        [-timeout 0] [-verify]
+//	icindex -graph g.txt [-out g.icx] [-edges g.edges] [-pagerank]
+//	        [-workers N] [-timeout 0] [-verify]
 //
-// The index is bound to the exact graph and weight vector it was built
-// from: pass the same graph file (and the same -pagerank setting) to
-// icserver, and rebuild the index whenever the graph changes. Construction
-// fans the independent per-γ decompositions out over -workers goroutines
-// (default: all cores); -verify reloads the written file and spot-checks
-// it against an online query before reporting success.
+// At least one of -out and -edges is required. The index is bound to the
+// exact graph and weight vector it was built from: pass the same graph
+// file (and the same -pagerank setting) to icserver, and rebuild the
+// index whenever the graph changes. Construction fans the independent
+// per-γ decompositions out over -workers goroutines (default: all cores);
+// -verify reloads the written file and spot-checks it against an online
+// query before reporting success. Both artifacts are written atomically
+// (temporary file plus rename).
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 type config struct {
 	graphPath   string
 	outPath     string
+	edgesPath   string
 	usePagerank bool
 	workers     int
 	timeout     time.Duration
@@ -38,14 +44,15 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.graphPath, "graph", "", "path to the graph file (required)")
-	flag.StringVar(&cfg.outPath, "out", "", "path to write the index to (required)")
+	flag.StringVar(&cfg.outPath, "out", "", "path to write the index to")
+	flag.StringVar(&cfg.edgesPath, "edges", "", "path to write a semi-external edge file to")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores before building (use the same flag on icserver)")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel build workers (0 = all cores, 1 = sequential)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the build after this long (0 = no limit)")
 	flag.BoolVar(&cfg.verify, "verify", false, "reload the written index and spot-check it against an online query")
 	flag.Parse()
-	if cfg.graphPath == "" || cfg.outPath == "" {
-		fmt.Fprintln(os.Stderr, "icindex: -graph and -out are required")
+	if cfg.graphPath == "" || (cfg.outPath == "" && cfg.edgesPath == "") {
+		fmt.Fprintln(os.Stderr, "icindex: -graph and at least one of -out / -edges are required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -70,6 +77,21 @@ func run(ctx context.Context, cfg config, logf func(string, ...any)) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
+	}
+
+	if cfg.edgesPath != "" {
+		if err := influcomm.SaveEdgeFile(cfg.edgesPath, g); err != nil {
+			return fmt.Errorf("writing edge file: %w", err)
+		}
+		info, err := os.Stat(cfg.edgesPath)
+		if err != nil {
+			return err
+		}
+		logf("icindex: %d vertices, %d edges -> semi-external edge file, %d bytes at %s",
+			g.NumVertices(), g.NumEdges(), info.Size(), cfg.edgesPath)
+	}
+	if cfg.outPath == "" {
+		return nil
 	}
 
 	start := time.Now()

@@ -70,6 +70,64 @@ func TestBuildPersistServe(t *testing.T) {
 	}
 }
 
+// TestEdgesArtifact: -edges writes a semi-external edge file that serves
+// the same answers as the in-memory graph, with or without -out.
+func TestEdgesArtifact(t *testing.T) {
+	graphPath := writeFixture(t)
+	dir := t.TempDir()
+	edgesPath := filepath.Join(dir, "g.edges")
+	var logs []string
+	logf := func(format string, args ...any) { logs = append(logs, format) }
+	cfg := config{graphPath: graphPath, edgesPath: edgesPath}
+	if err := run(context.Background(), cfg, logf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "edge file") {
+		t.Errorf("logs = %q, want one edge-file line (no index build without -out)", logs)
+	}
+
+	g, err := influcomm.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := influcomm.OpenEdgeFileStore(edgesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.NumVertices() != g.NumVertices() || st.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge file shape (%d,%d), want (%d,%d)",
+			st.NumVertices(), st.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	online, err := influcomm.TopK(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := st.TopK(context.Background(), 2, 3, influcomm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served.Communities) != len(online.Communities) {
+		t.Fatalf("edge file served %d communities, online %d", len(served.Communities), len(online.Communities))
+	}
+	for i := range served.Communities {
+		if served.Communities[i].Influence() != online.Communities[i].Influence() {
+			t.Errorf("community %d: influence %v from edge file, %v online",
+				i, served.Communities[i].Influence(), online.Communities[i].Influence())
+		}
+	}
+
+	// Both artifacts in one invocation.
+	logs = nil
+	cfg = config{graphPath: graphPath, outPath: filepath.Join(dir, "g.icx"), edgesPath: filepath.Join(dir, "g2.edges")}
+	if err := run(context.Background(), cfg, logf); err != nil {
+		t.Fatalf("run with both artifacts: %v", err)
+	}
+	if len(logs) != 2 {
+		t.Errorf("logs = %q, want edge-file line plus index line", logs)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	logf := func(string, ...any) {}

@@ -1,0 +1,220 @@
+// Command icperfgate is the CI benchmark-regression gate: it parses `go
+// test -bench` output, aggregates repeated runs (-count) into per-benchmark
+// medians, writes the result as JSON, and compares it against a committed
+// baseline with a relative threshold — failing (exit 1) when any benchmark
+// regresses beyond it or disappears from the run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -count 5 ./... | icperfgate \
+//	    -out BENCH_pr.json -baseline BENCH_baseline.json -threshold 0.25
+//
+//	icperfgate -in bench.txt -update -baseline BENCH_baseline.json
+//
+// With -update the current medians are written to the baseline path and no
+// comparison happens: run it on the reference machine after an intentional
+// performance change and commit the file. Absolute ns/op only compare
+// within one machine class, so the committed baseline is tied to the CI
+// runner class; improvements beyond the threshold are reported but never
+// fail the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one benchmark result line; the -N suffix is the
+// GOMAXPROCS tag and is folded away so results compare across machines
+// with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// benchResult is one benchmark's aggregate in the JSON files.
+type benchResult struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Samples int     `json:"samples"`
+}
+
+// benchFile is the BENCH_*.json layout.
+type benchFile struct {
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// parseBench collects ns/op samples per benchmark name from `go test
+// -bench` output.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// median returns the middle sample (mean of the middle two for even
+// counts); the aggregate benchstat uses for its central tendency.
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// aggregate folds samples into the JSON shape.
+func aggregate(samples map[string][]float64) benchFile {
+	out := benchFile{Benchmarks: make(map[string]benchResult, len(samples))}
+	for name, s := range samples {
+		out.Benchmarks[name] = benchResult{NsPerOp: median(s), Samples: len(s)}
+	}
+	return out
+}
+
+// compare reports regressions (current slower than baseline by more than
+// threshold) and benchmarks missing from the current run; both fail the
+// gate. New benchmarks and improvements are informational.
+func compare(baseline, current benchFile, threshold float64, logf func(string, ...any)) (failures int) {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			logf("FAIL %s: in baseline but missing from this run (deleted or renamed? update the baseline)", name)
+			failures++
+			continue
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		delta := (ratio - 1) * 100
+		switch {
+		case ratio > 1+threshold:
+			logf("FAIL %s: %.0f ns/op vs baseline %.0f (%+.1f%%, threshold %+.0f%%)",
+				name, cur.NsPerOp, base.NsPerOp, delta, threshold*100)
+			failures++
+		case ratio < 1-threshold:
+			logf("ok   %s: %.0f ns/op vs baseline %.0f (%+.1f%%, improvement)", name, cur.NsPerOp, base.NsPerOp, delta)
+		default:
+			logf("ok   %s: %.0f ns/op vs baseline %.0f (%+.1f%%)", name, cur.NsPerOp, base.NsPerOp, delta)
+		}
+	}
+	extra := make([]string, 0)
+	for name := range current.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		logf("new  %s: %.0f ns/op (not in baseline)", name, current.Benchmarks[name].NsPerOp)
+	}
+	return failures
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+type config struct {
+	in        string
+	out       string
+	baseline  string
+	threshold float64
+	update    bool
+}
+
+// run executes the gate; the returned count is the number of failures.
+func run(cfg config, stdin io.Reader, logf func(string, ...any)) (int, error) {
+	src := stdin
+	if cfg.in != "" && cfg.in != "-" {
+		f, err := os.Open(cfg.in)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		src = f
+	}
+	samples, err := parseBench(src)
+	if err != nil {
+		return 0, err
+	}
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("no benchmark results found in input")
+	}
+	current := aggregate(samples)
+	if cfg.out != "" {
+		if err := writeJSONFile(cfg.out, current); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.update {
+		if cfg.baseline == "" {
+			return 0, fmt.Errorf("-update needs -baseline")
+		}
+		if err := writeJSONFile(cfg.baseline, current); err != nil {
+			return 0, err
+		}
+		logf("baseline %s updated with %d benchmarks", cfg.baseline, len(current.Benchmarks))
+		return 0, nil
+	}
+	if cfg.baseline == "" {
+		logf("no -baseline given; recorded %d benchmarks", len(current.Benchmarks))
+		return 0, nil
+	}
+	data, err := os.ReadFile(cfg.baseline)
+	if err != nil {
+		return 0, err
+	}
+	var baseline benchFile
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return 0, fmt.Errorf("parsing baseline %s: %w", cfg.baseline, err)
+	}
+	return compare(baseline, current, cfg.threshold, logf), nil
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.in, "in", "-", "benchmark output to read (\"-\" = stdin)")
+	flag.StringVar(&cfg.out, "out", "", "write current medians to this JSON file")
+	flag.StringVar(&cfg.baseline, "baseline", "", "baseline JSON to compare against")
+	flag.Float64Var(&cfg.threshold, "threshold", 0.25, "relative slowdown that fails the gate")
+	flag.BoolVar(&cfg.update, "update", false, "rewrite the baseline from this run instead of comparing")
+	flag.Parse()
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	failures, err := run(cfg, os.Stdin, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icperfgate:", err)
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "icperfgate: %d benchmark(s) regressed beyond the %.0f%% threshold\n", failures, cfg.threshold*100)
+		os.Exit(1)
+	}
+}

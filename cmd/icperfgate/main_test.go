@@ -1,0 +1,97 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: influcomm
+cpu: Some CPU @ 2.10GHz
+BenchmarkPooledTopK/PerQuery-8         	   63648	     18402 ns/op	   54952 B/op	      61 allocs/op
+BenchmarkPooledTopK/Pooled-8           	  139124	      8600 ns/op	    1448 B/op	      25 allocs/op
+BenchmarkPooledTopK/Pooled-8           	  140000	      8800 ns/op	    1448 B/op	      25 allocs/op
+BenchmarkPooledTopK/Pooled-8           	  138000	      8700 ns/op	    1448 B/op	      25 allocs/op
+BenchmarkIndexServe/k=10-8             	  500000	      2400 ns/op
+PASS
+ok  	influcomm	12.3s
+`
+
+func TestParseAndAggregate(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(samples["BenchmarkPooledTopK/Pooled"]); got != 3 {
+		t.Fatalf("pooled samples = %d, want 3 (procs suffix must fold)", got)
+	}
+	agg := aggregate(samples)
+	if got := agg.Benchmarks["BenchmarkPooledTopK/Pooled"].NsPerOp; got != 8700 {
+		t.Errorf("median = %v, want 8700", got)
+	}
+	if got := agg.Benchmarks["BenchmarkIndexServe/k=10"].Samples; got != 1 {
+		t.Errorf("samples = %d, want 1", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := benchFile{Benchmarks: map[string]benchResult{
+		"A": {NsPerOp: 1000},
+		"B": {NsPerOp: 1000},
+		"C": {NsPerOp: 1000},
+		"D": {NsPerOp: 1000},
+	}}
+	cur := benchFile{Benchmarks: map[string]benchResult{
+		"A": {NsPerOp: 1200}, // +20%: within threshold
+		"B": {NsPerOp: 1300}, // +30%: regression
+		"C": {NsPerOp: 500},  // improvement
+		// D missing: failure
+		"E": {NsPerOp: 100}, // new: informational
+	}}
+	var lines []string
+	n := compare(base, cur, 0.25, func(f string, args ...any) {
+		lines = append(lines, strings.Split(f, " ")[0])
+	})
+	if n != 2 {
+		t.Fatalf("failures = %d, want 2 (one regression, one missing): %v", n, lines)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	outPath := filepath.Join(dir, "out.json")
+	logf := func(string, ...any) {}
+
+	// First run updates the baseline.
+	n, err := run(config{update: true, baseline: basePath, out: outPath}, strings.NewReader(sampleBench), logf)
+	if err != nil || n != 0 {
+		t.Fatalf("update run: failures=%d err=%v", n, err)
+	}
+	// Same input compared against it is clean.
+	n, err = run(config{baseline: basePath}, strings.NewReader(sampleBench), logf)
+	if err != nil || n != 0 {
+		t.Fatalf("identical run: failures=%d err=%v", n, err)
+	}
+	// A 10x slowdown trips the gate.
+	slow := strings.ReplaceAll(sampleBench, "      2400 ns/op", "     24000 ns/op")
+	n, err = run(config{baseline: basePath, threshold: 0.25}, strings.NewReader(slow), logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("slowdown run: failures=%d, want 1", n)
+	}
+	// Empty input is an error, not a silent pass.
+	if _, err := run(config{baseline: basePath}, strings.NewReader("no benchmarks here"), logf); err == nil {
+		t.Error("empty input: want error")
+	}
+}

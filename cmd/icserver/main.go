@@ -3,22 +3,39 @@
 // Usage:
 //
 //	icserver -graph g.txt [-index g.icx] [-addr :8080] [-pagerank]
-//	         [-maxk 10000] [-query-timeout 30s] [-max-inflight 64]
-//	         [-read-timeout 10s] [-write-timeout 60s] [-idle-timeout 2m]
-//	         [-shutdown-timeout 15s]
+//	         [-dataset name=path[,backend=semiext][,index=p.icx]]...
+//	         [-cache 256] [-maxk 10000] [-query-timeout 30s]
+//	         [-max-inflight 64] [-read-timeout 10s] [-write-timeout 60s]
+//	         [-idle-timeout 2m] [-shutdown-timeout 15s]
 //
 // Endpoints (JSON):
 //
-//	GET /healthz
-//	GET /v1/stats
-//	GET /v1/topk?k=10&gamma=5[&noncontainment=1|&truss=1]
+//	GET    /healthz
+//	GET    /v1/stats
+//	GET    /v1/datasets
+//	GET    /v1/topk?k=10&gamma=5[&noncontainment=1|&truss=1][&dataset=name]
+//	POST   /v1/admin/datasets
+//	DELETE /v1/admin/datasets/{name}
 //
-// With -index, a prebuilt index file (see icindex) is loaded and validated
-// against the graph at startup; default-semantics queries are then served
-// from the index in output-proportional time, with pooled LocalSearch
-// answering the variants the index does not cover. A stale index — built
-// for a different graph — is rejected before the server starts. Build the
-// index with the same -pagerank setting the server runs with.
+// The -graph file becomes the "default" dataset; each -dataset flag (which
+// may repeat) loads a further named dataset, either fully in memory
+// (backend omitted) from a graph file, or semi-externally
+// (backend=semiext) from an edge file written by icindex -edges — the
+// graph then never fully loads; queries stream exactly the weight-ranked
+// prefix they need. Datasets can also be loaded and unloaded at runtime
+// through the admin endpoints — protect those with -admin-token (or keep
+// the port private): they can unload live datasets and open server-side
+// files. Repeated identical queries are answered
+// from an LRU result cache (-cache entries, 0 disables).
+//
+// With -index (or a per-dataset index= option), a prebuilt index file
+// (see icindex) is loaded and validated against the graph at startup;
+// default-semantics queries are then served from the index in
+// output-proportional time, with pooled LocalSearch answering the
+// variants the index does not cover. A stale index — built for a
+// different graph — is rejected before the server starts. Build the index
+// with the same -pagerank setting the server runs with (-pagerank applies
+// to the default dataset only).
 //
 // The server drains in-flight requests on SIGINT/SIGTERM, waiting up to
 // -shutdown-timeout before closing remaining connections.
@@ -34,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,12 +59,50 @@ import (
 	"influcomm/internal/server"
 )
 
+// datasetSpec is one parsed -dataset flag.
+type datasetSpec struct {
+	name    string
+	path    string
+	backend string
+	index   string
+}
+
+// parseDatasetSpec parses "name=path[,backend=semiext][,index=p.icx]".
+func parseDatasetSpec(spec string) (datasetSpec, error) {
+	var d datasetSpec
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || rest == "" {
+		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file]", spec)
+	}
+	d.name = name
+	parts := strings.Split(rest, ",")
+	d.path = parts[0]
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return d, fmt.Errorf("bad -dataset option %q in %q", p, spec)
+		}
+		switch k {
+		case "backend":
+			d.backend = v
+		case "index":
+			d.index = v
+		default:
+			return d, fmt.Errorf("unknown -dataset option %q in %q", k, spec)
+		}
+	}
+	return d, nil
+}
+
 // config collects the flag values; main parses, serve runs.
 type config struct {
 	graphPath       string
 	indexPath       string
 	addr            string
 	usePagerank     bool
+	datasets        []datasetSpec
+	cacheSize       int
+	adminToken      string
 	maxK            int
 	maxInFlight     int
 	queryTimeout    time.Duration
@@ -62,6 +118,16 @@ func main() {
 	flag.StringVar(&cfg.indexPath, "index", "", "prebuilt index file (icindex output); serves queries index-first when set")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores")
+	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file] (repeatable)", func(spec string) error {
+		d, err := parseDatasetSpec(spec)
+		if err != nil {
+			return err
+		}
+		cfg.datasets = append(cfg.datasets, d)
+		return nil
+	})
+	flag.IntVar(&cfg.cacheSize, "cache", 256, "query-result cache entries (0 disables)")
+	flag.StringVar(&cfg.adminToken, "admin-token", "", "bearer token required on /v1/admin endpoints (empty = open; keep the port private)")
 	flag.IntVar(&cfg.maxK, "maxk", 10000, "largest k a single request may ask for")
 	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "concurrent query limit, 503 beyond it (0 = 4×GOMAXPROCS, -1 = unlimited)")
 	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 30*time.Second, "per-request search deadline (0 = none)")
@@ -99,6 +165,10 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 	opts := []server.Option{
 		server.WithMaxK(cfg.maxK),
 		server.WithQueryTimeout(cfg.queryTimeout),
+		server.WithResultCache(cfg.cacheSize),
+	}
+	if cfg.adminToken != "" {
+		opts = append(opts, server.WithAdminToken(cfg.adminToken))
 	}
 	if cfg.indexPath != "" {
 		ix, err := influcomm.LoadIndex(cfg.indexPath, g)
@@ -110,6 +180,27 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 	}
 	if cfg.maxInFlight != 0 {
 		opts = append(opts, server.WithMaxInFlight(cfg.maxInFlight))
+	}
+	for _, d := range cfg.datasets {
+		st, err := influcomm.OpenStore(d.path, d.backend)
+		if err != nil {
+			return fmt.Errorf("dataset %s: %w", d.name, err)
+		}
+		cfgDS := server.DatasetConfig{Store: st}
+		if d.index != "" {
+			dg := st.Graph()
+			if dg == nil {
+				return fmt.Errorf("dataset %s: an index needs the memory backend", d.name)
+			}
+			ix, err := influcomm.LoadIndex(d.index, dg)
+			if err != nil {
+				return fmt.Errorf("dataset %s: loading index: %w", d.name, err)
+			}
+			cfgDS.Index = ix
+		}
+		opts = append(opts, server.WithDataset(d.name, cfgDS))
+		log.Printf("icserver: dataset %s: %d vertices, %d edges via %s backend from %s",
+			d.name, st.NumVertices(), st.NumEdges(), st.Backend(), d.path)
 	}
 	h, err := server.New(g, opts...)
 	if err != nil {

@@ -107,6 +107,124 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// writeRankFixture writes a graph whose original IDs coincide with weight
+// ranks, plus its semi-external edge file, so in-memory and semi-external
+// responses are comparable byte for byte.
+func writeRankFixture(t *testing.T) (graphPath, edgePath string) {
+	t.Helper()
+	var b influcomm.Builder
+	for id := int32(0); id < 10; id++ {
+		b.AddVertex(id, float64(20-id))
+	}
+	for _, e := range [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{5, 6}, {5, 7}, {5, 8}, {6, 7}, {6, 8}, {7, 8},
+		{3, 5}, {4, 0}, {4, 9}, {8, 9},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	graphPath = filepath.Join(dir, "g.txt")
+	if err := influcomm.SaveGraph(graphPath, g); err != nil {
+		t.Fatal(err)
+	}
+	edgePath = filepath.Join(dir, "g.edges")
+	if err := influcomm.SaveEdgeFile(edgePath, g); err != nil {
+		t.Fatal(err)
+	}
+	return graphPath, edgePath
+}
+
+func TestParseDatasetSpec(t *testing.T) {
+	d, err := parseDatasetSpec("wiki=/data/wiki.edges,backend=semiext,index=/data/wiki.icx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.name != "wiki" || d.path != "/data/wiki.edges" || d.backend != "semiext" || d.index != "/data/wiki.icx" {
+		t.Errorf("parsed %+v", d)
+	}
+	for _, bad := range []string{"", "noequals", "name=", "n=p,bogus", "n=p,k=v"} {
+		if _, err := parseDatasetSpec(bad); err == nil {
+			t.Errorf("%q: want parse error", bad)
+		}
+	}
+}
+
+// TestServeMultiDataset boots the real server with a default in-memory
+// dataset and a semi-external sibling of the same graph: both must answer,
+// byte-identically modulo timing fields, and appear on /v1/datasets.
+func TestServeMultiDataset(t *testing.T) {
+	graphPath, edgePath := writeRankFixture(t)
+	cfg := testConfig(graphPath)
+	cfg.cacheSize = 16
+	cfg.datasets = []datasetSpec{{name: "se", path: edgePath, backend: "semiext"}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, ready) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	normalize := func(raw map[string]any) string {
+		delete(raw, "elapsed_ms")
+		delete(raw, "cached")
+		b, err := json.Marshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	var def, se map[string]any
+	mustGet(t, base+"/v1/topk?k=2&gamma=3", &def)
+	mustGet(t, base+"/v1/topk?k=2&gamma=3&dataset=se", &se)
+	a, b := normalize(def), normalize(se)
+	if a != b {
+		t.Errorf("semi-external dataset diverges from in-memory serving\n mem: %s\n  se: %s", a, b)
+	}
+
+	var list struct {
+		Datasets []struct {
+			Name    string `json:"name"`
+			Backend string `json:"backend"`
+		} `json:"datasets"`
+	}
+	mustGet(t, base+"/v1/datasets", &list)
+	if len(list.Datasets) != 2 {
+		t.Fatalf("listed %d datasets, want 2", len(list.Datasets))
+	}
+	backends := map[string]string{}
+	for _, d := range list.Datasets {
+		backends[d.Name] = d.Backend
+	}
+	if backends["default"] != "memory" || backends["se"] != "semiext" {
+		t.Errorf("backends = %v", backends)
+	}
+
+	// The cache marks a repeated query.
+	var again map[string]any
+	mustGet(t, base+"/v1/topk?k=2&gamma=3&dataset=se", &again)
+	if again["cached"] != true {
+		t.Error("repeated query not served from cache")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+}
+
 func TestServeBadGraph(t *testing.T) {
 	cfg := testConfig(filepath.Join(t.TempDir(), "missing.txt"))
 	if err := serve(context.Background(), cfg, nil); err == nil {

@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"path/filepath"
 
+	"influcomm/internal/atomicio"
 	"influcomm/internal/core"
 	"influcomm/internal/graph"
 	"influcomm/internal/index"
@@ -18,7 +18,8 @@ import (
 // serves exactly one graph and weight vector, and any edit invalidates it.
 // Prefer TopK/Stream unless the same weighted graph is queried many times —
 // then prebuild once (icindex), persist with SaveIndex, and serve with
-// LoadIndex (icserver -index).
+// LoadIndex (icserver -index). An index needs whole-graph access, so it
+// attaches only to in-memory Stores, never to semi-external ones.
 type Index = index.Index
 
 // BuildIndex constructs the IndexAll structure for g, fanning the
@@ -42,27 +43,13 @@ func BuildIndexContext(ctx context.Context, g *Graph, workers int) (*Index, erro
 // The write is atomic: the index is written to a temporary file in the
 // same directory and renamed over path on success, so a failed or
 // interrupted rebuild never truncates an index a server is about to load.
-func SaveIndex(path string, ix *Index) (err error) {
-	dir, base := filepath.Split(path)
-	f, err := os.CreateTemp(dir, base+".tmp-*")
+func SaveIndex(path string, ix *Index) error {
+	err := atomicio.WriteFile(path, func(f *os.File) error {
+		_, werr := ix.WriteTo(f)
+		return werr
+	})
 	if err != nil {
-		return fmt.Errorf("influcomm: creating temporary index file for %s: %w", path, err)
-	}
-	tmp := f.Name()
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-	if _, err = ix.WriteTo(f); err != nil {
-		return fmt.Errorf("influcomm: writing %s: %w", path, err)
-	}
-	if err = f.Close(); err != nil {
-		return fmt.Errorf("influcomm: writing %s: %w", path, err)
-	}
-	if err = os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("influcomm: replacing %s: %w", path, err)
+		return fmt.Errorf("influcomm: saving index: %w", err)
 	}
 	return nil
 }
@@ -71,12 +58,7 @@ func SaveIndex(path string, ix *Index) (err error) {
 // to g. The file's magic, format version, and vertex count are validated
 // against g; a stale or corrupt index is rejected with an error.
 func LoadIndex(path string, g *Graph) (*Index, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("influcomm: opening %s: %w", path, err)
-	}
-	defer f.Close()
-	ix, err := index.ReadFrom(f, g)
+	ix, err := index.Load(path, g)
 	if err != nil {
 		return nil, fmt.Errorf("influcomm: loading %s: %w", path, err)
 	}

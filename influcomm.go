@@ -23,12 +23,13 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
+	"influcomm/internal/atomicio"
 	"influcomm/internal/core"
 	"influcomm/internal/graph"
 	"influcomm/internal/pagerank"
 	"influcomm/internal/queryweight"
+	"influcomm/internal/store"
 	"influcomm/internal/truss"
 )
 
@@ -113,34 +114,47 @@ func StreamContextWithOptions(ctx context.Context, g *Graph, gamma int, opts Opt
 // search engines (four O(n) scratch slices each) and round buffers are
 // pooled and reused, so steady-state queries allocate only their results.
 // Use one QueryPool per graph for serving workloads; it is safe for
-// concurrent use.
+// concurrent use. A QueryPool is the in-memory Store backend under its
+// original name — Store exposes the same pooled path for serving stacks
+// that mix backends.
 type QueryPool struct {
-	pool *core.Pool
+	g  *Graph
+	st *store.Mem
 }
 
 // NewQueryPool returns a QueryPool answering queries over g.
 func NewQueryPool(g *Graph) *QueryPool {
-	return &QueryPool{pool: core.NewPool(g)}
+	st, _ := store.OpenMem(g) // nil/empty graphs report their error per query
+	return &QueryPool{g: g, st: st}
 }
 
 // Graph returns the pool's graph.
-func (q *QueryPool) Graph() *Graph { return q.pool.Graph() }
+func (q *QueryPool) Graph() *Graph { return q.g }
+
+// Store returns the pool as the in-memory Store backend.
+func (q *QueryPool) Store() Store { return q.st }
 
 // TopK answers a top-k query with pooled scratch state; semantically
 // identical to TopKContext.
 func (q *QueryPool) TopK(ctx context.Context, k int, gamma int) (*Result, error) {
-	return q.pool.TopK(ctx, k, int32(gamma), core.Options{})
+	return q.TopKWithOptions(ctx, k, gamma, Options{})
 }
 
 // TopKWithOptions is TopK with explicit algorithm options.
 func (q *QueryPool) TopKWithOptions(ctx context.Context, k int, gamma int, opts Options) (*Result, error) {
-	return q.pool.TopK(ctx, k, int32(gamma), opts)
+	if q.st == nil {
+		return core.TopKCtx(ctx, q.g, k, int32(gamma), opts) // reports the nil/empty-graph error
+	}
+	return q.st.TopK(ctx, k, int32(gamma), opts)
 }
 
 // Stream answers a progressive query with a pooled engine; semantically
 // identical to StreamContext.
 func (q *QueryPool) Stream(ctx context.Context, gamma int, yield func(*Community) bool) (Stats, error) {
-	return q.pool.Stream(ctx, int32(gamma), core.Options{}, yield)
+	if q.st == nil {
+		return core.StreamCtx(ctx, q.g, int32(gamma), core.Options{}, yield)
+	}
+	return q.st.Stream(ctx, int32(gamma), core.Options{}, yield)
 }
 
 // TopKNonContainment returns the top-k non-containment influential
@@ -223,35 +237,27 @@ func WriteGraph(w io.Writer, g *Graph) error {
 // LoadGraph reads a graph from the file at path; files ending in ".bin"
 // use the compact binary format, anything else the text format.
 func LoadGraph(path string) (*Graph, error) {
-	f, err := os.Open(path)
+	g, err := graph.LoadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("influcomm: opening %s: %w", path, err)
+		return nil, fmt.Errorf("influcomm: loading %s: %w", path, err)
 	}
-	defer f.Close()
-	if isBinaryPath(path) {
-		return graph.ReadBinary(f)
-	}
-	return graph.ReadText(f)
+	return g, nil
 }
 
 // SaveGraph writes g to the file at path, choosing the format by extension
-// as in LoadGraph.
-func SaveGraph(path string, g *Graph) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("influcomm: creating %s: %w", path, err)
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+// as in LoadGraph. Like SaveIndex, the write is atomic (temporary file plus
+// rename), so an interrupted save never truncates a graph file in place.
+func SaveGraph(path string, g *Graph) error {
+	err := atomicio.WriteFile(path, func(f *os.File) error {
+		if isBinaryPath(path) {
+			return graph.WriteBinary(f, g)
 		}
-	}()
-	if isBinaryPath(path) {
-		return graph.WriteBinary(f, g)
+		return graph.WriteText(f, g)
+	})
+	if err != nil {
+		return fmt.Errorf("influcomm: saving graph: %w", err)
 	}
-	return graph.WriteText(f, g)
+	return nil
 }
 
-func isBinaryPath(path string) bool {
-	return len(path) >= 4 && strings.EqualFold(path[len(path)-4:], ".bin")
-}
+func isBinaryPath(path string) bool { return graph.IsBinaryPath(path) }

@@ -1,0 +1,51 @@
+// Package atomicio provides crash-safe file replacement: content is
+// written to a temporary sibling and renamed over the destination only
+// after a successful close, so a reader (or a server loading the file)
+// never observes a partial write. SaveGraph, SaveIndex, and the
+// semi-external edge-file writer all persist through it.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes the output of write to path atomically. The temporary
+// file is created in path's own directory — never os.TempDir, so the final
+// rename cannot cross filesystems even for bare relative paths — and is
+// given 0644 permissions (modulo umask via Chmod semantics) before the
+// rename, matching what a plain os.Create would have produced. On any
+// error the temporary file is removed and the destination is untouched.
+func WriteFile(path string, write func(*os.File) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("creating temporary file for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	// os.CreateTemp hardcodes 0600; restore the permissions a direct
+	// os.Create would have given so other service users can read the file.
+	if err = f.Chmod(0o644); err != nil {
+		return fmt.Errorf("preparing %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("replacing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package atomicio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	for i, content := range []string{"first", "second overwrite"} {
+		err := WriteFile(path, func(f *os.File) error {
+			_, err := f.WriteString(content)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("content = %q, want %q", got, content)
+		}
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Errorf("permissions = %o, want 644 (CreateTemp's 0600 must not leak through)", perm)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, temp files leaked", len(entries))
+	}
+}
+
+// TestWriteFileBareRelativePath: the temp file must be a sibling of the
+// destination even for a bare filename, or the final rename could cross
+// filesystems (os.CreateTemp with dir "" falls back to os.TempDir).
+func TestWriteFileBareRelativePath(t *testing.T) {
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := WriteFile("bare.txt", func(f *os.File) error {
+		_, err := f.WriteString("x")
+		return err
+	}); err != nil {
+		t.Fatalf("bare relative path: %v", err)
+	}
+	if _, err := os.Stat("bare.txt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFileErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	boom := errors.New("boom")
+	if err := WriteFile(path, func(*os.File) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("destination exists after failed write")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("%d temp files left after failed write", len(entries))
+	}
+}

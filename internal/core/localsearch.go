@@ -95,10 +95,24 @@ func validateQuery(g *graph.Graph, k int, gamma int32) error {
 	return nil
 }
 
+// PrefixSizer exposes the prefix-size geometry of a ranked graph: the only
+// facts the LocalSearch growth policy (Lines 1 and 4 of Algorithm 1) needs,
+// with no access to the adjacency itself. *graph.Graph implements it
+// directly; semi-external backends implement it from the in-memory
+// up-degree vector without touching disk.
+type PrefixSizer interface {
+	NumVertices() int
+	// PrefixSize returns size(G≥τ) = p + |E(G≥τ)| for the prefix [0, p).
+	PrefixSize(p int) int64
+	// PrefixForSize returns the smallest prefix length p with
+	// PrefixSize(p) >= want, or NumVertices() if no prefix is that large.
+	PrefixForSize(want int64) int
+}
+
 // initialPrefix implements Line 1 of Algorithm 1: the largest τ such that
 // G≥τ could possibly hold k influential γ-communities. k communities span
 // at least k+γ distinct vertices, so τ₁ is the (k+γ)-th largest weight.
-func initialPrefix(g *graph.Graph, k int, gamma int32, opts Options) int {
+func initialPrefix(g PrefixSizer, k int, gamma int32, opts Options) int {
 	n := g.NumVertices()
 	p := opts.InitialPrefix
 	if p <= 0 {
@@ -116,7 +130,7 @@ func initialPrefix(g *graph.Graph, k int, gamma int32, opts Options) int {
 // growPrefix implements Line 4 of Algorithm 1: the largest τ (smallest
 // prefix) whose size is at least δ times the current size, falling back to
 // the whole graph.
-func growPrefix(g *graph.Graph, p int, opts Options) int {
+func growPrefix(g PrefixSizer, p int, opts Options) int {
 	cur := g.PrefixSize(p)
 	var want int64
 	if opts.ArithmeticGrowth > 0 {
@@ -154,15 +168,9 @@ func TopKCtx(ctx context.Context, g *graph.Graph, k int, gamma int32, opts Optio
 	if err := validateQuery(g, k, gamma); err != nil {
 		return nil, err
 	}
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	eng := NewEngine(g, gamma)
-	eng.SetContext(ctx)
-	return runTopK(ctx, eng, nil, nil, g, k, opts)
+	// One-shot queries route through the backend-agnostic driver; the
+	// pooled path (Pool.TopK) keeps its scratch-reusing twin runTopK.
+	return TopKOver(ctx, GraphSource(g), k, gamma, opts)
 }
 
 // runTopK is the shared LocalSearch driver behind TopKCtx and Pool.TopK.

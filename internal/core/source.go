@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"influcomm/internal/graph"
+)
+
+// SearchSource abstracts where the ranked graph lives for LocalSearch. The
+// driver only ever inspects prefix subgraphs G≥τ, so a backend needs two
+// capabilities: the prefix-size geometry (PrefixSizer, answerable from O(n)
+// per-vertex state) and the ability to materialize a prefix in memory. The
+// in-memory source is the graph itself at zero cost; a semi-external source
+// streams just enough of its on-disk edge file.
+type SearchSource interface {
+	PrefixSizer
+
+	// Materialize returns an in-memory graph covering at least the prefix
+	// [0, p). Vertex IDs equal global weight ranks, so vertex u < p of the
+	// returned graph is vertex u of the backing graph with the same weight
+	// and the same prefix-internal edges. Implementations may return a
+	// graph larger than requested (the in-memory source returns the whole
+	// graph) and may reuse the returned value across calls; the driver
+	// detects reuse by pointer identity.
+	Materialize(p int) (*graph.Graph, error)
+}
+
+// memSource adapts a fully in-memory graph to SearchSource.
+type memSource struct{ g *graph.Graph }
+
+func (s memSource) NumVertices() int                      { return s.g.NumVertices() }
+func (s memSource) PrefixSize(p int) int64                { return s.g.PrefixSize(p) }
+func (s memSource) PrefixForSize(want int64) int          { return s.g.PrefixForSize(want) }
+func (s memSource) Materialize(int) (*graph.Graph, error) { return s.g, nil }
+
+// GraphSource returns the SearchSource view of an in-memory graph:
+// Materialize hands back g itself, so TopKOver over it is exactly TopKCtx.
+func GraphSource(g *graph.Graph) SearchSource { return memSource{g} }
+
+// TopKOver runs LocalSearch (Algorithm 1) against an arbitrary SearchSource:
+// the same round structure, growth policy, and enumeration as TopKCtx, but
+// each round's γ-core computation happens on whatever graph the source
+// materializes. Over GraphSource it is equivalent to TopKCtx; over a
+// semi-external source the full graph is never loaded — each round touches
+// only the prefix the search has grown to, which is how a query can execute
+// against a graph larger than RAM.
+func TopKOver(ctx context.Context, src SearchSource, k int, gamma int32, opts Options) (*Result, error) {
+	if src == nil {
+		return nil, errors.New("core: nil search source")
+	}
+	n := src.NumVertices()
+	if n == 0 {
+		return nil, errors.New("core: empty graph")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if gamma < 1 {
+		return nil, fmt.Errorf("core: gamma must be >= 1, got %d", gamma)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	p := initialPrefix(src, k, gamma, opts)
+	flags := WantSeq
+	if opts.NonContainment {
+		flags |= WantNC
+	}
+	var (
+		st  Stats
+		cvs *CVS
+		g   *graph.Graph
+		eng *Engine
+	)
+	for {
+		mg, err := src.Materialize(p)
+		if err != nil {
+			return nil, err
+		}
+		if mg.NumVertices() < p {
+			return nil, fmt.Errorf("core: source materialized %d vertices, prefix needs %d", mg.NumVertices(), p)
+		}
+		// Engines are bound to one graph; reuse only while the source keeps
+		// returning the same one (the in-memory case).
+		if eng == nil || mg != g {
+			g = mg
+			eng = NewEngine(g, gamma)
+			eng.SetContext(ctx)
+		}
+		cvs, err = eng.RunInto(nil, p, 0, flags)
+		if err != nil {
+			return nil, err
+		}
+		st.Rounds++
+		st.TotalWork += src.PrefixSize(p)
+		cnt := countOf(cvs, opts.NonContainment)
+		if cnt >= k || p == n {
+			st.Communities = cnt
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p = growPrefix(src, p, opts)
+	}
+	st.FinalPrefix = p
+	st.FinalSize = src.PrefixSize(p)
+
+	var comms []*Community
+	if opts.NonContainment {
+		comms = nonContainmentCommunities(g, cvs, k)
+	} else {
+		comms = EnumIC(g, cvs, k)
+	}
+	return &Result{Communities: comms, Stats: st}, nil
+}

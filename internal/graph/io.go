@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
@@ -99,4 +100,25 @@ func ReadText(r io.Reader) (*Graph, error) {
 		return nil, ErrNoVertices
 	}
 	return b.Build()
+}
+
+// LoadFile reads a graph from the file at path, dispatching on extension:
+// a ".bin" suffix (matched case-insensitively) selects the compact binary
+// format, anything else the text format. This is the one place the
+// extension rule lives; LoadGraph and the store backends both call it.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if IsBinaryPath(path) {
+		return ReadBinary(f)
+	}
+	return ReadText(f)
+}
+
+// IsBinaryPath reports whether path selects the binary format in LoadFile.
+func IsBinaryPath(path string) bool {
+	return len(path) >= 4 && strings.EqualFold(path[len(path)-4:], ".bin")
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 
 	"influcomm/internal/core"
 	"influcomm/internal/graph"
@@ -191,4 +192,16 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Index, error) {
 		ix.perGamma[gi] = c
 	}
 	return ix, nil
+}
+
+// Load opens path and reads an index bound to g: the path-based loader
+// shared by the public API (LoadIndex) and the server's admin endpoints,
+// so validation and error text cannot drift between the two.
+func Load(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f, g)
 }

@@ -18,6 +18,7 @@ import (
 	"math"
 	"os"
 
+	"influcomm/internal/atomicio"
 	"influcomm/internal/graph"
 )
 
@@ -28,55 +29,57 @@ const fileMagic = uint32(0x5EDB_E55A)
 // up-adjacency list in ascending rank order of its owner — which is exactly
 // decreasing edge weight order, so a prefix of the stream is a prefix
 // subgraph G≥τ.
-func WriteEdgeFile(path string, g *graph.Graph) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("semiext: creating edge file: %w", err)
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	w := bufio.NewWriter(f)
-	le := binary.LittleEndian
-	var hdr [20]byte
-	le.PutUint32(hdr[0:], fileMagic)
-	le.PutUint64(hdr[4:], uint64(g.NumVertices()))
-	le.PutUint64(hdr[12:], uint64(g.NumEdges()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	var buf [8]byte
-	for u := int32(0); int(u) < g.NumVertices(); u++ {
-		le.PutUint64(buf[:], math.Float64bits(g.Weight(u)))
-		if _, err := w.Write(buf[:]); err != nil {
+//
+// The write is atomic: the file is assembled in a temporary sibling and
+// renamed over path on success, so a crash mid-write can never leave a
+// truncated edge file where a serving process expects a complete one.
+func WriteEdgeFile(path string, g *graph.Graph) error {
+	err := atomicio.WriteFile(path, func(f *os.File) error {
+		w := bufio.NewWriter(f)
+		le := binary.LittleEndian
+		var hdr [20]byte
+		le.PutUint32(hdr[0:], fileMagic)
+		le.PutUint64(hdr[4:], uint64(g.NumVertices()))
+		le.PutUint64(hdr[12:], uint64(g.NumEdges()))
+		if _, err := w.Write(hdr[:]); err != nil {
 			return err
 		}
-	}
-	for u := int32(0); int(u) < g.NumVertices(); u++ {
-		le.PutUint32(buf[:4], uint32(g.UpDegree(u)))
-		if _, err := w.Write(buf[:4]); err != nil {
-			return err
+		var buf [8]byte
+		for u := int32(0); int(u) < g.NumVertices(); u++ {
+			le.PutUint64(buf[:], math.Float64bits(g.Weight(u)))
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
 		}
-	}
-	for u := int32(0); int(u) < g.NumVertices(); u++ {
-		for _, v := range g.UpNeighbors(u) {
-			le.PutUint32(buf[:4], uint32(v))
+		for u := int32(0); int(u) < g.NumVertices(); u++ {
+			le.PutUint32(buf[:4], uint32(g.UpDegree(u)))
 			if _, err := w.Write(buf[:4]); err != nil {
 				return err
 			}
 		}
+		for u := int32(0); int(u) < g.NumVertices(); u++ {
+			for _, v := range g.UpNeighbors(u) {
+				le.PutUint32(buf[:4], uint32(v))
+				if _, err := w.Write(buf[:4]); err != nil {
+					return err
+				}
+			}
+		}
+		return w.Flush()
+	})
+	if err != nil {
+		return fmt.Errorf("semiext: writing edge file: %w", err)
 	}
-	return w.Flush()
+	return nil
 }
 
 // Reader streams an edge file. Per the semi-external model it materializes
 // only O(n) per-vertex state (weights and up-degrees); edges are delivered
 // strictly sequentially and accounted in BytesRead.
 type Reader struct {
-	f       *os.File
+	c       io.Closer // underlying file; nil for in-memory streams
 	br      *bufio.Reader
+	size    int64 // total stream length in bytes
 	n       int
 	m       int64
 	weights []float64
@@ -93,12 +96,71 @@ func OpenReader(path string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("semiext: opening edge file: %w", err)
 	}
-	r := &Reader{f: f, br: bufio.NewReaderSize(f, 1<<20)}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("semiext: opening edge file: %w", err)
+	}
+	r := &Reader{c: f, br: bufio.NewReaderSize(f, 1<<20), size: fi.Size()}
 	if err := r.readHeader(); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return r, nil
+}
+
+// NewReader streams an edge file already held in memory (or any reader of
+// known length). It applies exactly the header validation OpenReader does;
+// the fuzzer drives the format through this path without touching disk.
+func NewReader(src io.Reader, size int64) (*Reader, error) {
+	r := &Reader{br: bufio.NewReader(src), size: size}
+	if err := r.readHeader(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// OpenEdgeStream opens path positioned directly at the edge payload,
+// adopting per-vertex state a previous OpenReader of the same file already
+// loaded and validated. A store serving many queries over one edge file
+// opens the header once and then pays only an open+seek per query instead
+// of re-reading 12n bytes of vectors; the reader never writes to the
+// adopted slices. Only the file size is re-checked — if the file was
+// swapped for one with a different shape, the edge-stream validation
+// (range and order checks in ReadVertexEdges) still rejects it.
+func OpenEdgeStream(path string, weights []float64, upDeg []int32, m int64) (*Reader, error) {
+	n := len(weights)
+	if len(upDeg) != n {
+		return nil, fmt.Errorf("semiext: weights hold %d vertices, up-degrees %d", n, len(upDeg))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("semiext: opening edge file: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("semiext: opening edge file: %w", err)
+	}
+	headerSize := 20 + 12*int64(n)
+	if fi.Size() < headerSize || (fi.Size()-headerSize)/4 < m {
+		f.Close()
+		return nil, fmt.Errorf("semiext: file holds %d bytes, too short for n=%d m=%d", fi.Size(), n, m)
+	}
+	if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("semiext: seeking past header: %w", err)
+	}
+	return &Reader{
+		c:          f,
+		br:         bufio.NewReaderSize(f, 1<<20),
+		size:       fi.Size(),
+		n:          n,
+		m:          m,
+		weights:    weights,
+		upDeg:      upDeg,
+		headerSize: headerSize,
+	}, nil
 }
 
 func (r *Reader) readHeader() error {
@@ -115,13 +177,11 @@ func (r *Reader) readHeader() error {
 	if r.n < 0 || r.m < 0 || int64(r.n) > math.MaxInt32 {
 		return fmt.Errorf("semiext: implausible header n=%d m=%d", r.n, r.m)
 	}
-	// The on-disk size must cover the header's claims; this rejects
-	// truncated or hostile files before any header-sized allocation.
-	if fi, err := r.f.Stat(); err == nil {
-		need := 20 + 12*int64(r.n) + 4*r.m
-		if fi.Size() < need {
-			return fmt.Errorf("semiext: file holds %d bytes, header needs %d", fi.Size(), need)
-		}
+	// The stream must cover the header's claims; this rejects truncated or
+	// hostile files before any header-sized allocation. The edge payload is
+	// compared by division so an absurd m cannot overflow the arithmetic.
+	if vecEnd := 20 + 12*int64(r.n); r.size < vecEnd || (r.size-vecEnd)/4 < r.m {
+		return fmt.Errorf("semiext: file holds %d bytes, too short for header n=%d m=%d", r.size, r.n, r.m)
 	}
 	r.weights = make([]float64, r.n)
 	r.upDeg = make([]int32, r.n)
@@ -132,11 +192,23 @@ func (r *Reader) readHeader() error {
 		}
 		r.weights[i] = math.Float64frombits(le.Uint64(buf[:]))
 	}
+	var degSum int64
 	for i := 0; i < r.n; i++ {
 		if _, err := io.ReadFull(r.br, buf[:4]); err != nil {
 			return fmt.Errorf("semiext: reading degrees: %w", err)
 		}
-		r.upDeg[i] = int32(le.Uint32(buf[:4]))
+		d := int32(le.Uint32(buf[:4]))
+		// Up-neighbors have strictly smaller rank, so vertex i can have at
+		// most i of them; anything else is corruption the edge-stream
+		// checks would only catch after wasted reads.
+		if d < 0 || int64(d) > int64(i) {
+			return fmt.Errorf("semiext: vertex %d claims %d up-neighbors, at most %d possible", i, d, i)
+		}
+		r.upDeg[i] = d
+		degSum += int64(d)
+	}
+	if degSum != r.m {
+		return fmt.Errorf("semiext: up-degrees sum to %d edges, header claims %d", degSum, r.m)
 	}
 	r.headerSize = 20 + int64(r.n)*12
 	return nil
@@ -187,5 +259,10 @@ func (r *Reader) ReadVertexEdges(edges [][2]int32) ([][2]int32, error) {
 	return edges, nil
 }
 
-// Close releases the file handle.
-func (r *Reader) Close() error { return r.f.Close() }
+// Close releases the file handle; it is a no-op for in-memory readers.
+func (r *Reader) Close() error {
+	if r.c == nil {
+		return nil
+	}
+	return r.c.Close()
+}

@@ -1,0 +1,66 @@
+package semiext
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"influcomm/internal/gen"
+)
+
+// FuzzEdgeFile feeds arbitrary bytes to the edge-file reader: NewReader
+// (the same validation path OpenReader uses) must either reject the input
+// or hand back a reader whose stream upholds the format invariants — no
+// panics, no over-reads, and a fully streamed file delivers exactly the
+// edge count its header claims.
+func FuzzEdgeFile(f *testing.F) {
+	seedDir := f.TempDir()
+	for seed := uint64(1); seed <= 3; seed++ {
+		g := gen.Random(20+int(seed)*7, 4, seed)
+		path := filepath.Join(seedDir, "seed.edges")
+		if err := WriteEdgeFile(path, g); err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:20])
+		f.Add(data[:len(data)-3])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x5a, 0xe5, 0xdb, 0x5e})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return // rejected, fine
+		}
+		var edges [][2]int32
+		for {
+			edges, err = r.ReadVertexEdges(edges)
+			if err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, io.EOF) {
+			return // corrupt edge payload, detected mid-stream
+		}
+		if int64(len(edges)) != r.NumEdges() {
+			t.Fatalf("streamed %d edges, header claims %d", len(edges), r.NumEdges())
+		}
+		if r.BytesRead() != 4*r.NumEdges() {
+			t.Fatalf("BytesRead = %d, want %d", r.BytesRead(), 4*r.NumEdges())
+		}
+		n := int32(r.NumVertices())
+		for _, e := range edges {
+			if e[0] < 0 || e[0] >= e[1] || e[1] >= n {
+				t.Fatalf("invalid edge (%d,%d) in %d-vertex stream", e[0], e[1], n)
+			}
+		}
+	})
+}

@@ -197,6 +197,72 @@ func TestReaderRejectsTruncatedFile(t *testing.T) {
 	}
 }
 
+func TestWriteEdgeFileAtomic(t *testing.T) {
+	g := gen.Random(60, 4, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	// Two writes to the same path: the second must replace the first via
+	// rename, leaving no temporary siblings behind.
+	for i := 0; i < 2; i++ {
+		if err := WriteEdgeFile(path, g); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.edges" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only g.edges (temp files must not leak)", names)
+	}
+	if _, err := OpenReader(path); err != nil {
+		t.Fatalf("rewritten file unreadable: %v", err)
+	}
+}
+
+func TestReaderRejectsInconsistentDegrees(t *testing.T) {
+	g := gen.Random(50, 5, 4)
+	path := writeTemp(t, g)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+
+	// Vertex 0 cannot have up-neighbors; claiming one must be rejected.
+	impossible := append([]byte(nil), data...)
+	impossible[20+8*n] = 1
+	bad := filepath.Join(t.TempDir(), "impossible.edges")
+	if err := os.WriteFile(bad, impossible, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(bad); err == nil {
+		t.Error("up-degree exceeding rank: want error at open")
+	}
+
+	// Zeroing a late vertex's degree breaks the sum-vs-header cross-check
+	// without changing the file size.
+	mismatch := append([]byte(nil), data...)
+	for u := n - 1; u > 0; u-- {
+		off := 20 + 8*n + 4*u
+		if mismatch[off] != 0 {
+			mismatch[off] = 0
+			break
+		}
+	}
+	bad2 := filepath.Join(t.TempDir(), "mismatch.edges")
+	if err := os.WriteFile(bad2, mismatch, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(bad2); err == nil {
+		t.Error("degree sum != header edge count: want error at open")
+	}
+}
+
 func TestOpenReaderErrors(t *testing.T) {
 	if _, err := OpenReader(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("missing file: want error")

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"influcomm/internal/graph"
+	"influcomm/internal/index"
+	"influcomm/internal/store"
+	"influcomm/internal/truss"
+)
+
+// registry is the named-dataset table behind a Server. Lookups take a read
+// lock; load/unload take the write lock. Queries hold per-dataset
+// references so an unload never closes a backend out from under an
+// in-flight search.
+type registry struct {
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+	// gen increments per registration, so cache keys from an unloaded
+	// dataset can never alias a later dataset with the same name.
+	gen uint64
+
+	// defaultIndex is stashed by WithIndex until New registers the
+	// default dataset.
+	defaultIndex *index.Index
+}
+
+// dataset is one served graph: a Store backend, an optional prebuilt
+// index, a lazily built truss index, and serving counters.
+type dataset struct {
+	name string
+	gen  uint64
+	st   store.Store
+
+	// index, when non-nil, answers default-semantics queries in
+	// output-proportional time; only in-memory backends can carry one.
+	index *index.Index
+
+	// trussIndex is built once, on the first truss query: the graph is
+	// immutable, so rebuilding the O(m) index per request would be the
+	// same per-query setup waste the engine pool exists to avoid, while
+	// building it eagerly would tax servers that never see truss traffic.
+	trussOnce  sync.Once
+	trussIndex *truss.Index
+
+	queries     atomic.Int64
+	indexServed atomic.Int64
+	localServed atomic.Int64
+
+	// refs counts in-flight queries; unloaded marks removal from the
+	// registry. The last releasing query (or the unload itself, when the
+	// dataset is idle) closes the backend exactly once.
+	refs      atomic.Int64
+	unloaded  atomic.Bool
+	closeOnce sync.Once
+}
+
+func (d *dataset) acquire() { d.refs.Add(1) }
+
+func (d *dataset) release() {
+	if d.refs.Add(-1) == 0 && d.unloaded.Load() {
+		d.closeOnce.Do(func() { d.st.Close() })
+	}
+}
+
+// markUnloaded flags the dataset as removed and closes the backend if no
+// query holds it; otherwise the drain in release does.
+func (d *dataset) markUnloaded() {
+	d.unloaded.Store(true)
+	if d.refs.Load() == 0 {
+		d.closeOnce.Do(func() { d.st.Close() })
+	}
+}
+
+// DatasetInfo describes one loaded dataset on /v1/datasets and /v1/stats.
+type DatasetInfo struct {
+	Name         string `json:"name"`
+	Backend      string `json:"backend"`
+	Vertices     int    `json:"vertices"`
+	Edges        int64  `json:"edges"`
+	IndexLoaded  bool   `json:"index_loaded"`
+	Queries      int64  `json:"queries"`
+	IndexQueries int64  `json:"index_queries"`
+	LocalQueries int64  `json:"local_queries"`
+}
+
+func (d *dataset) info() DatasetInfo {
+	return DatasetInfo{
+		Name:         d.name,
+		Backend:      d.st.Backend(),
+		Vertices:     d.st.NumVertices(),
+		Edges:        d.st.NumEdges(),
+		IndexLoaded:  d.index != nil,
+		Queries:      d.queries.Load(),
+		IndexQueries: d.indexServed.Load(),
+		LocalQueries: d.localServed.Load(),
+	}
+}
+
+func (r *registry) lookup(name string) *dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.datasets[name]
+}
+
+// acquireLookup resolves name and takes the in-flight reference while
+// still under the registry read lock. RemoveDataset needs the write lock
+// to delete the entry, so it can never observe zero references between a
+// query resolving the dataset and pinning it — the gap a bare
+// lookup-then-acquire would leave.
+func (r *registry) acquireLookup(name string) *dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds := r.datasets[name]
+	if ds != nil {
+		ds.acquire()
+	}
+	return ds
+}
+
+// DatasetConfig describes a dataset to register. Exactly one of Graph and
+// Store must be set; Index optionally attaches a prebuilt index and
+// requires an in-memory backend over exactly the index's graph.
+type DatasetConfig struct {
+	Graph *graph.Graph // in-memory backend over this graph
+	Store store.Store  // explicit backend (e.g. store.OpenEdgeFile)
+	Index *index.Index
+}
+
+// errAlreadyLoaded distinguishes a name conflict (409) from other
+// registration failures (400) in the admin handler.
+var errAlreadyLoaded = errors.New("already loaded")
+
+// AddDataset registers a dataset under name; it fails if the name is
+// invalid or already taken, or the configuration is inconsistent. Safe to
+// call while the server is serving.
+func (s *Server) AddDataset(name string, cfg DatasetConfig) error {
+	_, err := s.addDataset(name, cfg)
+	return err
+}
+
+// addDataset is AddDataset returning the registered dataset, so the admin
+// handler can describe it without a racy re-lookup.
+func (s *Server) addDataset(name string, cfg DatasetConfig) (*dataset, error) {
+	if !validDatasetName(name) {
+		return nil, fmt.Errorf("server: invalid dataset name %q (want 1-64 chars of [A-Za-z0-9._-])", name)
+	}
+	var st store.Store
+	switch {
+	case cfg.Graph != nil && cfg.Store != nil:
+		return nil, fmt.Errorf("server: dataset %q sets both Graph and Store", name)
+	case cfg.Graph != nil:
+		var err error
+		if st, err = store.OpenMem(cfg.Graph); err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", name, err)
+		}
+	case cfg.Store != nil:
+		st = cfg.Store
+	default:
+		return nil, fmt.Errorf("server: dataset %q has neither Graph nor Store", name)
+	}
+	if cfg.Index != nil {
+		g := st.Graph()
+		if g == nil {
+			return nil, fmt.Errorf("server: dataset %q: an index needs whole-graph access, the %s backend cannot carry one", name, st.Backend())
+		}
+		if cfg.Index.Graph() != g {
+			return nil, fmt.Errorf("server: dataset %q: index is bound to a different graph than the one being served (%d vs %d vertices); rebuild or reload it against this graph",
+				name, cfg.Index.Graph().NumVertices(), g.NumVertices())
+		}
+	}
+	s.registry.mu.Lock()
+	defer s.registry.mu.Unlock()
+	if _, ok := s.registry.datasets[name]; ok {
+		return nil, fmt.Errorf("server: dataset %q is %w", name, errAlreadyLoaded)
+	}
+	s.registry.gen++
+	ds := &dataset{name: name, gen: s.registry.gen, st: st, index: cfg.Index}
+	s.registry.datasets[name] = ds
+	return ds, nil
+}
+
+// RemoveDataset unloads the named dataset: it disappears from routing
+// immediately, cached results for it are purged, and the backend is closed
+// once in-flight queries drain. Safe to call while the server is serving.
+func (s *Server) RemoveDataset(name string) error {
+	s.registry.mu.Lock()
+	ds, ok := s.registry.datasets[name]
+	if ok {
+		delete(s.registry.datasets, name)
+	}
+	s.registry.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: dataset %q is not loaded", name)
+	}
+	if s.cache != nil {
+		s.cache.invalidateDataset(name)
+	}
+	ds.markUnloaded()
+	return nil
+}
+
+func validDatasetName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for _, c := range []byte(name) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// loadRequest is the POST /v1/admin/datasets body.
+type loadRequest struct {
+	// Name registers the dataset for routing (?dataset=name).
+	Name string `json:"name"`
+	// Path is the server-side file to load: a graph file for the memory
+	// backend, an edge file for the semiext backend.
+	Path string `json:"path"`
+	// Backend selects "memory" (default) or "semiext".
+	Backend string `json:"backend,omitempty"`
+	// Index optionally loads a prebuilt index file (memory backend only).
+	Index string `json:"index,omitempty"`
+}
+
+// adminAllowed enforces the optional bearer token on admin endpoints.
+func (s *Server) adminAllowed(w http.ResponseWriter, r *http.Request) bool {
+	if s.adminToken == "" {
+		return true
+	}
+	got := []byte(r.Header.Get("Authorization"))
+	want := []byte("Bearer " + s.adminToken)
+	if subtle.ConstantTimeCompare(got, want) == 1 {
+		return true
+	}
+	w.Header().Set("WWW-Authenticate", "Bearer")
+	writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "admin endpoints need a valid bearer token"})
+	return false
+}
+
+func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAllowed(w, r) {
+		return
+	}
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "name and path are required"})
+		return
+	}
+	st, err := store.Open(req.Path, req.Backend)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	cfg := DatasetConfig{Store: st}
+	if req.Index != "" {
+		g := st.Graph()
+		if g == nil {
+			st.Close()
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "an index needs the memory backend"})
+			return
+		}
+		ix, err := index.Load(req.Index, g)
+		if err != nil {
+			st.Close()
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		cfg.Index = ix
+	}
+	ds, err := s.addDataset(req.Name, cfg)
+	if err != nil {
+		st.Close()
+		code := http.StatusBadRequest
+		if errors.Is(err, errAlreadyLoaded) {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, ds.info())
+}
+
+func (s *Server) handleUnloadDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAllowed(w, r) {
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.RemoveDataset(name); err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "unloaded", "dataset": name})
+}

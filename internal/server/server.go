@@ -1,25 +1,34 @@
 // Package server exposes top-k influential community queries over HTTP:
 // the serving layer a downstream system would put in front of the library.
-// One immutable graph is loaded at startup; queries run concurrently on
-// pooled search engines, each request under its own context with a
-// per-request deadline, so steady-state queries allocate no engine state
-// and abandoned requests stop searching.
 //
-// When a prebuilt index is attached (WithIndex), default-semantics queries
-// are answered from it in output-proportional time and pooled LocalSearch
-// serves the rest; /v1/stats reports the per-path split as index_queries
-// vs local_queries.
+// A server holds a registry of named datasets. Each dataset is one graph
+// behind a pluggable Store backend — fully in-memory with pooled engines,
+// or semi-external with on-disk edge files and only per-vertex state in
+// RAM — plus an optional prebuilt index (in-memory backends only) that
+// answers default-semantics queries in output-proportional time. Queries
+// run concurrently, each request under its own context with a per-request
+// deadline; a bounded LRU cache short-circuits repeated identical queries
+// and reports hits and misses on /v1/stats. Datasets can be loaded and
+// unloaded at runtime through the admin endpoints without restarting;
+// unloading waits for in-flight queries on that dataset to drain before
+// releasing the backend.
 //
 // Endpoints:
 //
-//	GET /healthz                        liveness probe
-//	GET /v1/stats                       graph statistics and serving counters
-//	GET /v1/topk?k=10&gamma=5           top-k influential γ-communities
-//	GET /v1/topk?...&noncontainment=1   non-containment variant (§5.1)
-//	GET /v1/topk?...&truss=1            γ-truss variant (§5.2)
+//	GET    /healthz                        liveness probe
+//	GET    /v1/stats                       statistics and serving counters
+//	GET    /v1/datasets                    list loaded datasets
+//	GET    /v1/topk?k=10&gamma=5           top-k influential γ-communities
+//	GET    /v1/topk?...&dataset=name       ... against a named dataset
+//	GET    /v1/topk?...&noncontainment=1   non-containment variant (§5.1)
+//	GET    /v1/topk?...&truss=1            γ-truss variant (§5.2, in-memory datasets)
+//	POST   /v1/admin/datasets              load a dataset from disk
+//	DELETE /v1/admin/datasets/{name}       unload a dataset
 //
 // Responses are JSON. Community members are reported as the graph's
-// original vertex IDs (plus labels when the graph has them).
+// original vertex IDs (plus labels when the graph has them) for in-memory
+// datasets; semi-external datasets identify vertices by weight rank, which
+// is what the edge-file layout stores.
 package server
 
 import (
@@ -29,8 +38,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,24 +49,23 @@ import (
 	"influcomm/internal/truss"
 )
 
-// Server answers community-search queries over one graph. Create with New;
-// it is safe for concurrent use.
+// DefaultDataset is the name queries are routed to when no dataset
+// parameter is given; New registers its graph argument under it.
+const DefaultDataset = "default"
+
+// Server answers community-search queries over a registry of datasets.
+// Create with New; it is safe for concurrent use.
 type Server struct {
-	g    *graph.Graph
-	mux  *http.ServeMux
-	pool *core.Pool
+	mux *http.ServeMux
 
-	// index, when non-nil, answers default-semantics queries in
-	// output-proportional time; LocalSearch remains the fallback for the
-	// variants the index does not materialize (non-containment, truss).
-	index *index.Index
+	registry registry
 
-	// trussIndex is built once, on the first truss query: the graph is
-	// immutable, so rebuilding the O(m) index per request would be the
-	// same per-query setup waste the engine pool exists to avoid, while
-	// building it eagerly would tax servers that never see truss traffic.
-	trussOnce  sync.Once
-	trussIndex *truss.Index
+	// cache short-circuits repeated identical queries; nil when disabled.
+	cache *resultCache
+
+	// adminToken, when non-empty, gates the admin endpoints behind a
+	// bearer token; queries stay open.
+	adminToken string
 
 	// maxK bounds per-request work; requests beyond it are rejected.
 	maxK int
@@ -67,6 +75,15 @@ type Server struct {
 	inflight chan struct{}
 
 	metrics metrics
+
+	// pendingDatasets defers WithDataset registrations until New has
+	// finished applying options, so option order does not matter.
+	pendingDatasets []pendingDataset
+}
+
+type pendingDataset struct {
+	name string
+	cfg  DatasetConfig
 }
 
 // metrics holds the serving counters reported on /v1/stats.
@@ -78,7 +95,7 @@ type metrics struct {
 	canceled   atomic.Int64 // queries stopped by disconnect or deadline
 	durationUS atomic.Int64 // cumulative query time of admitted requests
 
-	indexServed atomic.Int64 // queries answered from the prebuilt index
+	indexServed atomic.Int64 // queries answered from a prebuilt index
 	localServed atomic.Int64 // queries answered by online LocalSearch/truss
 }
 
@@ -96,13 +113,44 @@ func WithQueryTimeout(d time.Duration) Option {
 	return func(s *Server) { s.queryTimeout = d }
 }
 
-// WithIndex attaches a prebuilt IndexAll structure: default-semantics
-// /v1/topk queries are then answered from the index in output-proportional
-// time, with pooled LocalSearch remaining the fallback for non-containment
-// and truss queries. The index must have been built on (or loaded against)
-// exactly the graph the server serves; New rejects any other index.
+// WithIndex attaches a prebuilt IndexAll structure to the default dataset:
+// default-semantics /v1/topk queries on it are then answered from the index
+// in output-proportional time, with pooled LocalSearch remaining the
+// fallback for non-containment and truss queries. The index must have been
+// built on (or loaded against) exactly the graph the server serves; New
+// rejects any other index.
 func WithIndex(ix *index.Index) Option {
-	return func(s *Server) { s.index = ix }
+	return func(s *Server) { s.registry.defaultIndex = ix }
+}
+
+// WithDataset registers an additional named dataset at construction; the
+// equivalent of calling AddDataset right after New.
+func WithDataset(name string, cfg DatasetConfig) Option {
+	return func(s *Server) {
+		s.pendingDatasets = append(s.pendingDatasets, pendingDataset{name, cfg})
+	}
+}
+
+// WithResultCache overrides the query-result cache capacity (default 256
+// entries); n <= 0 disables the cache.
+func WithResultCache(n int) Option {
+	return func(s *Server) {
+		if n <= 0 {
+			s.cache = nil
+			return
+		}
+		s.cache = newResultCache(n)
+	}
+}
+
+// WithAdminToken protects the admin endpoints (dataset load/unload) with
+// a bearer token: requests must carry "Authorization: Bearer <token>" or
+// are rejected with 401. The default (empty) leaves them open — only
+// acceptable when the listen address is not reachable by untrusted
+// clients, since admins can unload live datasets and make the server open
+// arbitrary server-side files.
+func WithAdminToken(token string) Option {
+	return func(s *Server) { s.adminToken = token }
 }
 
 // WithMaxInFlight overrides the concurrent query limit (default
@@ -118,29 +166,37 @@ func WithMaxInFlight(n int) Option {
 	}
 }
 
-// New returns a Server for g.
+// New returns a Server serving g as its default dataset.
 func New(g *graph.Graph, opts ...Option) (*Server, error) {
 	if g == nil || g.NumVertices() == 0 {
 		return nil, fmt.Errorf("server: nil or empty graph")
 	}
 	s := &Server{
-		g:            g,
 		mux:          http.NewServeMux(),
-		pool:         core.NewPool(g),
+		cache:        newResultCache(256),
 		maxK:         10000,
 		queryTimeout: 30 * time.Second,
 		inflight:     make(chan struct{}, 4*runtime.GOMAXPROCS(0)),
 	}
+	s.registry.datasets = make(map[string]*dataset)
 	for _, o := range opts {
 		o(s)
 	}
-	if s.index != nil && s.index.Graph() != g {
-		return nil, fmt.Errorf("server: index is bound to a different graph than the one being served (%d vs %d vertices); rebuild or reload it against this graph",
-			s.index.Graph().NumVertices(), g.NumVertices())
+	if err := s.AddDataset(DefaultDataset, DatasetConfig{Graph: g, Index: s.registry.defaultIndex}); err != nil {
+		return nil, err
 	}
+	for _, p := range s.pendingDatasets {
+		if err := s.AddDataset(p.name, p.cfg); err != nil {
+			return nil, err
+		}
+	}
+	s.pendingDatasets = nil
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/admin/datasets", s.handleLoadDataset)
+	s.mux.HandleFunc("DELETE /v1/admin/datasets/{name}", s.handleUnloadDataset)
 	return s, nil
 }
 
@@ -153,8 +209,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// statsResponse is the /v1/stats payload: static graph shape plus the
-// serving counters since startup.
+// statsResponse is the /v1/stats payload: the default dataset's shape (for
+// compatibility with single-dataset deployments), the serving counters
+// since startup, the cache counters, and one entry per loaded dataset.
 type statsResponse struct {
 	Vertices  int     `json:"vertices"`
 	Edges     int64   `json:"edges"`
@@ -169,21 +226,24 @@ type statsResponse struct {
 	AvgLatency  float64 `json:"avg_latency_ms"`
 	MaxInFlight int     `json:"max_in_flight"`
 
-	// Serving-path split: IndexQueries were answered from the prebuilt
-	// index, LocalQueries by online search (LocalSearch or truss).
+	// Serving-path split: IndexQueries were answered from a prebuilt
+	// index, LocalQueries by online search (LocalSearch or truss),
+	// CacheHits straight from the result cache.
 	IndexLoaded   bool  `json:"index_loaded"`
 	IndexGammaMax int32 `json:"index_gamma_max,omitempty"`
 	IndexQueries  int64 `json:"index_queries"`
 	LocalQueries  int64 `json:"local_queries"`
+
+	CacheCapacity int   `json:"cache_capacity"`
+	CacheEntries  int   `json:"cache_entries"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+
+	Datasets []DatasetInfo `json:"datasets"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.g.Statistics()
 	resp := statsResponse{
-		Vertices:    st.Vertices,
-		Edges:       st.Edges,
-		MaxDegree:   st.MaxDegree,
-		AvgDegree:   st.AvgDegree,
 		Queries:     s.metrics.queries.Load(),
 		InFlight:    s.metrics.inFlight.Load(),
 		Rejected:    s.metrics.rejected.Load(),
@@ -191,13 +251,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Canceled:    s.metrics.canceled.Load(),
 		MaxInFlight: cap(s.inflight),
 
-		IndexLoaded:  s.index != nil,
 		IndexQueries: s.metrics.indexServed.Load(),
 		LocalQueries: s.metrics.localServed.Load(),
 	}
-	if s.index != nil {
-		resp.IndexGammaMax = s.index.GammaMax()
+	if ds := s.registry.lookup(DefaultDataset); ds != nil {
+		if g := ds.st.Graph(); g != nil {
+			st := g.Statistics()
+			resp.MaxDegree = st.MaxDegree
+			resp.AvgDegree = st.AvgDegree
+		}
+		resp.Vertices = ds.st.NumVertices()
+		resp.Edges = ds.st.NumEdges()
+		resp.IndexLoaded = ds.index != nil
+		if ds.index != nil {
+			resp.IndexGammaMax = ds.index.GammaMax()
+		}
 	}
+	if s.cache != nil {
+		resp.CacheCapacity = s.cache.capacity
+		resp.CacheEntries = s.cache.len()
+		resp.CacheHits = s.cache.hits.Load()
+		resp.CacheMisses = s.cache.misses.Load()
+	}
+	resp.Datasets = s.Datasets()
 	if resp.Queries > 0 {
 		resp.AvgLatency = float64(s.metrics.durationUS.Load()) / 1000 / float64(resp.Queries)
 	}
@@ -223,6 +299,8 @@ type topKResponse struct {
 	// AccessedVertices reports how much of the graph the local search
 	// touched.
 	AccessedVertices int `json:"accessed_vertices,omitempty"`
+	// Cached marks responses served from the result cache.
+	Cached bool `json:"cached,omitempty"`
 }
 
 type httpError struct {
@@ -308,53 +386,91 @@ func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, erro
 	if useTruss && nonContain {
 		return nil, &httpError{http.StatusBadRequest, "truss and noncontainment are mutually exclusive"}
 	}
-
-	start := time.Now()
-	resp := &topKResponse{K: k, Gamma: gamma, Mode: "core"}
+	mode := "core"
 	switch {
 	case useTruss:
-		resp.Mode = "truss"
+		mode = "truss"
+	case nonContain:
+		mode = "noncontainment"
+	}
+
+	name := q.Get("dataset")
+	if name == "" {
+		name = DefaultDataset
+	}
+	// Resolve and pin in one step: an admin unload concurrent with this
+	// request only releases the backend once we are done.
+	ds := s.registry.acquireLookup(name)
+	if ds == nil {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("dataset %q is not loaded", name)}
+	}
+	defer ds.release()
+	ds.queries.Add(1)
+
+	key := cacheKey{dataset: name, gen: ds.gen, k: k, gamma: gamma, mode: mode}
+	if s.cache != nil {
+		if hit, ok := s.cache.get(key); ok { // hit/miss counters live on the cache
+			resp := *hit // shallow copy; communities are immutable once built
+			resp.Cached = true
+			return &resp, nil
+		}
+	}
+
+	start := time.Now()
+	resp := &topKResponse{K: k, Gamma: gamma, Mode: mode}
+	switch {
+	case useTruss:
+		g := ds.st.Graph()
+		if g == nil {
+			return nil, &httpError{http.StatusBadRequest,
+				fmt.Sprintf("truss queries need whole-graph access; dataset %q uses the %s backend", name, ds.st.Backend())}
+		}
 		if gamma < 2 {
 			return nil, &httpError{http.StatusBadRequest, "truss queries need gamma >= 2"}
 		}
-		s.trussOnce.Do(func() { s.trussIndex = truss.NewIndex(s.g) })
-		res, err := truss.LocalSearchCtx(ctx, s.trussIndex, k, int32(gamma))
+		ds.trussOnce.Do(func() { ds.trussIndex = truss.NewIndex(g) })
+		res, err := truss.LocalSearchCtx(ctx, ds.trussIndex, k, int32(gamma))
 		if err != nil {
 			return nil, queryError(err)
 		}
 		s.metrics.localServed.Add(1)
+		ds.localServed.Add(1)
 		for _, c := range res.Communities {
-			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
+			resp.Communities = append(resp.Communities, render(g, c.Influence(), c.Keynode(), c.Vertices()))
 		}
 		resp.AccessedVertices = res.Stats.FinalPrefix
-	case s.index != nil && !nonContain:
+	case ds.index != nil && !nonContain:
 		// Index-first path: the materialized decomposition answers the
 		// default semantics in output-proportional time. AccessedVertices
 		// stays 0 — the point of the index is that no part of the graph
 		// outside the reported communities is touched.
-		comms, err := s.index.TopK(k, int32(gamma))
+		comms, err := ds.index.TopK(k, int32(gamma))
 		if err != nil {
 			return nil, queryError(err)
 		}
 		s.metrics.indexServed.Add(1)
+		ds.indexServed.Add(1)
 		for _, c := range comms {
-			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
+			resp.Communities = append(resp.Communities, render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices()))
 		}
 	default:
-		if nonContain {
-			resp.Mode = "noncontainment"
-		}
-		res, err := s.pool.TopK(ctx, k, int32(gamma), core.Options{NonContainment: nonContain})
+		res, err := ds.st.TopK(ctx, k, int32(gamma), core.Options{NonContainment: nonContain})
 		if err != nil {
 			return nil, queryError(err)
 		}
 		s.metrics.localServed.Add(1)
+		ds.localServed.Add(1)
 		for _, c := range res.Communities {
-			resp.Communities = append(resp.Communities, s.render(c.Influence(), c.Keynode(), c.Vertices()))
+			resp.Communities = append(resp.Communities, render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices()))
 		}
 		resp.AccessedVertices = res.Stats.FinalPrefix
 	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if s.cache != nil {
+		cached := *resp
+		cached.ElapsedMS = 0
+		s.cache.put(key, &cached)
+	}
 	return resp, nil
 }
 
@@ -367,19 +483,44 @@ func queryError(err error) error {
 	return &httpError{http.StatusBadRequest, err.Error()}
 }
 
-func (s *Server) render(influence float64, keynode int32, members []int32) communityJSON {
+// render maps a community to its JSON shape. With a resident graph the
+// members are reported as original vertex IDs plus labels; semi-external
+// datasets (g == nil) identify vertices by weight rank, which is what the
+// edge-file layout stores.
+func render(g *graph.Graph, influence float64, keynode int32, members []int32) communityJSON {
 	c := communityJSON{
 		Influence: influence,
 		Size:      len(members),
-		Keynode:   s.g.OrigID(keynode),
+		Keynode:   keynode,
 	}
+	if g == nil {
+		c.Members = append(c.Members, members...)
+		return c
+	}
+	c.Keynode = g.OrigID(keynode)
 	for _, v := range members {
-		c.Members = append(c.Members, s.g.OrigID(v))
-		if s.g.HasLabels() {
-			c.Labels = append(c.Labels, s.g.Label(v))
+		c.Members = append(c.Members, g.OrigID(v))
+		if g.HasLabels() {
+			c.Labels = append(c.Labels, g.Label(v))
 		}
 	}
 	return c
+}
+
+// Datasets returns a snapshot of the loaded datasets, sorted by name.
+func (s *Server) Datasets() []DatasetInfo {
+	s.registry.mu.RLock()
+	out := make([]DatasetInfo, 0, len(s.registry.datasets))
+	for _, ds := range s.registry.datasets {
+		out = append(out, ds.info())
+	}
+	s.registry.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Datasets()})
 }
 
 func intParam(raw string, def int) (int, error) {

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"influcomm/internal/core"
+	"influcomm/internal/graph"
+	"influcomm/internal/semiext"
+)
+
+// SemiExt is the semi-external backend (Eval-VI/VII of the paper): edges
+// live on disk sorted in decreasing edge-weight order and only per-vertex
+// state — weights, up-degrees, and the prefix-size vector derived from
+// them — is resident, O(n) memory for an O(n+m) graph. Each query opens
+// its own sequential stream over the edge file and reads exactly as far as
+// LocalSearch's geometric growth requires, so concurrent queries never
+// contend on a shared file position and a graph larger than RAM still
+// serves point queries that touch only its heavy prefix.
+type SemiExt struct {
+	path    string
+	n       int
+	m       int64
+	weights []float64
+	upDeg   []int32
+	// sizes[p] = size(G≥τ) = p + |E(G≥τ)| for the prefix [0, p); the
+	// growth policy runs entirely on this vector, no disk involved.
+	sizes  []int64
+	closed atomic.Bool
+}
+
+// OpenEdgeFile opens a semi-external edge file written by
+// semiext.WriteEdgeFile and loads its per-vertex state.
+func OpenEdgeFile(path string) (*SemiExt, error) {
+	r, err := semiext.OpenReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	n := r.NumVertices()
+	s := &SemiExt{
+		path:    path,
+		n:       n,
+		m:       r.NumEdges(),
+		weights: make([]float64, n),
+		upDeg:   make([]int32, n),
+		sizes:   make([]int64, n+1),
+	}
+	for u := 0; u < n; u++ {
+		s.weights[u] = r.Weight(int32(u))
+		s.upDeg[u] = r.UpDegree(int32(u))
+		s.sizes[u+1] = s.sizes[u] + 1 + int64(s.upDeg[u])
+	}
+	return s, nil
+}
+
+// Backend returns "semiext".
+func (s *SemiExt) Backend() string { return "semiext" }
+
+// NumVertices returns the vertex count.
+func (s *SemiExt) NumVertices() int { return s.n }
+
+// NumEdges returns the edge count.
+func (s *SemiExt) NumEdges() int64 { return s.m }
+
+// Path returns the edge file the store reads from.
+func (s *SemiExt) Path() string { return s.path }
+
+// Graph returns nil: the backend never holds the whole graph.
+func (s *SemiExt) Graph() *graph.Graph { return nil }
+
+// TopK answers a query by streaming a prefix of the edge file through the
+// generic LocalSearch driver. Communities and access statistics are
+// identical to an in-memory query over the same graph.
+func (s *SemiExt) TopK(ctx context.Context, k int, gamma int32, opts core.Options) (*core.Result, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("store: %s is closed", s.path)
+	}
+	// The header was read and validated once at Open; each query adopts the
+	// resident per-vertex vectors and pays only an open+seek before its
+	// sequential edge reads.
+	r, err := semiext.OpenEdgeStream(s.path, s.weights, s.upDeg, s.m)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return core.TopKOver(ctx, &seSource{st: s, r: r, ctx: ctx}, k, gamma, opts)
+}
+
+// Close marks the store closed; subsequent queries fail, in-flight queries
+// hold their own readers and are unaffected.
+func (s *SemiExt) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+// seSource adapts one query's edge-file stream to core.SearchSource. It is
+// single-use: the reader position and the accumulated edge slice advance
+// monotonically with the query's growing prefix.
+type seSource struct {
+	st    *SemiExt
+	r     *semiext.Reader
+	edges [][2]int32
+	ctx   context.Context
+}
+
+func (q *seSource) NumVertices() int { return q.st.n }
+
+func (q *seSource) PrefixSize(p int) int64 { return q.st.sizes[p] }
+
+// PrefixForSize mirrors graph.PrefixForSize exactly, so the semi-external
+// growth sequence matches the in-memory one round for round.
+func (q *seSource) PrefixForSize(want int64) int {
+	if want <= 0 {
+		return 0
+	}
+	p := sort.Search(q.st.n, func(p int) bool { return q.st.sizes[p+1] >= want })
+	if p == q.st.n {
+		return q.st.n
+	}
+	return p + 1
+}
+
+// ctxCheckEvery bounds how many adjacency lists are streamed between two
+// context polls while materializing a prefix.
+const ctxCheckEvery = 4096
+
+// Materialize streams the edge file up to vertex p and assembles the
+// prefix subgraph. Vertex IDs equal global ranks, as the driver requires.
+func (q *seSource) Materialize(p int) (*graph.Graph, error) {
+	var err error
+	for budget := 0; q.r.NextVertex() < p; budget++ {
+		if budget%ctxCheckEvery == 0 {
+			if err := q.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if q.edges, err = q.r.ReadVertexEdges(q.edges); err != nil {
+			return nil, err
+		}
+	}
+	var b graph.Builder
+	for u := 0; u < p; u++ {
+		b.AddVertex(int32(u), q.st.weights[u])
+	}
+	for _, e := range q.edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

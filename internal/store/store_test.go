@@ -1,0 +1,229 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"influcomm/internal/core"
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+	"influcomm/internal/semiext"
+)
+
+func writeEdgeFile(t testing.TB, g *graph.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := semiext.WriteEdgeFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func renderResult(res *core.Result) string {
+	s := fmt.Sprintf("rounds=%d prefix=%d size=%d work=%d comms=%d\n",
+		res.Stats.Rounds, res.Stats.FinalPrefix, res.Stats.FinalSize,
+		res.Stats.TotalWork, res.Stats.Communities)
+	for _, c := range res.Communities {
+		s += fmt.Sprintf("%v key=%d %v\n", c.Influence(), c.Keynode(), c.Vertices())
+	}
+	return s
+}
+
+// TestBackendsAgree is the core contract: for the same graph, the
+// semi-external backend returns byte-identical results — communities AND
+// access statistics — to the in-memory backend and to the plain core
+// entry point, across semantics and tuning options.
+func TestBackendsAgree(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := gen.Random(200, 6, seed)
+		path := writeEdgeFile(t, g)
+		se, err := OpenEdgeFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := OpenMem(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if se.NumVertices() != g.NumVertices() || se.NumEdges() != g.NumEdges() {
+			t.Fatalf("seed %d: semiext shape (%d,%d), want (%d,%d)",
+				seed, se.NumVertices(), se.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		ctx := context.Background()
+		cases := []struct {
+			name  string
+			k     int
+			gamma int32
+			opts  core.Options
+		}{
+			{"default", 5, 3, core.Options{}},
+			{"k1", 1, 2, core.Options{}},
+			{"deep", 50, 2, core.Options{}},
+			{"noncontainment", 5, 3, core.Options{NonContainment: true}},
+			{"delta4", 5, 3, core.Options{Delta: 4}},
+			{"arith", 5, 3, core.Options{ArithmeticGrowth: 64}},
+		}
+		for _, tc := range cases {
+			want, err := core.TopKCtx(ctx, g, tc.k, tc.gamma, tc.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: core: %v", seed, tc.name, err)
+			}
+			gotMem, err := mem.TopK(ctx, tc.k, tc.gamma, tc.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: mem: %v", seed, tc.name, err)
+			}
+			gotSE, err := se.TopK(ctx, tc.k, tc.gamma, tc.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: semiext: %v", seed, tc.name, err)
+			}
+			ref := renderResult(want)
+			if got := renderResult(gotMem); got != ref {
+				t.Errorf("seed %d %s: memory backend differs from core\n got %s\nwant %s", seed, tc.name, got, ref)
+			}
+			if got := renderResult(gotSE); got != ref {
+				t.Errorf("seed %d %s: semiext backend differs from core\n got %s\nwant %s", seed, tc.name, got, ref)
+			}
+		}
+	}
+}
+
+func TestSemiExtConcurrentQueries(t *testing.T) {
+	g := gen.Random(300, 6, 11)
+	se, err := OpenEdgeFile(writeEdgeFile(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.TopK(g, 5, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := renderResult(want)
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			res, err := se.TopK(context.Background(), 5, 3, core.Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := renderResult(res); got != ref {
+				errs <- fmt.Errorf("concurrent query diverged:\n got %s\nwant %s", got, ref)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestSemiExtClosed(t *testing.T) {
+	g := gen.Random(50, 4, 2)
+	se, err := OpenEdgeFile(writeEdgeFile(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.TopK(context.Background(), 3, 2, core.Options{}); err == nil {
+		t.Error("query on closed store: want error")
+	}
+}
+
+func TestSemiExtCancellation(t *testing.T) {
+	g := gen.Random(400, 6, 3)
+	se, err := OpenEdgeFile(writeEdgeFile(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := se.TopK(ctx, 5, 3, core.Options{}); err != context.Canceled {
+		t.Errorf("cancelled query returned %v, want context.Canceled", err)
+	}
+}
+
+func TestOpenByBackend(t *testing.T) {
+	g := gen.Random(60, 4, 7)
+	dir := t.TempDir()
+
+	txt := filepath.Join(dir, "g.txt")
+	f, err := os.Create(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteText(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	edges := filepath.Join(dir, "g.edges")
+	if err := semiext.WriteEdgeFile(edges, g); err != nil {
+		t.Fatal(err)
+	}
+
+	memSt, err := Open(txt, "memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memSt.Backend() != "memory" || memSt.Graph() == nil {
+		t.Errorf("memory store: backend=%q graph=%v", memSt.Backend(), memSt.Graph())
+	}
+	seSt, err := Open(edges, "semiext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seSt.Backend() != "semiext" || seSt.Graph() != nil {
+		t.Errorf("semiext store: backend=%q graph non-nil=%v", seSt.Backend(), seSt.Graph() != nil)
+	}
+	if memSt.NumVertices() != seSt.NumVertices() || memSt.NumEdges() != seSt.NumEdges() {
+		t.Errorf("shape mismatch: memory (%d,%d) vs semiext (%d,%d)",
+			memSt.NumVertices(), memSt.NumEdges(), seSt.NumVertices(), seSt.NumEdges())
+	}
+	if _, err := Open(txt, "bogus"); err == nil {
+		t.Error("unknown backend: want error")
+	}
+	if _, err := Open(filepath.Join(dir, "missing"), "memory"); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+// BenchmarkSemiExtServe compares the semi-external serve path (per-query
+// sequential edge-file streaming) against the in-memory pooled path for the
+// same query; the perf-regression gate tracks both series.
+func BenchmarkSemiExtServe(b *testing.B) {
+	g := gen.Random(20000, 8, 42)
+	path := writeEdgeFile(b, g)
+	se, err := OpenEdgeFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, err := OpenMem(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("SemiExt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := se.TopK(ctx, 10, 4, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Memory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mem.TopK(ctx, 10, 4, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package influcomm
+
+import (
+	"influcomm/internal/semiext"
+	"influcomm/internal/store"
+)
+
+// Store is one graph behind a backend-agnostic query interface: TopK runs
+// the same LocalSearch whether the backend is fully in-memory (NewMemoryStore)
+// or semi-external (OpenEdgeFileStore) — on-disk edges sorted in decreasing
+// edge-weight order with only O(n) per-vertex state resident, so queries can
+// execute against a graph that never fully loads. Results, including access
+// statistics, are identical across backends for the same graph. Stores are
+// safe for concurrent use.
+type Store = store.Store
+
+// NewMemoryStore returns the in-memory Store over g: queries run on pooled
+// engines, exactly like QueryPool.
+func NewMemoryStore(g *Graph) (Store, error) {
+	return store.OpenMem(g)
+}
+
+// OpenEdgeFileStore opens a semi-external edge file written by SaveEdgeFile
+// as a Store. Only the per-vertex vectors are loaded; each query streams a
+// prefix of the file sequentially, reading just as far as LocalSearch's
+// geometric growth requires.
+func OpenEdgeFileStore(path string) (Store, error) {
+	return store.OpenEdgeFile(path)
+}
+
+// OpenStore opens path with an explicit backend choice: "memory" (or "")
+// loads a graph file fully into RAM, "semiext" opens an edge file
+// semi-externally.
+func OpenStore(path, backend string) (Store, error) {
+	return store.Open(path, backend)
+}
+
+// SaveEdgeFile writes g to path in the semi-external edge-file layout:
+// per-vertex weights and up-degrees, then every up-adjacency list in
+// decreasing edge-weight order, so any prefix of the file is a prefix
+// subgraph G≥τ. The write is atomic (temporary file plus rename), like
+// SaveGraph and SaveIndex.
+func SaveEdgeFile(path string, g *Graph) error {
+	return semiext.WriteEdgeFile(path, g)
+}

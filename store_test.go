@@ -1,0 +1,171 @@
+package influcomm
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// buildStoreGraph returns a deterministic 60-vertex graph with planted
+// dense groups among the heavy vertices.
+func buildStoreGraph(t testing.TB) *Graph {
+	t.Helper()
+	var b Builder
+	for id := int32(0); id < 60; id++ {
+		b.AddVertex(id, float64(1000-id))
+	}
+	// Three 5-cliques among heavy vertices, a chain through the rest.
+	for c := int32(0); c < 3; c++ {
+		base := c * 5
+		for i := base; i < base+5; i++ {
+			for j := i + 1; j < base+5; j++ {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	for id := int32(15); id < 59; id++ {
+		b.AddEdge(id, id+1)
+	}
+	b.AddEdge(4, 15)
+	b.AddEdge(9, 30)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func renderCommunities(res *Result) string {
+	s := fmt.Sprintf("%+v\n", res.Stats)
+	for _, c := range res.Communities {
+		s += fmt.Sprintf("%v key=%d %v\n", c.Influence(), c.Keynode(), c.Vertices())
+	}
+	return s
+}
+
+// TestStoreBackendsMatchPublicAPI: SaveEdgeFile + OpenEdgeFileStore answers
+// exactly what TopK answers over the same graph, through the public API.
+func TestStoreBackendsMatchPublicAPI(t *testing.T) {
+	g := buildStoreGraph(t)
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := SaveEdgeFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	se, err := OpenEdgeFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	mem, err := NewMemoryStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TopK(g, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := renderCommunities(want)
+	ctx := context.Background()
+	for name, st := range map[string]Store{"memory": mem, "semiext": se} {
+		res, err := st.TopK(ctx, 4, 3, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := renderCommunities(res); got != ref {
+			t.Errorf("%s store differs from TopK:\n got %s\nwant %s", name, got, ref)
+		}
+	}
+	if se.Backend() != "semiext" || mem.Backend() != "memory" {
+		t.Errorf("backends = %q, %q", se.Backend(), mem.Backend())
+	}
+}
+
+// TestOpenStoreRoundTrip exercises OpenStore over a saved graph file and a
+// saved edge file.
+func TestOpenStoreRoundTrip(t *testing.T) {
+	g := buildStoreGraph(t)
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.txt")
+	if err := SaveGraph(gp, g); err != nil {
+		t.Fatal(err)
+	}
+	ep := filepath.Join(dir, "g.edges")
+	if err := SaveEdgeFile(ep, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ path, backend string }{
+		{gp, "memory"},
+		{gp, ""},
+		{ep, "semiext"},
+	} {
+		st, err := OpenStore(tc.path, tc.backend)
+		if err != nil {
+			t.Fatalf("OpenStore(%q, %q): %v", tc.path, tc.backend, err)
+		}
+		if st.NumVertices() != g.NumVertices() || st.NumEdges() != g.NumEdges() {
+			t.Errorf("OpenStore(%q, %q): shape (%d,%d), want (%d,%d)",
+				tc.path, tc.backend, st.NumVertices(), st.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		st.Close()
+	}
+}
+
+// TestTopKBatchStore runs a batch through both backends and cross-checks
+// every query against the single-query path.
+func TestTopKBatchStore(t *testing.T) {
+	g := buildStoreGraph(t)
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := SaveEdgeFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	se, err := OpenEdgeFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := NewMemoryStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{K: 1, Gamma: 2},
+		{K: 3, Gamma: 3},
+		{K: 5, Gamma: 4},
+		{K: 2, Gamma: 3, Options: Options{NonContainment: true}},
+	}
+	for name, st := range map[string]Store{"memory": mem, "semiext": se} {
+		got, err := TopKBatchStoreContext(context.Background(), st, queries, BatchOptions{Parallelism: 3})
+		if err != nil {
+			t.Fatalf("%s batch: %v", name, err)
+		}
+		for i, qr := range got {
+			if qr.Err != nil {
+				t.Fatalf("%s query %d: %v", name, i, qr.Err)
+			}
+			want, err := TopKWithOptions(g, queries[i].K, queries[i].Gamma, queries[i].Options)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if renderCommunities(qr.Result) != renderCommunities(want) {
+				t.Errorf("%s query %d diverges from single-query path", name, i)
+			}
+		}
+	}
+}
+
+// TestQueryPoolStore: the pool exposes itself as the in-memory Store.
+func TestQueryPoolStore(t *testing.T) {
+	g := buildStoreGraph(t)
+	q := NewQueryPool(g)
+	st := q.Store()
+	if st == nil || st.Backend() != "memory" {
+		t.Fatalf("pool store = %v", st)
+	}
+	res, err := st.TopK(context.Background(), 2, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) == 0 {
+		t.Error("pool store returned no communities")
+	}
+}
