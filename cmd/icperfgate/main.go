@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench '...' -count 5 ./... | icperfgate \
-//	    -out BENCH_pr.json -baseline BENCH_baseline.json -threshold 0.25
+//	go test -run '^$' -bench '...' -benchmem -count 5 ./... | icperfgate \
+//	    -out BENCH_pr.json -baseline BENCH_baseline.json -threshold 0.25 \
+//	    -alloc-threshold 0.25
 //
 //	icperfgate -in bench.txt -update -baseline BENCH_baseline.json
 //
@@ -17,6 +18,14 @@
 // within one machine class, so the committed baseline is tied to the CI
 // runner class; improvements beyond the threshold are reported but never
 // fail the gate.
+//
+// Benchmarks that report allocations (-benchmem or b.ReportAllocs) are
+// additionally gated on allocs/op with -alloc-threshold: an allocation
+// count is deterministic on a given code path, so a jump past the
+// threshold (plus a half-alloc absolute slack, letting 0 stay 0) means a
+// hot path started allocating — exactly the regression the pooled serving
+// tier exists to prevent. Baselines recorded before allocation tracking
+// simply carry no allocs_per_op and those benchmarks gate on time alone.
 package main
 
 import (
@@ -33,13 +42,18 @@ import (
 
 // benchLine matches one benchmark result line; the -N suffix is the
 // GOMAXPROCS tag and is folded away so results compare across machines
-// with different core counts.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// with different core counts. The B/op + allocs/op tail appears when the
+// benchmark reports allocations.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
-// benchResult is one benchmark's aggregate in the JSON files.
+// benchResult is one benchmark's aggregate in the JSON files. The
+// allocation fields are pointers so baselines written before allocation
+// tracking read back as "not measured" rather than "zero allocations".
 type benchResult struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	Samples int     `json:"samples"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	Samples     int      `json:"samples"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // benchFile is the BENCH_*.json layout.
@@ -47,10 +61,18 @@ type benchFile struct {
 	Benchmarks map[string]benchResult `json:"benchmarks"`
 }
 
-// parseBench collects ns/op samples per benchmark name from `go test
-// -bench` output.
-func parseBench(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+// rawSamples collects one benchmark's repeated measurements before
+// aggregation; bytes/allocs stay empty for benchmarks that do not report
+// allocations.
+type rawSamples struct {
+	ns     []float64
+	bytes  []float64
+	allocs []float64
+}
+
+// parseBench collects per-benchmark samples from `go test -bench` output.
+func parseBench(r io.Reader) (map[string]*rawSamples, error) {
+	out := make(map[string]*rawSamples)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -62,7 +84,24 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
-		out[m[1]] = append(out[m[1]], ns)
+		s := out[m[1]]
+		if s == nil {
+			s = &rawSamples{}
+			out[m[1]] = s
+		}
+		s.ns = append(s.ns, ns)
+		if m[4] != "" {
+			b, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+			}
+			a, err := strconv.ParseFloat(m[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			s.bytes = append(s.bytes, b)
+			s.allocs = append(s.allocs, a)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -83,18 +122,24 @@ func median(samples []float64) float64 {
 }
 
 // aggregate folds samples into the JSON shape.
-func aggregate(samples map[string][]float64) benchFile {
+func aggregate(samples map[string]*rawSamples) benchFile {
 	out := benchFile{Benchmarks: make(map[string]benchResult, len(samples))}
 	for name, s := range samples {
-		out.Benchmarks[name] = benchResult{NsPerOp: median(s), Samples: len(s)}
+		r := benchResult{NsPerOp: median(s.ns), Samples: len(s.ns)}
+		if len(s.allocs) > 0 {
+			b, a := median(s.bytes), median(s.allocs)
+			r.BytesPerOp, r.AllocsPerOp = &b, &a
+		}
+		out.Benchmarks[name] = r
 	}
 	return out
 }
 
 // compare reports regressions (current slower than baseline by more than
-// threshold) and benchmarks missing from the current run; both fail the
-// gate. New benchmarks and improvements are informational.
-func compare(baseline, current benchFile, threshold float64, logf func(string, ...any)) (failures int) {
+// threshold, or allocating more than allocThreshold beyond it) and
+// benchmarks missing from the current run; both fail the gate. New
+// benchmarks and improvements are informational.
+func compare(baseline, current benchFile, threshold, allocThreshold float64, logf func(string, ...any)) (failures int) {
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
 		names = append(names, name)
@@ -120,6 +165,18 @@ func compare(baseline, current benchFile, threshold float64, logf func(string, .
 		default:
 			logf("ok   %s: %.0f ns/op vs baseline %.0f (%+.1f%%)", name, cur.NsPerOp, base.NsPerOp, delta)
 		}
+		if base.AllocsPerOp != nil && cur.AllocsPerOp != nil {
+			ba, ca := *base.AllocsPerOp, *cur.AllocsPerOp
+			// Half-alloc absolute slack: a zero-alloc baseline stays a hard
+			// zero gate, and integer jitter of one alloc on tiny counts
+			// does not fail a run the relative threshold would allow.
+			if ca > ba*(1+allocThreshold)+0.5 {
+				logf("FAIL %s: %.0f allocs/op vs baseline %.0f (threshold %+.0f%%)", name, ca, ba, allocThreshold*100)
+				failures++
+			} else if ca < ba*(1-allocThreshold)-0.5 {
+				logf("ok   %s: %.0f allocs/op vs baseline %.0f (improvement)", name, ca, ba)
+			}
+		}
 	}
 	extra := make([]string, 0)
 	for name := range current.Benchmarks {
@@ -143,11 +200,12 @@ func writeJSONFile(path string, v any) error {
 }
 
 type config struct {
-	in        string
-	out       string
-	baseline  string
-	threshold float64
-	update    bool
+	in             string
+	out            string
+	baseline       string
+	threshold      float64
+	allocThreshold float64
+	update         bool
 }
 
 // run executes the gate; the returned count is the number of failures.
@@ -196,7 +254,7 @@ func run(cfg config, stdin io.Reader, logf func(string, ...any)) (int, error) {
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return 0, fmt.Errorf("parsing baseline %s: %w", cfg.baseline, err)
 	}
-	return compare(baseline, current, cfg.threshold, logf), nil
+	return compare(baseline, current, cfg.threshold, cfg.allocThreshold, logf), nil
 }
 
 func main() {
@@ -205,6 +263,7 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "", "write current medians to this JSON file")
 	flag.StringVar(&cfg.baseline, "baseline", "", "baseline JSON to compare against")
 	flag.Float64Var(&cfg.threshold, "threshold", 0.25, "relative slowdown that fails the gate")
+	flag.Float64Var(&cfg.allocThreshold, "alloc-threshold", 0.25, "relative allocs/op growth that fails the gate (half-alloc absolute slack)")
 	flag.BoolVar(&cfg.update, "update", false, "rewrite the baseline from this run instead of comparing")
 	flag.Parse()
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }

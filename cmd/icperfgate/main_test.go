@@ -12,27 +12,40 @@ pkg: influcomm
 cpu: Some CPU @ 2.10GHz
 BenchmarkPooledTopK/PerQuery-8         	   63648	     18402 ns/op	   54952 B/op	      61 allocs/op
 BenchmarkPooledTopK/Pooled-8           	  139124	      8600 ns/op	    1448 B/op	      25 allocs/op
-BenchmarkPooledTopK/Pooled-8           	  140000	      8800 ns/op	    1448 B/op	      25 allocs/op
+BenchmarkPooledTopK/Pooled-8           	  140000	      8800 ns/op	    1448 B/op	      27 allocs/op
 BenchmarkPooledTopK/Pooled-8           	  138000	      8700 ns/op	    1448 B/op	      25 allocs/op
 BenchmarkIndexServe/k=10-8             	  500000	      2400 ns/op
 PASS
 ok  	influcomm	12.3s
 `
 
+func f64(v float64) *float64 { return &v }
+
 func TestParseAndAggregate(t *testing.T) {
 	samples, err := parseBench(strings.NewReader(sampleBench))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(samples["BenchmarkPooledTopK/Pooled"]); got != 3 {
+	if got := len(samples["BenchmarkPooledTopK/Pooled"].ns); got != 3 {
 		t.Fatalf("pooled samples = %d, want 3 (procs suffix must fold)", got)
 	}
 	agg := aggregate(samples)
-	if got := agg.Benchmarks["BenchmarkPooledTopK/Pooled"].NsPerOp; got != 8700 {
-		t.Errorf("median = %v, want 8700", got)
+	pooled := agg.Benchmarks["BenchmarkPooledTopK/Pooled"]
+	if pooled.NsPerOp != 8700 {
+		t.Errorf("median = %v, want 8700", pooled.NsPerOp)
 	}
-	if got := agg.Benchmarks["BenchmarkIndexServe/k=10"].Samples; got != 1 {
-		t.Errorf("samples = %d, want 1", got)
+	if pooled.AllocsPerOp == nil || *pooled.AllocsPerOp != 25 {
+		t.Errorf("allocs median = %v, want 25", pooled.AllocsPerOp)
+	}
+	if pooled.BytesPerOp == nil || *pooled.BytesPerOp != 1448 {
+		t.Errorf("bytes median = %v, want 1448", pooled.BytesPerOp)
+	}
+	serve := agg.Benchmarks["BenchmarkIndexServe/k=10"]
+	if serve.Samples != 1 {
+		t.Errorf("samples = %d, want 1", serve.Samples)
+	}
+	if serve.AllocsPerOp != nil {
+		t.Errorf("no -benchmem output must record no allocs, got %v", *serve.AllocsPerOp)
 	}
 }
 
@@ -57,11 +70,41 @@ func TestCompare(t *testing.T) {
 		"E": {NsPerOp: 100}, // new: informational
 	}}
 	var lines []string
-	n := compare(base, cur, 0.25, func(f string, args ...any) {
+	n := compare(base, cur, 0.25, 0.25, func(f string, args ...any) {
 		lines = append(lines, strings.Split(f, " ")[0])
 	})
 	if n != 2 {
 		t.Fatalf("failures = %d, want 2 (one regression, one missing): %v", n, lines)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base := benchFile{Benchmarks: map[string]benchResult{
+		"ZeroAlloc":  {NsPerOp: 1000, AllocsPerOp: f64(0)},
+		"Pooled":     {NsPerOp: 1000, AllocsPerOp: f64(25)},
+		"Jitter":     {NsPerOp: 1000, AllocsPerOp: f64(3)},
+		"Legacy":     {NsPerOp: 1000}, // baseline predates alloc tracking
+		"Improved":   {NsPerOp: 1000, AllocsPerOp: f64(100)},
+		"TimeStable": {NsPerOp: 1000, AllocsPerOp: f64(10)},
+	}}
+	cur := benchFile{Benchmarks: map[string]benchResult{
+		"ZeroAlloc":  {NsPerOp: 1000, AllocsPerOp: f64(1)},    // 0 -> 1: fail
+		"Pooled":     {NsPerOp: 1000, AllocsPerOp: f64(40)},   // +60%: fail
+		"Jitter":     {NsPerOp: 1000, AllocsPerOp: f64(3)},    // stable: ok
+		"Legacy":     {NsPerOp: 1000, AllocsPerOp: f64(9999)}, // no baseline allocs: time-only
+		"Improved":   {NsPerOp: 1000, AllocsPerOp: f64(10)},   // improvement: ok
+		"TimeStable": {NsPerOp: 1000},                         // current lost -benchmem: time-only
+	}}
+	n := compare(base, cur, 0.25, 0.25, func(string, ...any) {})
+	if n != 2 {
+		t.Fatalf("failures = %d, want 2 (zero-alloc break + pooled regression)", n)
+	}
+	// A one-alloc bump on a tiny count stays inside the absolute slack.
+	if n := compare(
+		benchFile{Benchmarks: map[string]benchResult{"T": {NsPerOp: 1, AllocsPerOp: f64(2)}}},
+		benchFile{Benchmarks: map[string]benchResult{"T": {NsPerOp: 1, AllocsPerOp: f64(3)}}},
+		0.25, 0.25, func(string, ...any) {}); n != 0 {
+		t.Fatalf("one-alloc jitter on a tiny count failed the gate")
 	}
 }
 
@@ -77,18 +120,27 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatalf("update run: failures=%d err=%v", n, err)
 	}
 	// Same input compared against it is clean.
-	n, err = run(config{baseline: basePath}, strings.NewReader(sampleBench), logf)
+	n, err = run(config{baseline: basePath, threshold: 0.25, allocThreshold: 0.25}, strings.NewReader(sampleBench), logf)
 	if err != nil || n != 0 {
 		t.Fatalf("identical run: failures=%d err=%v", n, err)
 	}
 	// A 10x slowdown trips the gate.
 	slow := strings.ReplaceAll(sampleBench, "      2400 ns/op", "     24000 ns/op")
-	n, err = run(config{baseline: basePath, threshold: 0.25}, strings.NewReader(slow), logf)
+	n, err = run(config{baseline: basePath, threshold: 0.25, allocThreshold: 0.25}, strings.NewReader(slow), logf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
 		t.Fatalf("slowdown run: failures=%d, want 1", n)
+	}
+	// An allocation explosion on a time-stable benchmark also trips it.
+	leaky := strings.ReplaceAll(sampleBench, "    1448 B/op	      25 allocs/op", "  904952 B/op	    4025 allocs/op")
+	n, err = run(config{baseline: basePath, threshold: 0.25, allocThreshold: 0.25}, strings.NewReader(leaky), logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("alloc regression run: failures=%d, want 1", n)
 	}
 	// Empty input is an error, not a silent pass.
 	if _, err := run(config{baseline: basePath}, strings.NewReader("no benchmarks here"), logf); err == nil {

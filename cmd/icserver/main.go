@@ -3,10 +3,11 @@
 // Usage:
 //
 //	icserver -graph g.txt [-index g.icx] [-addr :8080] [-pagerank]
-//	         [-dataset name=path[,backend=semiext][,index=p.icx]]...
+//	         [-dataset name=path[,backend=semiext][,index=p.icx]
+//	                  [,prefix-cache=SIZE][,mode=auto|mmap|stream]]...
 //	         [-cache 256] [-maxk 10000] [-query-timeout 30s]
 //	         [-max-inflight 64] [-read-timeout 10s] [-write-timeout 60s]
-//	         [-idle-timeout 2m] [-shutdown-timeout 15s]
+//	         [-idle-timeout 2m] [-shutdown-timeout 15s] [-pprof addr]
 //
 // Endpoints (JSON):
 //
@@ -21,8 +22,11 @@
 // may repeat) loads a further named dataset, either fully in memory
 // (backend omitted) from a graph file, or semi-externally
 // (backend=semiext) from an edge file written by icindex -edges — the
-// graph then never fully loads; queries stream exactly the weight-ranked
-// prefix they need. Datasets can also be loaded and unloaded at runtime
+// graph then never fully loads; queries read exactly the weight-ranked
+// prefix they need through a shared memory-mapped view (mode=stream forces
+// the sequential reader), and prefix-cache=SIZE (e.g. 64M) budgets a
+// shared decoded-prefix cache that serves cache-fitting queries at
+// in-memory speed. Datasets can also be loaded and unloaded at runtime
 // through the admin endpoints — protect those with -admin-token (or keep
 // the port private): they can unload live datasets and open server-side
 // files. Repeated identical queries are answered
@@ -49,8 +53,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -61,18 +67,51 @@ import (
 
 // datasetSpec is one parsed -dataset flag.
 type datasetSpec struct {
-	name    string
-	path    string
-	backend string
-	index   string
+	name        string
+	path        string
+	backend     string
+	index       string
+	mode        string
+	prefixCache int64
 }
 
-// parseDatasetSpec parses "name=path[,backend=semiext][,index=p.icx]".
+// parseByteSize parses a byte count with an optional K/M/G suffix (base
+// 1024; a trailing "B" or "iB" is accepted, case-insensitively).
+func parseByteSize(s string) (int64, error) {
+	orig := s
+	u := strings.ToUpper(s)
+	mult := int64(1)
+	for _, suf := range []struct {
+		tail string
+		mul  int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+	} {
+		if strings.HasSuffix(u, suf.tail) {
+			mult = suf.mul
+			s = s[:len(s)-len(suf.tail)]
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte size %q", orig)
+	}
+	if n > (1<<62)/mult {
+		return 0, fmt.Errorf("byte size %q overflows", orig)
+	}
+	return n * mult, nil
+}
+
+// parseDatasetSpec parses
+// "name=path[,backend=semiext][,index=p.icx][,prefix-cache=SIZE][,mode=m]".
 func parseDatasetSpec(spec string) (datasetSpec, error) {
 	var d datasetSpec
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok || name == "" || rest == "" {
-		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file]", spec)
+		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream]", spec)
 	}
 	d.name = name
 	parts := strings.Split(rest, ",")
@@ -87,6 +126,14 @@ func parseDatasetSpec(spec string) (datasetSpec, error) {
 			d.backend = v
 		case "index":
 			d.index = v
+		case "mode":
+			d.mode = v
+		case "prefix-cache":
+			n, err := parseByteSize(v)
+			if err != nil {
+				return d, fmt.Errorf("bad -dataset option prefix-cache in %q: %v", spec, err)
+			}
+			d.prefixCache = n
 		default:
 			return d, fmt.Errorf("unknown -dataset option %q in %q", k, spec)
 		}
@@ -99,6 +146,7 @@ type config struct {
 	graphPath       string
 	indexPath       string
 	addr            string
+	pprofAddr       string
 	usePagerank     bool
 	datasets        []datasetSpec
 	cacheSize       int
@@ -117,8 +165,9 @@ func main() {
 	flag.StringVar(&cfg.graphPath, "graph", "", "path to the graph file (required)")
 	flag.StringVar(&cfg.indexPath, "index", "", "prebuilt index file (icindex output); serves queries index-first when set")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (empty = off; keep it private)")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores")
-	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file] (repeatable)", func(spec string) error {
+	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream] (repeatable)", func(spec string) error {
 		d, err := parseDatasetSpec(spec)
 		if err != nil {
 			return err
@@ -146,6 +195,28 @@ func main() {
 	if err := serve(ctx, cfg, nil); err != nil {
 		log.Fatalf("icserver: %v", err)
 	}
+}
+
+// startPprof serves net/http/pprof on its own listener and returns the
+// running server; the caller closes it on shutdown.
+func startPprof(addr string) (*http.Server, net.Listener, error) {
+	pmux := http.NewServeMux()
+	pmux.HandleFunc("/debug/pprof/", pprof.Index)
+	pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	pln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("icserver: pprof server: %v", err)
+		}
+	}()
+	return psrv, pln, nil
 }
 
 // serve loads the graph and runs the HTTP server until ctx is cancelled,
@@ -182,7 +253,14 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 		opts = append(opts, server.WithMaxInFlight(cfg.maxInFlight))
 	}
 	for _, d := range cfg.datasets {
-		st, err := influcomm.OpenStore(d.path, d.backend)
+		var sopts []influcomm.StoreOption
+		if d.prefixCache > 0 {
+			sopts = append(sopts, influcomm.WithPrefixCacheBytes(d.prefixCache))
+		}
+		if d.mode != "" {
+			sopts = append(sopts, influcomm.WithEdgeFileMode(d.mode))
+		}
+		st, err := influcomm.OpenStore(d.path, d.backend, sopts...)
 		if err != nil {
 			return fmt.Errorf("dataset %s: %w", d.name, err)
 		}
@@ -205,6 +283,19 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 	h, err := server.New(g, opts...)
 	if err != nil {
 		return err
+	}
+
+	// The profiling endpoints run on their own listener so they can stay
+	// on a private address (or off entirely, the default) while the query
+	// port is exposed: future perf work profiles the serving tier in place
+	// without widening the public surface.
+	if cfg.pprofAddr != "" {
+		psrv, pln, err := startPprof(cfg.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer psrv.Close()
+		log.Printf("icserver: pprof on http://%s/debug/pprof/", pln.Addr())
 	}
 
 	srv := &http.Server{

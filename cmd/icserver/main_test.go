@@ -147,10 +147,65 @@ func TestParseDatasetSpec(t *testing.T) {
 	if d.name != "wiki" || d.path != "/data/wiki.edges" || d.backend != "semiext" || d.index != "/data/wiki.icx" {
 		t.Errorf("parsed %+v", d)
 	}
-	for _, bad := range []string{"", "noequals", "name=", "n=p,bogus", "n=p,k=v"} {
+	d, err = parseDatasetSpec("big=/d/g.edges,backend=semiext,prefix-cache=64M,mode=mmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.prefixCache != 64<<20 || d.mode != "mmap" {
+		t.Errorf("parsed %+v", d)
+	}
+	for _, bad := range []string{"", "noequals", "name=", "n=p,bogus", "n=p,k=v", "n=p,prefix-cache=lots", "n=p,prefix-cache=-1"} {
 		if _, err := parseDatasetSpec(bad); err == nil {
 			t.Errorf("%q: want parse error", bad)
 		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := map[string]int64{
+		"0":      0,
+		"123":    123,
+		"4K":     4 << 10,
+		"4k":     4 << 10,
+		"16KiB":  16 << 10,
+		"64M":    64 << 20,
+		"64MB":   64 << 20,
+		"2G":     2 << 30,
+		"2gib":   2 << 30,
+		" 8 M":   8 << 20,
+		"512KB ": 512 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseByteSize(strings.TrimSpace(in))
+		if err != nil || got != want {
+			t.Errorf("parseByteSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-5", "1T", "9999999999999M"} {
+		if _, err := parseByteSize(bad); err == nil {
+			t.Errorf("parseByteSize(%q): want error", bad)
+		}
+	}
+}
+
+// TestPprofListener starts the separate profiling listener and fetches the
+// index: the endpoints must be reachable on their own port only.
+func TestPprofListener(t *testing.T) {
+	psrv, pln, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psrv.Close()
+	resp, err := http.Get("http://" + pln.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index returned %d", resp.StatusCode)
+	}
+	if _, _, err := startPprof("256.0.0.1:bad"); err == nil {
+		t.Error("bad pprof address: want error")
 	}
 }
 

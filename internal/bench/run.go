@@ -10,7 +10,7 @@ var Experiments = []string{
 	"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 	"access-fraction", "ablation-growth", "ablation-tau", "ablation-index",
-	"casestudy",
+	"semiserve", "casestudy",
 }
 
 // Run executes the named experiment and renders it to w. Name "all" runs
@@ -75,6 +75,8 @@ func Run(w io.Writer, name string, cfg Config) error {
 		return single(AblationInitialTau(cfg))
 	case "ablation-index":
 		return single(AblationIndexAll(cfg))
+	case "semiserve":
+		return multi(SemiServe(cfg))
 	case "casestudy":
 		s, err := CaseStudy()
 		if err != nil {

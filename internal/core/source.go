@@ -27,6 +27,19 @@ type SearchSource interface {
 	Materialize(p int) (*graph.Graph, error)
 }
 
+// PooledSource is an optional SearchSource extension: a source whose
+// Materialize hands out a long-lived shared graph (an in-memory graph, a
+// semi-external store's decoded prefix cache) also exposes the engine pool
+// bound to that graph, and TopKOver then checks engines, CVS buffers, and
+// enumeration state out of it instead of allocating O(p) scratch per query
+// — the difference between a serving hot path that allocates only its
+// Result and one that rebuilds four vertex-sized slices per request.
+type PooledSource interface {
+	// SourcePool returns the pool whose engines are bound to exactly g, or
+	// nil when g is query-private and must get a fresh engine.
+	SourcePool(g *graph.Graph) *Pool
+}
+
 // memSource adapts a fully in-memory graph to SearchSource.
 type memSource struct{ g *graph.Graph }
 
@@ -72,12 +85,28 @@ func TopKOver(ctx context.Context, src SearchSource, k int, gamma int32, opts Op
 	if opts.NonContainment {
 		flags |= WantNC
 	}
+	ps, _ := src.(PooledSource)
 	var (
 		st  Stats
 		cvs *CVS
 		g   *graph.Graph
 		eng *Engine
+		// pool, when non-nil, owns eng (invariant: eng came from pool.Get
+		// and goes back with pool.Put). scratchPool likewise owns scratch;
+		// the CVS buffer only depends on output size, so it is kept across
+		// graph changes and returned to the pool it came from.
+		pool        *Pool
+		scratch     *CVS
+		scratchPool *Pool
 	)
+	defer func() {
+		if pool != nil && eng != nil {
+			pool.Put(eng)
+		}
+		if scratchPool != nil && scratch != nil {
+			scratchPool.buffers.Put(scratch)
+		}
+	}()
 	for {
 		mg, err := src.Materialize(p)
 		if err != nil {
@@ -87,13 +116,29 @@ func TopKOver(ctx context.Context, src SearchSource, k int, gamma int32, opts Op
 			return nil, fmt.Errorf("core: source materialized %d vertices, prefix needs %d", mg.NumVertices(), p)
 		}
 		// Engines are bound to one graph; reuse only while the source keeps
-		// returning the same one (the in-memory case).
+		// returning the same one (the in-memory case, or a cached prefix
+		// large enough for every round of this query).
 		if eng == nil || mg != g {
+			if pool != nil {
+				pool.Put(eng)
+			}
 			g = mg
-			eng = NewEngine(g, gamma)
+			pool = nil
+			if ps != nil {
+				pool = ps.SourcePool(g)
+			}
+			if pool != nil {
+				eng = pool.Get(gamma)
+				if scratch == nil {
+					scratchPool = pool
+					scratch = pool.buffers.Get().(*CVS)
+				}
+			} else {
+				eng = NewEngine(g, gamma)
+			}
 			eng.SetContext(ctx)
 		}
-		cvs, err = eng.RunInto(nil, p, 0, flags)
+		cvs, err = eng.RunInto(scratch, p, 0, flags)
 		if err != nil {
 			return nil, err
 		}
@@ -112,10 +157,25 @@ func TopKOver(ctx context.Context, src SearchSource, k int, gamma int32, opts Op
 	st.FinalPrefix = p
 	st.FinalSize = src.PrefixSize(p)
 
+	if scratch != nil {
+		// cvs aliases the pooled buffer; enumeration retains group slices,
+		// so hand it a compact copy and let the buffer go back to the pool.
+		if opts.NonContainment {
+			cvs = cvs.CompactTail(-1)
+		} else {
+			cvs = cvs.CompactTail(k)
+		}
+	}
 	var comms []*Community
-	if opts.NonContainment {
+	switch {
+	case opts.NonContainment:
 		comms = nonContainmentCommunities(g, cvs, k)
-	} else {
+	case pool != nil:
+		enum := pool.enums.Get().(*EnumState)
+		comms = enum.Process(g, cvs, k)
+		enum.Recycle()
+		pool.enums.Put(enum)
+	default:
 		comms = EnumIC(g, cvs, k)
 	}
 	return &Result{Communities: comms, Stats: st}, nil

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"testing"
+)
+
+// randomRanked builds a rank-sorted graph via the Builder and returns it
+// with the flat up-adjacency layout a semi-external edge file stores.
+func rankedFixture(t *testing.T, n int, seedEdges [][2]int32) (*Graph, []int32) {
+	t.Helper()
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = float64(n - i)
+	}
+	g, err := FromEdges(weights, seedEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := make([]int32, 0, g.NumEdges())
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		flat = append(flat, g.UpNeighbors(u)...)
+	}
+	return g, flat
+}
+
+func TestFromUpAdjacencyMatchesBuilder(t *testing.T) {
+	cases := [][][2]int32{
+		{{0, 1}},
+		{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {0, 4}, {3, 4}},
+		{{0, 5}, {1, 5}, {2, 5}, {3, 5}, {4, 5}},
+		{}, // isolated vertices only
+	}
+	for ci, edges := range cases {
+		n := 6
+		g, flat := rankedFixture(t, n, edges)
+		for _, sc := range []*PrefixScratch{nil, {}} {
+			got, err := FromUpAdjacency(g.Weights(), g.upDeg, flat, sc)
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("case %d: invalid CSR: %v", ci, err)
+			}
+			if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+				t.Fatalf("case %d: shape (%d,%d), want (%d,%d)",
+					ci, got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+			}
+			for u := int32(0); int(u) < n; u++ {
+				a, b := got.Neighbors(u), g.Neighbors(u)
+				if len(a) != len(b) {
+					t.Fatalf("case %d: vertex %d has %d neighbors, want %d", ci, u, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("case %d: vertex %d adjacency differs", ci, u)
+					}
+				}
+				if got.UpDegree(u) != g.UpDegree(u) {
+					t.Fatalf("case %d: vertex %d up-degree differs", ci, u)
+				}
+			}
+			for p := 0; p <= n; p++ {
+				if got.PrefixSize(p) != g.PrefixSize(p) {
+					t.Fatalf("case %d: PrefixSize(%d) differs", ci, p)
+				}
+			}
+		}
+	}
+}
+
+// TestFromUpAdjacencyScratchReuse reuses one scratch across many builds of
+// different shapes: each build must be self-consistent (the point of the
+// scratch is exactly this reuse).
+func TestFromUpAdjacencyScratchReuse(t *testing.T) {
+	var sc PrefixScratch
+	g, flat := rankedFixture(t, 6, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}})
+	for p := 1; p <= g.NumVertices(); p++ {
+		upAdj := flat[:g.PrefixEdges(p)]
+		got, err := FromUpAdjacency(g.Weights()[:p], g.upDeg[:p], upAdj, &sc)
+		if err != nil {
+			t.Fatalf("prefix %d: %v", p, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("prefix %d: %v", p, err)
+		}
+		if got.NumEdges() != g.PrefixEdges(p) {
+			t.Fatalf("prefix %d: %d edges, want %d", p, got.NumEdges(), g.PrefixEdges(p))
+		}
+		for u := int32(0); int(u) < p; u++ {
+			if got.DegreeWithin(u, p) != g.DegreeWithin(u, p) {
+				t.Fatalf("prefix %d: degree of %d differs", p, u)
+			}
+		}
+	}
+}
+
+func TestFromUpAdjacencyRejectsCorruptInput(t *testing.T) {
+	w := []float64{3, 2, 1}
+	cases := []struct {
+		name  string
+		w     []float64
+		upDeg []int32
+		upAdj []int32
+	}{
+		{"empty", nil, nil, nil},
+		{"degree mismatch", w, []int32{0, 1}, []int32{0}},
+		{"degree exceeds rank", w, []int32{1, 0, 0}, []int32{0}},
+		{"negative degree", w, []int32{0, -1, 0}, nil},
+		{"neighbor out of range", w, []int32{0, 1, 0}, []int32{2}},
+		{"negative neighbor", w, []int32{0, 1, 0}, []int32{-1}},
+		{"non-ascending list", w, []int32{0, 0, 2}, []int32{1, 0}},
+		{"duplicate neighbor", w, []int32{0, 0, 2}, []int32{0, 0}},
+		{"too few entries", w, []int32{0, 1, 1}, []int32{0}},
+		{"too many entries", w, []int32{0, 1, 0}, []int32{0, 0}},
+		{"weights unsorted", []float64{1, 2, 3}, []int32{0, 0, 0}, nil},
+		{"weight NaN", []float64{3, nan(), 1}, []int32{0, 0, 0}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := FromUpAdjacency(tc.w, tc.upDeg, tc.upAdj, nil); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}

@@ -46,15 +46,33 @@ func Build(g *graph.Graph) (*Index, error) {
 	return BuildContext(context.Background(), g, 0)
 }
 
+// parallelBuildMinWork is the total build work — γmax · size(G) elementary
+// peeling units — below which BuildContext skips the worker pool even when
+// asked for several workers: under roughly two million units the whole
+// build completes in a few milliseconds, where goroutine startup, the
+// shared claim counter, and cross-core cache traffic cost more than the
+// parallelism recovers (the seed's benchmark showed "parallel" slower than
+// sequential on exactly such a graph).
+const parallelBuildMinWork = 2 << 20
+
 // BuildContext constructs the index with a bounded pool of workers, each
 // owning one search engine and pulling γ values off a shared counter.
-// workers <= 0 uses GOMAXPROCS; workers == 1 builds sequentially on the
-// calling goroutine. Cancelling ctx aborts the build (workers observe the
-// context every few thousand peeling steps) and returns ctx.Err().
+// workers <= 0 uses GOMAXPROCS, dropping to a sequential build when the
+// total work is below parallelBuildMinWork; workers == 1 builds
+// sequentially on the calling goroutine; an explicit count is always
+// honored. Cancelling ctx aborts the build (workers observe the context
+// every few thousand peeling steps) and returns ctx.Err().
+//
+// Scheduling is size-aware: workers claim γ values in decreasing order.
+// The high-γ decompositions peel the largest fraction of the graph in
+// their initial cascade and are the longest tasks on the skewed graphs
+// real workloads serve, so fronting them keeps the pool busy to the end
+// instead of leaving the slowest task to run alone after the others drain
+// (longest-processing-time-first scheduling).
 //
 // The result is deterministic: every worker computes the same per-γ
 // decomposition a sequential build would, so the index content is
-// identical regardless of worker count.
+// identical regardless of worker count or claim order.
 func BuildContext(ctx context.Context, g *graph.Graph, workers int) (*Index, error) {
 	if g == nil || g.NumVertices() == 0 {
 		return nil, errors.New("index: nil or empty graph")
@@ -70,6 +88,12 @@ func BuildContext(ctx context.Context, g *graph.Graph, workers int) (*Index, err
 	n := g.NumVertices()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		// Only the automatic sizing applies the work threshold: an
+		// explicit worker count is a caller decision (and what the
+		// determinism tests use to force the pool on small graphs).
+		if int64(gmax)*g.Size() < parallelBuildMinWork {
+			workers = 1
+		}
 	}
 	if workers > int(gmax) {
 		workers = int(gmax)
@@ -90,7 +114,7 @@ func BuildContext(ctx context.Context, g *graph.Graph, workers int) (*Index, err
 	}
 
 	var (
-		next     atomic.Int32 // next γ to claim, minus one
+		claims   atomic.Int32 // γ claim counter; claim c maps to γ = gmax-c+1
 		failed   atomic.Bool
 		errMu    sync.Mutex
 		firstErr error
@@ -102,10 +126,11 @@ func BuildContext(ctx context.Context, g *graph.Graph, workers int) (*Index, err
 			defer wg.Done()
 			eng := core.NewEngine(g, 1)
 			for !failed.Load() {
-				gamma := next.Add(1)
-				if gamma > gmax {
+				c := claims.Add(1)
+				if c > gmax {
 					return
 				}
+				gamma := gmax - c + 1
 				eng.Reset(gamma)
 				eng.SetContext(ctx)
 				cvs, err := eng.RunInto(nil, n, 0, core.WantSeq)

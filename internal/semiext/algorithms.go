@@ -25,17 +25,12 @@ type IOStats struct {
 }
 
 // buildPrefix assembles the in-memory prefix graph [0, p) from the vertex
-// weights and the streamed edges. Vertex IDs equal global ranks, so results
-// are directly comparable with in-memory algorithms.
-func buildPrefix(r *Reader, p int, edges [][2]int32) (*graph.Graph, error) {
-	var b graph.Builder
-	for u := 0; u < p; u++ {
-		b.AddVertex(int32(u), r.Weight(int32(u)))
-	}
-	for _, e := range edges {
-		b.AddEdge(e[0], e[1])
-	}
-	return b.Build()
+// weights and the streamed flat up-adjacency. Vertex IDs equal global
+// ranks, so results are directly comparable with in-memory algorithms. The
+// stream delivers lists in exactly the layout FromUpAdjacency consumes, so
+// assembly is O(p + E) with no sorting or deduplication.
+func buildPrefix(r *Reader, p int, upAdj []int32) (*graph.Graph, error) {
+	return graph.FromUpAdjacency(r.weights[:p], r.upDeg[:p], upAdj, nil)
 }
 
 // LocalSearchSE answers a top-k influential γ-community query over the edge
@@ -62,13 +57,13 @@ func LocalSearchSE(path string, k int, gamma int32) ([]*core.Community, IOStats,
 	if p > n {
 		p = n
 	}
-	var edges [][2]int32
+	var edges []int32
 	var cvs *core.CVS
 	var g *graph.Graph
 	for {
 		// Stream up-adjacency lists until the prefix [0, p) is complete.
 		for r.NextVertex() < p {
-			edges, err = r.ReadVertexEdges(edges)
+			edges, err = r.ReadVertexAdj(edges)
 			if err != nil {
 				return nil, st, err
 			}
@@ -124,9 +119,9 @@ func OnlineAllSE(path string, k int, gamma int32) ([]baseline.Community, IOStats
 	if n == 0 {
 		return nil, st, fmt.Errorf("semiext: empty graph in %s", path)
 	}
-	var edges [][2]int32
+	var edges []int32
 	for r.NextVertex() < n {
-		edges, err = r.ReadVertexEdges(edges)
+		edges, err = r.ReadVertexAdj(edges)
 		if err != nil {
 			return nil, st, err
 		}

@@ -88,6 +88,11 @@ type Reader struct {
 	nextVertex int   // first vertex whose up-edges have not been read
 	bytesRead  int64 // edge payload bytes consumed so far
 	headerSize int64
+
+	// scratch receives each adjacency list in one bulk read before the
+	// entries are decoded; it grows to the largest list seen and survives
+	// Reopen, so a pooled reader stops allocating per query.
+	scratch []byte
 }
 
 // OpenReader opens path and loads the per-vertex information.
@@ -120,47 +125,57 @@ func NewReader(src io.Reader, size int64) (*Reader, error) {
 	return r, nil
 }
 
-// OpenEdgeStream opens path positioned directly at the edge payload,
-// adopting per-vertex state a previous OpenReader of the same file already
-// loaded and validated. A store serving many queries over one edge file
-// opens the header once and then pays only an open+seek per query instead
-// of re-reading 12n bytes of vectors; the reader never writes to the
-// adopted slices. Only the file size is re-checked — if the file was
-// swapped for one with a different shape, the edge-stream validation
-// (range and order checks in ReadVertexEdges) still rejects it.
-func OpenEdgeStream(path string, weights []float64, upDeg []int32, m int64) (*Reader, error) {
+// Reopen opens path positioned directly at the edge payload, adopting
+// per-vertex state a previous OpenReader of the same file already loaded
+// and validated. A store serving many queries over one edge file opens the
+// header once and then pays only an open+seek per query instead of
+// re-reading 12n bytes of vectors; the reader never writes to the adopted
+// slices. Only the file size is re-checked — if the file was swapped for
+// one with a different shape, the edge-stream validation (range and order
+// checks in ReadVertexAdj/ReadVertexEdges) still rejects it.
+//
+// The buffered reader's 1 MiB buffer and the decode scratch are kept
+// across Reopen calls, so a pool of Readers serves the residual streaming
+// path with zero steady-state allocations. The zero Reader is valid to
+// Reopen.
+func (r *Reader) Reopen(path string, weights []float64, upDeg []int32, m int64) error {
 	n := len(weights)
 	if len(upDeg) != n {
-		return nil, fmt.Errorf("semiext: weights hold %d vertices, up-degrees %d", n, len(upDeg))
+		return fmt.Errorf("semiext: weights hold %d vertices, up-degrees %d", n, len(upDeg))
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("semiext: opening edge file: %w", err)
+		return fmt.Errorf("semiext: opening edge file: %w", err)
 	}
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("semiext: opening edge file: %w", err)
+		return fmt.Errorf("semiext: opening edge file: %w", err)
 	}
 	headerSize := 20 + 12*int64(n)
 	if fi.Size() < headerSize || (fi.Size()-headerSize)/4 < m {
 		f.Close()
-		return nil, fmt.Errorf("semiext: file holds %d bytes, too short for n=%d m=%d", fi.Size(), n, m)
+		return fmt.Errorf("semiext: file holds %d bytes, too short for n=%d m=%d", fi.Size(), n, m)
 	}
 	if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("semiext: seeking past header: %w", err)
+		return fmt.Errorf("semiext: seeking past header: %w", err)
 	}
-	return &Reader{
-		c:          f,
-		br:         bufio.NewReaderSize(f, 1<<20),
-		size:       fi.Size(),
-		n:          n,
-		m:          m,
-		weights:    weights,
-		upDeg:      upDeg,
-		headerSize: headerSize,
-	}, nil
+	if r.br == nil {
+		r.br = bufio.NewReaderSize(f, 1<<20)
+	} else {
+		r.br.Reset(f)
+	}
+	r.c = f
+	r.size = fi.Size()
+	r.n = n
+	r.m = m
+	r.weights = weights
+	r.upDeg = upDeg
+	r.headerSize = headerSize
+	r.nextVertex = 0
+	r.bytesRead = 0
+	return nil
 }
 
 func (r *Reader) readHeader() error {
@@ -190,7 +205,18 @@ func (r *Reader) readHeader() error {
 		if _, err := io.ReadFull(r.br, buf[:]); err != nil {
 			return fmt.Errorf("semiext: reading weights: %w", err)
 		}
-		r.weights[i] = math.Float64frombits(le.Uint64(buf[:]))
+		w := math.Float64frombits(le.Uint64(buf[:]))
+		// The format stores vertices in rank order, so weights must be
+		// finite and non-increasing; rejecting violations here keeps every
+		// access path (streaming, mmap view, direct CSR assembly) in
+		// agreement about which files are valid.
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("semiext: vertex %d has non-finite weight %v", i, w)
+		}
+		if i > 0 && w > r.weights[i-1] {
+			return fmt.Errorf("semiext: weights not in decreasing rank order at vertex %d", i)
+		}
+		r.weights[i] = w
 	}
 	var degSum int64
 	for i := 0; i < r.n; i++ {
@@ -234,6 +260,22 @@ func (r *Reader) NextVertex() int { return r.nextVertex }
 // BytesRead returns the number of edge payload bytes consumed.
 func (r *Reader) BytesRead() int64 { return r.bytesRead }
 
+// nextList bulk-reads the raw bytes of the next unread vertex's adjacency
+// list into the reader's scratch buffer: one ReadFull per list instead of
+// one per edge.
+func (r *Reader) nextList() ([]byte, int32, error) {
+	u := int32(r.nextVertex)
+	need := 4 * int(r.upDeg[u])
+	if cap(r.scratch) < need {
+		r.scratch = make([]byte, need)
+	}
+	buf := r.scratch[:need]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, u, fmt.Errorf("semiext: reading adjacency of vertex %d: %w", u, err)
+	}
+	return buf, u, nil
+}
+
 // ReadVertexEdges streams the up-adjacency list of the next unread vertex,
 // appending (v, u) pairs to edges, and returns the extended slice. Calls
 // must proceed in vertex order; io.EOF is never returned for vertices whose
@@ -242,13 +284,12 @@ func (r *Reader) ReadVertexEdges(edges [][2]int32) ([][2]int32, error) {
 	if r.nextVertex >= r.n {
 		return edges, io.EOF
 	}
-	u := int32(r.nextVertex)
-	var buf [4]byte
-	for i := int32(0); i < r.upDeg[u]; i++ {
-		if _, err := io.ReadFull(r.br, buf[:]); err != nil {
-			return edges, fmt.Errorf("semiext: reading adjacency of vertex %d: %w", u, err)
-		}
-		v := int32(binary.LittleEndian.Uint32(buf[:]))
+	buf, u, err := r.nextList()
+	if err != nil {
+		return edges, err
+	}
+	for i := 0; i < len(buf); i += 4 {
+		v := int32(binary.LittleEndian.Uint32(buf[i:]))
 		if v < 0 || v >= u {
 			return edges, fmt.Errorf("semiext: corrupt up-edge (%d,%d)", v, u)
 		}
@@ -259,10 +300,38 @@ func (r *Reader) ReadVertexEdges(edges [][2]int32) ([][2]int32, error) {
 	return edges, nil
 }
 
-// Close releases the file handle; it is a no-op for in-memory readers.
+// ReadVertexAdj is ReadVertexEdges in the flat layout FromUpAdjacency
+// consumes: the up-neighbor ranks themselves are appended to adj (their
+// owner is implicit — the vertex whose turn it is), saving half the memory
+// traffic of the pair representation and handing the prefix builder its
+// input with no further transformation.
+func (r *Reader) ReadVertexAdj(adj []int32) ([]int32, error) {
+	if r.nextVertex >= r.n {
+		return adj, io.EOF
+	}
+	buf, u, err := r.nextList()
+	if err != nil {
+		return adj, err
+	}
+	for i := 0; i < len(buf); i += 4 {
+		v := int32(binary.LittleEndian.Uint32(buf[i:]))
+		if v < 0 || v >= u {
+			return adj, fmt.Errorf("semiext: corrupt up-edge (%d,%d)", v, u)
+		}
+		adj = append(adj, v)
+		r.bytesRead += 4
+	}
+	r.nextVertex++
+	return adj, nil
+}
+
+// Close releases the file handle; it is a no-op for in-memory readers. A
+// closed Reader can be rebound to a file with Reopen, keeping its buffers.
 func (r *Reader) Close() error {
 	if r.c == nil {
 		return nil
 	}
-	return r.c.Close()
+	err := r.c.Close()
+	r.c = nil
+	return err
 }

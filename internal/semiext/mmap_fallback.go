@@ -1,0 +1,20 @@
+//go:build !linux || appengine
+
+package semiext
+
+import (
+	"errors"
+	"os"
+)
+
+// MmapAvailable reports whether this build can memory-map edge files; on
+// platforms without the Linux mmap path the View falls back to positioned
+// ReaderAt reads over the same API, and the store's strict "mmap" mode
+// refuses to open.
+const MmapAvailable = false
+
+func mmapFile(*os.File, int64) ([]byte, error) {
+	return nil, errors.New("semiext: mmap not available on this platform")
+}
+
+func munmapFile([]byte) error { return nil }

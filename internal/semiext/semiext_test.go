@@ -39,9 +39,9 @@ func TestEdgeFileRoundTrip(t *testing.T) {
 			t.Fatalf("updeg of %d = %d, want %d", u, r.UpDegree(u), g.UpDegree(u))
 		}
 	}
-	var edges [][2]int32
+	var edges []int32
 	for r.NextVertex() < r.NumVertices() {
-		edges, err = r.ReadVertexEdges(edges)
+		edges, err = r.ReadVertexAdj(edges)
 		if err != nil {
 			t.Fatalf("streaming: %v", err)
 		}
@@ -157,9 +157,9 @@ func TestEdgeFileProperty(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := g.NumVertices() / 2
-		var edges [][2]int32
+		var edges []int32
 		for r.NextVertex() < p {
-			edges, err = r.ReadVertexEdges(edges)
+			edges, err = r.ReadVertexAdj(edges)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,279 @@
+package semiext
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether int32 values can be reinterpreted
+// directly from the little-endian file bytes. On big-endian hosts every
+// access path falls back to the explicit bulk decoder.
+var hostLittleEndian = binary.NativeEndian.Uint16([]byte{0x34, 0x12}) == 0x1234
+
+// int32view reinterprets b (length a multiple of 4, 4-byte aligned) as
+// []int32 without copying. Callers gate on hostLittleEndian.
+func int32view(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// int32bytes is the inverse view: the raw bytes backing s. Used to pread
+// file content directly into a caller's []int32 buffer on little-endian
+// hosts, skipping the intermediate byte buffer.
+func int32bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+// DecodeInt32s bulk-decodes little-endian int32 values: dst[i] is read from
+// src[4i:4i+4]. len(src) must be at least 4*len(dst). Converting whole
+// adjacency runs at once is what replaces the seed's per-edge
+// binary.LittleEndian.Uint32 loop on paths that cannot alias the mapping.
+func DecodeInt32s(dst []int32, src []byte) {
+	_ = src[:4*len(dst)]
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
+// decodeFloat64s bulk-decodes little-endian float64 values.
+func decodeFloat64s(dst []float64, src []byte) {
+	_ = src[:8*len(dst)]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}
+
+// View is random access over an edge file with no per-query cost: the file
+// is validated and its per-vertex vectors decoded once at open, and
+// adjacency ranges are served as typed slices straight over a read-only
+// memory mapping — no file opens, no buffered readers, no header re-parse,
+// no per-edge decode loop on the query path. On platforms without the mmap
+// path the same API is served by positioned ReaderAt reads plus the bulk
+// decoder.
+//
+// A View is safe for concurrent use. Close unmaps the file; slices
+// previously returned by Adj that alias the mapping must not be used after
+// Close (the semi-external store refcounts queries to guarantee this).
+type View struct {
+	data []byte   // whole-file mapping, or the whole file for in-memory views; nil in ReaderAt mode
+	f    *os.File // backing file; nil for in-memory views
+	ra   io.ReaderAt
+
+	n          int
+	m          int64
+	headerSize int64
+	weights    []float64 // always decoded: the region is not 8-byte aligned
+	upDeg      []int32   // aliases the mapping on little-endian mmap builds
+
+	mapped bool // data came from mmapFile and needs munmap
+}
+
+// OpenView opens path as a View, memory-mapping it when the platform
+// supports it and falling back to ReaderAt access otherwise. Validation is
+// exactly OpenReader's.
+func OpenView(path string) (*View, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("semiext: opening edge file: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("semiext: opening edge file: %w", err)
+	}
+	v := &View{f: f, ra: f}
+	// On mmap failure — a platform without the fast path, or an unmappable
+	// file (size overflow, exotic filesystem) — adjacency is served through
+	// positioned reads instead of refusing a file the streaming path could
+	// read.
+	if data, merr := mmapFile(f, fi.Size()); merr == nil {
+		v.data = data
+		v.mapped = true
+	}
+	if err := v.parse(fi.Size()); err != nil {
+		v.Close()
+		return nil, err
+	}
+	return v, nil
+}
+
+// ViewFromBytes is a View over an edge-file image already in memory, with
+// the same validation as OpenView; tests and the fuzzer drive the format
+// through it without touching disk.
+func ViewFromBytes(data []byte) (*View, error) {
+	v := &View{data: data}
+	if err := v.parse(int64(len(data))); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// parse validates the header and decodes the per-vertex vectors, mirroring
+// Reader.readHeader: both entry points accept exactly the same files.
+func (v *View) parse(size int64) error {
+	le := binary.LittleEndian
+	var hdrBuf [20]byte
+	hdr, err := v.bytes(0, 20, hdrBuf[:0])
+	if err != nil {
+		return fmt.Errorf("semiext: reading header: %w", err)
+	}
+	if le.Uint32(hdr[0:]) != fileMagic {
+		return fmt.Errorf("semiext: bad magic %#x", le.Uint32(hdr[0:]))
+	}
+	v.n = int(le.Uint64(hdr[4:]))
+	v.m = int64(le.Uint64(hdr[12:]))
+	if v.n < 0 || v.m < 0 || int64(v.n) > math.MaxInt32 {
+		return fmt.Errorf("semiext: implausible header n=%d m=%d", v.n, v.m)
+	}
+	vecEnd := 20 + 12*int64(v.n)
+	if size < vecEnd || (size-vecEnd)/4 < v.m {
+		return fmt.Errorf("semiext: file holds %d bytes, too short for header n=%d m=%d", size, v.n, v.m)
+	}
+	v.headerSize = vecEnd
+
+	wb, err := v.bytes(20, 8*int64(v.n), nil)
+	if err != nil {
+		return fmt.Errorf("semiext: reading weights: %w", err)
+	}
+	v.weights = make([]float64, v.n)
+	decodeFloat64s(v.weights, wb)
+	for i, w := range v.weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("semiext: vertex %d has non-finite weight %v", i, w)
+		}
+		if i > 0 && w > v.weights[i-1] {
+			return fmt.Errorf("semiext: weights not in decreasing rank order at vertex %d", i)
+		}
+	}
+
+	db, err := v.bytes(20+8*int64(v.n), 4*int64(v.n), nil)
+	if err != nil {
+		return fmt.Errorf("semiext: reading degrees: %w", err)
+	}
+	if v.data != nil && hostLittleEndian {
+		v.upDeg = int32view(db)
+	} else {
+		v.upDeg = make([]int32, v.n)
+		DecodeInt32s(v.upDeg, db)
+	}
+	var degSum int64
+	for i, d := range v.upDeg {
+		if d < 0 || int64(d) > int64(i) {
+			return fmt.Errorf("semiext: vertex %d claims %d up-neighbors, at most %d possible", i, d, i)
+		}
+		degSum += int64(d)
+	}
+	if degSum != v.m {
+		return fmt.Errorf("semiext: up-degrees sum to %d edges, header claims %d", degSum, v.m)
+	}
+	return nil
+}
+
+// bytes returns the file region [off, off+n): sliced from the mapping when
+// one exists, otherwise read into buf (grown as needed).
+func (v *View) bytes(off, n int64, buf []byte) ([]byte, error) {
+	if v.data != nil {
+		if off+n > int64(len(v.data)) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return v.data[off : off+n : off+n], nil
+	}
+	if int64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := v.ra.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// NumVertices returns the vertex count.
+func (v *View) NumVertices() int { return v.n }
+
+// NumEdges returns the edge count.
+func (v *View) NumEdges() int64 { return v.m }
+
+// Weights returns the per-vertex weight vector indexed by rank. The caller
+// must not modify it.
+func (v *View) Weights() []float64 { return v.weights }
+
+// UpDegrees returns the per-vertex up-degree vector. The caller must not
+// modify it; on mmap builds it aliases the read-only mapping.
+func (v *View) UpDegrees() []int32 { return v.upDeg }
+
+// Mapped reports whether adjacency access is zero-copy over a memory
+// mapping (as opposed to positioned reads).
+func (v *View) Mapped() bool { return v.data != nil && hostLittleEndian }
+
+// Adj returns the up-adjacency entries with edge ranks [lo, hi): the
+// concatenation of every vertex's up-neighbor list in file order, so the
+// run [0, E(p)) is exactly the up-adjacency of the prefix [0, p). On
+// little-endian mmap builds the result aliases the mapping and buf is
+// untouched; otherwise the entries are decoded into buf (grown as needed),
+// one bulk read for the whole run.
+func (v *View) Adj(lo, hi int64, buf []int32) ([]int32, error) {
+	if lo < 0 || hi < lo || hi > v.m {
+		return nil, fmt.Errorf("semiext: adjacency range [%d,%d) outside [0,%d)", lo, hi, v.m)
+	}
+	cnt := hi - lo
+	off := v.headerSize + 4*lo
+	if v.data != nil {
+		b := v.data[off : off+4*cnt : off+4*cnt]
+		if hostLittleEndian {
+			return int32view(b), nil
+		}
+		if int64(cap(buf)) < cnt {
+			buf = make([]int32, cnt)
+		}
+		buf = buf[:cnt]
+		DecodeInt32s(buf, b)
+		return buf, nil
+	}
+	if int64(cap(buf)) < cnt {
+		buf = make([]int32, cnt)
+	}
+	buf = buf[:cnt]
+	if hostLittleEndian {
+		// pread straight into the caller's buffer: the bytes are already in
+		// the layout the host reads int32s in.
+		if _, err := v.ra.ReadAt(int32bytes(buf), off); err != nil {
+			return nil, fmt.Errorf("semiext: reading adjacency: %w", err)
+		}
+		return buf, nil
+	}
+	raw := make([]byte, 4*cnt)
+	if _, err := v.ra.ReadAt(raw, off); err != nil {
+		return nil, fmt.Errorf("semiext: reading adjacency: %w", err)
+	}
+	DecodeInt32s(buf, raw)
+	return buf, nil
+}
+
+// Close releases the mapping and the file handle. Adj results that alias
+// the mapping become invalid.
+func (v *View) Close() error {
+	var err error
+	if v.mapped {
+		err = munmapFile(v.data)
+		v.data = nil
+		v.mapped = false
+		v.upDeg = nil // may alias the unmapped region
+	}
+	if v.f != nil {
+		if cerr := v.f.Close(); err == nil {
+			err = cerr
+		}
+		v.f = nil
+	}
+	return err
+}

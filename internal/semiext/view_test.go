@@ -1,0 +1,218 @@
+package semiext
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+func TestViewMatchesReader(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := gen.Random(80+int(seed)*17, 6, seed)
+		path := writeTemp(t, g)
+		r, err := OpenReader(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := OpenView(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.NumVertices() != r.NumVertices() || v.NumEdges() != r.NumEdges() {
+			t.Fatalf("seed %d: view shape (%d,%d), reader (%d,%d)",
+				seed, v.NumVertices(), v.NumEdges(), r.NumVertices(), r.NumEdges())
+		}
+		for u := int32(0); int(u) < r.NumVertices(); u++ {
+			if v.Weights()[u] != r.Weight(u) || v.UpDegrees()[u] != r.UpDegree(u) {
+				t.Fatalf("seed %d: per-vertex state differs at %d", seed, u)
+			}
+		}
+		var flat []int32
+		for r.NextVertex() < r.NumVertices() {
+			flat, err = r.ReadVertexAdj(flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := v.Adj(0, v.NumEdges(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(flat) {
+			t.Fatalf("seed %d: view adjacency holds %d entries, stream %d", seed, len(got), len(flat))
+		}
+		for i := range got {
+			if got[i] != flat[i] {
+				t.Fatalf("seed %d: adjacency differs at entry %d", seed, i)
+			}
+		}
+		// Sub-range reads agree with the full read.
+		if v.NumEdges() >= 4 {
+			lo, hi := v.NumEdges()/4, 3*v.NumEdges()/4
+			sub, err := v.Adj(lo, hi, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range sub {
+				if sub[i] != flat[lo+int64(i)] {
+					t.Fatalf("seed %d: sub-range read differs at %d", seed, i)
+				}
+			}
+		}
+		// The full adjacency plus the decoded vectors reconstructs the graph.
+		pg, err := graph.FromUpAdjacency(v.Weights(), v.UpDegrees(), got, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pg.Validate(); err != nil {
+			t.Fatalf("seed %d: reconstructed graph invalid: %v", seed, err)
+		}
+		r.Close()
+		v.Close()
+	}
+}
+
+func TestViewAdjBounds(t *testing.T) {
+	g := gen.Random(40, 4, 3)
+	v, err := OpenView(writeTemp(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	for _, r := range [][2]int64{{-1, 0}, {0, v.NumEdges() + 1}, {5, 4}} {
+		if _, err := v.Adj(r[0], r[1], nil); err == nil {
+			t.Errorf("Adj(%d,%d): want error", r[0], r[1])
+		}
+	}
+	empty, err := v.Adj(2, 2, nil)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("Adj(2,2) = %v, %v; want empty", empty, err)
+	}
+}
+
+// TestViewRejectsWhatReaderRejects replays the reader's corruption cases
+// against the view: the two open paths must accept exactly the same files.
+func TestViewRejectsWhatReaderRejects(t *testing.T) {
+	g := gen.Random(50, 5, 4)
+	path := writeTemp(t, g)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	corrupt := map[string]func([]byte){
+		"bad magic":        func(b []byte) { b[0] ^= 0xff },
+		"impossible updeg": func(b []byte) { b[20+8*n] = 1 },
+		"weight disorder": func(b []byte) {
+			// Swap the first two weights: rank order breaks.
+			for i := 0; i < 8; i++ {
+				b[20+i], b[28+i] = b[28+i], b[20+i]
+			}
+		},
+	}
+	for name, mutate := range corrupt {
+		img := append([]byte(nil), data...)
+		mutate(img)
+		if _, err := ViewFromBytes(img); err == nil {
+			t.Errorf("%s: view accepted", name)
+		}
+		if _, err := NewReader(bytes.NewReader(img), int64(len(img))); err == nil {
+			t.Errorf("%s: reader accepted", name)
+		}
+	}
+	truncated := data[:len(data)-5]
+	if _, err := ViewFromBytes(truncated); err == nil {
+		t.Error("truncated: view accepted")
+	}
+	short := filepath.Join(t.TempDir(), "short.edges")
+	if err := os.WriteFile(short, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenView(short); err == nil {
+		t.Error("truncated: OpenView accepted")
+	}
+}
+
+func TestDecodeInt32s(t *testing.T) {
+	src := []byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x78, 0x56, 0x34, 0x12}
+	dst := make([]int32, 3)
+	DecodeInt32s(dst, src)
+	want := []int32{1, -1, 0x12345678}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	DecodeInt32s(nil, nil) // zero-length is a no-op
+}
+
+// FuzzViewReaderEquivalence is the mmap-view half of FuzzEdgeFile: for
+// arbitrary bytes, ViewFromBytes and NewReader must agree on acceptance,
+// and when both accept, the view's bulk adjacency must be byte-identical
+// to the stream's edge-by-edge delivery.
+func FuzzViewReaderEquivalence(f *testing.F) {
+	seedDir := f.TempDir()
+	for seed := uint64(1); seed <= 3; seed++ {
+		g := gen.Random(20+int(seed)*9, 4, seed)
+		path := filepath.Join(seedDir, "seed.edges")
+		if err := WriteEdgeFile(path, g); err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:20])
+		f.Add(data[:len(data)-2])
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, verr := ViewFromBytes(data)
+		r, rerr := NewReader(bytes.NewReader(data), int64(len(data)))
+		if (verr == nil) != (rerr == nil) {
+			t.Fatalf("acceptance differs: view err %v, reader err %v", verr, rerr)
+		}
+		if verr != nil {
+			return
+		}
+		if v.NumVertices() != r.NumVertices() || v.NumEdges() != r.NumEdges() {
+			t.Fatalf("shape differs: view (%d,%d), reader (%d,%d)",
+				v.NumVertices(), v.NumEdges(), r.NumVertices(), r.NumEdges())
+		}
+		for u := 0; u < v.NumVertices(); u++ {
+			if v.Weights()[u] != r.Weight(int32(u)) || v.UpDegrees()[u] != r.UpDegree(int32(u)) {
+				t.Fatalf("per-vertex state differs at %d", u)
+			}
+		}
+		var flat []int32
+		var err error
+		for {
+			flat, err = r.ReadVertexAdj(flat)
+			if err != nil {
+				break
+			}
+		}
+		view, aerr := v.Adj(0, v.NumEdges(), nil)
+		if aerr != nil {
+			t.Fatalf("view adjacency read failed on accepted image: %v", aerr)
+		}
+		// The stream validates entries (v < u) the raw view does not; it may
+		// stop early on a corrupt payload. The entries it did deliver must
+		// still match the view byte for byte.
+		for i := range flat {
+			if flat[i] != view[i] {
+				t.Fatalf("adjacency differs at entry %d: stream %d, view %d", i, flat[i], view[i])
+			}
+		}
+		if err == io.EOF && int64(len(flat)) != v.NumEdges() {
+			t.Fatalf("stream delivered %d entries, header claims %d", len(flat), v.NumEdges())
+		}
+	})
+}

@@ -557,3 +557,63 @@ func TestLoadUnloadUnderTraffic(t *testing.T) {
 		t.Fatalf("%d wrong responses under load/unload churn", n)
 	}
 }
+
+// TestAdminLoadPrefixCache loads a semi-external dataset with a decoded-
+// prefix cache budget through the admin endpoint: the dataset must report
+// its access mode, grow the cache once queried, and answer identically to
+// the in-memory default.
+func TestAdminLoadPrefixCache(t *testing.T) {
+	g := rankGraph(t)
+	edgePath := filepath.Join(t.TempDir(), "g.edges")
+	if err := semiext.WriteEdgeFile(edgePath, g); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(rankGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"name":"cached","path":%q,"backend":"semiext","prefix_cache_bytes":%d}`, edgePath, 1<<20)
+	resp, err := http.Post(ts.URL+"/v1/admin/datasets", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+	if info.Mode != "mmap" && info.Mode != "pread" {
+		t.Errorf("mode = %q, want mmap or pread", info.Mode)
+	}
+
+	_, refBody := fetch(t, ts.URL+"/v1/topk?k=2&gamma=3")
+	code, seBody := fetch(t, ts.URL+"/v1/topk?k=2&gamma=3&dataset=cached")
+	if code != http.StatusOK {
+		t.Fatalf("query: status %d (%s)", code, seBody)
+	}
+	if normalizeBody(t, refBody) != normalizeBody(t, seBody) {
+		t.Errorf("cached semiext dataset diverges from in-memory default")
+	}
+	for _, d := range s.Datasets() {
+		if d.Name == "cached" && d.CachedPrefix == 0 {
+			t.Error("cached_prefix still 0 after a query; cache never grew")
+		}
+	}
+
+	// A bad mode in the admin request is a 400, not a crash.
+	resp, err = http.Post(ts.URL+"/v1/admin/datasets", "application/json",
+		bytes.NewBufferString(fmt.Sprintf(`{"name":"bad","path":%q,"backend":"semiext","mode":"bogus"}`, edgePath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mode: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -80,18 +80,24 @@ func (d *dataset) markUnloaded() {
 
 // DatasetInfo describes one loaded dataset on /v1/datasets and /v1/stats.
 type DatasetInfo struct {
-	Name         string `json:"name"`
-	Backend      string `json:"backend"`
-	Vertices     int    `json:"vertices"`
-	Edges        int64  `json:"edges"`
-	IndexLoaded  bool   `json:"index_loaded"`
-	Queries      int64  `json:"queries"`
-	IndexQueries int64  `json:"index_queries"`
-	LocalQueries int64  `json:"local_queries"`
+	Name    string `json:"name"`
+	Backend string `json:"backend"`
+	// Mode reports the semi-external access path ("mmap", "pread", or
+	// "stream"); empty for in-memory backends.
+	Mode string `json:"mode,omitempty"`
+	// CachedPrefix is the vertex count the semi-external decoded-prefix
+	// cache currently covers; 0 when disabled or for in-memory backends.
+	CachedPrefix int   `json:"cached_prefix,omitempty"`
+	Vertices     int   `json:"vertices"`
+	Edges        int64 `json:"edges"`
+	IndexLoaded  bool  `json:"index_loaded"`
+	Queries      int64 `json:"queries"`
+	IndexQueries int64 `json:"index_queries"`
+	LocalQueries int64 `json:"local_queries"`
 }
 
 func (d *dataset) info() DatasetInfo {
-	return DatasetInfo{
+	info := DatasetInfo{
 		Name:         d.name,
 		Backend:      d.st.Backend(),
 		Vertices:     d.st.NumVertices(),
@@ -101,6 +107,11 @@ func (d *dataset) info() DatasetInfo {
 		IndexQueries: d.indexServed.Load(),
 		LocalQueries: d.localServed.Load(),
 	}
+	if se, ok := d.st.(*store.SemiExt); ok {
+		info.Mode = se.Mode()
+		info.CachedPrefix = se.CachedPrefix()
+	}
+	return info
 }
 
 func (r *registry) lookup(name string) *dataset {
@@ -232,6 +243,12 @@ type loadRequest struct {
 	Backend string `json:"backend,omitempty"`
 	// Index optionally loads a prebuilt index file (memory backend only).
 	Index string `json:"index,omitempty"`
+	// PrefixCacheBytes budgets the semi-external decoded-prefix cache
+	// (see store.WithPrefixCacheBytes); 0 disables it.
+	PrefixCacheBytes int64 `json:"prefix_cache_bytes,omitempty"`
+	// Mode selects the semi-external access path: "auto" (default),
+	// "mmap", or "stream".
+	Mode string `json:"mode,omitempty"`
 }
 
 // adminAllowed enforces the optional bearer token on admin endpoints.
@@ -262,7 +279,14 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "name and path are required"})
 		return
 	}
-	st, err := store.Open(req.Path, req.Backend)
+	var opts []store.OpenOption
+	if req.PrefixCacheBytes != 0 {
+		opts = append(opts, store.WithPrefixCacheBytes(req.PrefixCacheBytes))
+	}
+	if req.Mode != "" {
+		opts = append(opts, store.WithEdgeFileMode(req.Mode))
+	}
+	st, err := store.Open(req.Path, req.Backend, opts...)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"influcomm/internal/core"
@@ -14,50 +15,203 @@ import (
 // SemiExt is the semi-external backend (Eval-VI/VII of the paper): edges
 // live on disk sorted in decreasing edge-weight order and only per-vertex
 // state — weights, up-degrees, and the prefix-size vector derived from
-// them — is resident, O(n) memory for an O(n+m) graph. Each query opens
-// its own sequential stream over the edge file and reads exactly as far as
-// LocalSearch's geometric growth requires, so concurrent queries never
-// contend on a shared file position and a graph larger than RAM still
-// serves point queries that touch only its heavy prefix.
+// them — is resident, O(n) memory for an O(n+m) graph.
+//
+// The read path is built around zero-copy access and cross-query sharing:
+//
+//   - By default the edge file is served through a semiext.View — one
+//     memory mapping (with a positioned-read fallback on platforms without
+//     it) opened at store creation, so a query pays no os.Open, no header
+//     re-parse, and no per-edge decode loop; whole adjacency runs are
+//     handed to the O(p+E) CSR assembler as typed slices over the mapping.
+//
+//   - LocalSearch's geometric growth means virtually every query touches
+//     the heavy prefix [0, p), so the store can keep one immutable decoded
+//     prefix graph — budgeted by WithPrefixCacheBytes, grown on demand
+//     under a singleflight guard, swapped atomically — that all concurrent
+//     queries read lock-free, each through pooled engines bound to it.
+//     Queries whose growth stays inside the cache are allocation-free in
+//     steady state apart from their Result; queries that outgrow it fall
+//     back to materializing a private prefix from the view (or, in stream
+//     mode, from a pooled sequential reader).
+//
+// Results and access statistics are byte-identical to the in-memory
+// backend for the same graph, whichever path serves the query.
 type SemiExt struct {
 	path    string
+	mode    string // "mmap", "pread", or "stream"
 	n       int
 	m       int64
 	weights []float64
 	upDeg   []int32
 	// sizes[p] = size(G≥τ) = p + |E(G≥τ)| for the prefix [0, p); the
 	// growth policy runs entirely on this vector, no disk involved.
-	sizes  []int64
-	closed atomic.Bool
+	sizes []int64
+
+	// view is the shared zero-copy window over the edge file; nil in
+	// stream mode, where every access goes through a pooled Reader.
+	view *semiext.View
+
+	// cacheBudget caps the decoded-prefix cache's extra resident bytes;
+	// maxCacheP is the largest prefix that fits it (0 disables caching).
+	cacheBudget int64
+	maxCacheP   int
+	cache       atomic.Pointer[prefixCache]
+	// growSem serializes cache growth (singleflight) as a 1-slot channel
+	// rather than a mutex so waiters can abandon the wait when their
+	// query's context expires instead of blocking uncancellably behind a
+	// large build.
+	growSem chan struct{}
+
+	srcPool sync.Pool // *seSource: per-query scratch, reused across queries
+
+	// refs counts in-flight queries; the mapping is released only once the
+	// store is closed and the last query has drained, so a zero-copy slice
+	// can never outlive its mapping.
+	refs      atomic.Int64
+	closed    atomic.Bool
+	closeOnce sync.Once
+}
+
+// prefixCache is one immutable decoded prefix [0, p) shared by every query
+// that fits in it, with an engine pool bound to its graph. Growth builds a
+// new prefixCache and swaps the pointer; queries holding the old one finish
+// on it unaffected.
+type prefixCache struct {
+	p    int
+	g    *graph.Graph
+	pool *core.Pool
+}
+
+// OpenOption configures Open and OpenEdgeFile.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	prefixCacheBytes int64
+	mode             string
+}
+
+// WithPrefixCacheBytes budgets the semi-external decoded-prefix cache: the
+// store keeps up to n extra resident bytes of decoded CSR covering the
+// heavy prefix every LocalSearch query starts in. 0 (the default) disables
+// the cache, preserving the strict O(n)-resident semi-external model; a
+// budget of at least the decoded file size lets the cache grow to the
+// whole graph, making steady-state queries as fast as the in-memory
+// backend. Ignored by the memory backend.
+func WithPrefixCacheBytes(n int64) OpenOption {
+	return func(c *openConfig) { c.prefixCacheBytes = n }
+}
+
+// WithEdgeFileMode selects how the semi-external backend reads its edge
+// file: "auto" (the default) serves adjacency through a shared zero-copy
+// view, falling back to positioned reads on platforms or files the
+// mapping cannot cover; "mmap" is the same view but refuses to open when
+// the mapping is unavailable (an explicit request is a promise, not a
+// hint); "stream" forces the per-query sequential reader (the residual
+// path kept for fallback and comparison). Ignored by the memory backend.
+func WithEdgeFileMode(mode string) OpenOption {
+	return func(c *openConfig) { c.mode = mode }
 }
 
 // OpenEdgeFile opens a semi-external edge file written by
 // semiext.WriteEdgeFile and loads its per-vertex state.
-func OpenEdgeFile(path string) (*SemiExt, error) {
-	r, err := semiext.OpenReader(path)
-	if err != nil {
-		return nil, err
+func OpenEdgeFile(path string, opts ...OpenOption) (*SemiExt, error) {
+	cfg := openConfig{mode: "auto"}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	defer r.Close()
-	n := r.NumVertices()
-	s := &SemiExt{
-		path:    path,
-		n:       n,
-		m:       r.NumEdges(),
-		weights: make([]float64, n),
-		upDeg:   make([]int32, n),
-		sizes:   make([]int64, n+1),
+	if cfg.prefixCacheBytes < 0 {
+		return nil, fmt.Errorf("store: negative prefix-cache budget %d", cfg.prefixCacheBytes)
 	}
-	for u := 0; u < n; u++ {
-		s.weights[u] = r.Weight(int32(u))
-		s.upDeg[u] = r.UpDegree(int32(u))
+	s := &SemiExt{path: path, cacheBudget: cfg.prefixCacheBytes}
+	switch cfg.mode {
+	case "auto", "mmap":
+		v, err := semiext.OpenView(path)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.mode == "mmap" && !v.Mapped() {
+			// An explicit mmap request is a promise about the access path,
+			// not a hint: refuse rather than silently serve positioned
+			// reads at different performance. "auto" is the degrading mode.
+			v.Close()
+			return nil, fmt.Errorf("store: %s: mmap requested but unavailable on this platform/file (use mode=auto to allow pread fallback)", path)
+		}
+		s.view = v
+		s.n = v.NumVertices()
+		s.m = v.NumEdges()
+		s.weights = v.Weights()
+		s.upDeg = v.UpDegrees()
+		if v.Mapped() {
+			s.mode = "mmap"
+		} else {
+			s.mode = "pread"
+		}
+	case "stream":
+		r, err := semiext.OpenReader(path)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		s.n = r.NumVertices()
+		s.m = r.NumEdges()
+		s.weights = make([]float64, s.n)
+		s.upDeg = make([]int32, s.n)
+		for u := 0; u < s.n; u++ {
+			s.weights[u] = r.Weight(int32(u))
+			s.upDeg[u] = r.UpDegree(int32(u))
+		}
+		s.mode = "stream"
+	default:
+		return nil, fmt.Errorf("store: unknown edge-file mode %q (want \"auto\", \"mmap\", or \"stream\")", cfg.mode)
+	}
+	s.sizes = make([]int64, s.n+1)
+	for u := 0; u < s.n; u++ {
 		s.sizes[u+1] = s.sizes[u] + 1 + int64(s.upDeg[u])
 	}
+	if s.cacheBudget > 0 {
+		// Largest prefix whose decoded CSR fits the budget; estCacheBytes
+		// is monotone in p, so the frontier is a binary search.
+		s.maxCacheP = sort.Search(s.n, func(p int) bool { return s.estCacheBytes(p+1) > s.cacheBudget })
+	}
+	s.growSem = make(chan struct{}, 1)
+	s.srcPool.New = func() any { return &seSource{st: s} }
 	return s, nil
+}
+
+// estCacheBytes estimates the extra resident bytes of a decoded prefix
+// [0, p): the offset and up-prefix arrays plus both CSR directions of every
+// edge. Weights and up-degrees alias the store's already-resident vectors
+// and cost nothing extra; pooled engines (O(p) each, bounded by query
+// concurrency) are deliberately not charged to the budget.
+func (s *SemiExt) estCacheBytes(p int) int64 {
+	return 16*int64(p+1) + 8*s.edgeCount(p)
+}
+
+// edgeCount returns |E(G≥τ)| for the prefix [0, p).
+func (s *SemiExt) edgeCount(p int) int64 { return s.sizes[p] - int64(p) }
+
+// prefixForSize mirrors graph.PrefixForSize on the resident size vector, so
+// the semi-external growth sequence matches the in-memory one round for
+// round.
+func (s *SemiExt) prefixForSize(want int64) int {
+	if want <= 0 {
+		return 0
+	}
+	p := sort.Search(s.n, func(p int) bool { return s.sizes[p+1] >= want })
+	if p == s.n {
+		return s.n
+	}
+	return p + 1
 }
 
 // Backend returns "semiext".
 func (s *SemiExt) Backend() string { return "semiext" }
+
+// Mode reports how the edge file is accessed: "mmap" (zero-copy mapping),
+// "pread" (positioned reads on platforms without the mapping fast path),
+// or "stream" (per-query sequential reader).
+func (s *SemiExt) Mode() string { return s.mode }
 
 // NumVertices returns the vertex count.
 func (s *SemiExt) NumVertices() int { return s.n }
@@ -71,82 +225,244 @@ func (s *SemiExt) Path() string { return s.path }
 // Graph returns nil: the backend never holds the whole graph.
 func (s *SemiExt) Graph() *graph.Graph { return nil }
 
-// TopK answers a query by streaming a prefix of the edge file through the
-// generic LocalSearch driver. Communities and access statistics are
-// identical to an in-memory query over the same graph.
+// CachedPrefix reports how many vertices the decoded-prefix cache currently
+// covers; 0 when disabled or not yet grown.
+func (s *SemiExt) CachedPrefix() int {
+	if c := s.cache.Load(); c != nil {
+		return c.p
+	}
+	return 0
+}
+
+// TopK answers a query through the generic LocalSearch driver over
+// whichever access path serves it best: the shared decoded-prefix cache
+// when the query fits, the zero-copy view otherwise. Communities and
+// access statistics are identical to an in-memory query over the same
+// graph.
 func (s *SemiExt) TopK(ctx context.Context, k int, gamma int32, opts core.Options) (*core.Result, error) {
+	// Pin the store before re-checking closed: Close only releases the
+	// mapping once the reference count drains, so a query that got its
+	// reference in can never observe a dead mapping.
+	s.refs.Add(1)
+	defer s.release()
 	if s.closed.Load() {
 		return nil, fmt.Errorf("store: %s is closed", s.path)
 	}
-	// The header was read and validated once at Open; each query adopts the
-	// resident per-vertex vectors and pays only an open+seek before its
-	// sequential edge reads.
-	r, err := semiext.OpenEdgeStream(s.path, s.weights, s.upDeg, s.m)
-	if err != nil {
-		return nil, err
+	src := s.srcPool.Get().(*seSource)
+	src.ctx = ctx
+	defer s.putSource(src)
+	return core.TopKOver(ctx, src, k, gamma, opts)
+}
+
+// maxPooledScratchBytes caps how much private-build scratch a pooled
+// source may retain between queries. Without a cap, one k≈n query on a
+// large graph would pin O(m)-sized buffers per pooled source indefinitely
+// — exactly the resident footprint the semi-external model exists to
+// avoid. Oversized scratch is dropped; the occasional deep query pays a
+// reallocation, the steady state stays bounded.
+const maxPooledScratchBytes = 32 << 20
+
+func (s *SemiExt) putSource(q *seSource) {
+	q.ctx = nil
+	q.adj = q.adj[:0]
+	if q.streamOpen {
+		q.r.Close()
+		q.streamOpen = false
 	}
-	defer r.Close()
-	return core.TopKOver(ctx, &seSource{st: s, r: r, ctx: ctx}, k, gamma, opts)
+	if q.scratchBytes() > maxPooledScratchBytes {
+		q.csr = graph.PrefixScratch{}
+		q.adjBuf = nil
+		q.adj = nil
+	}
+	s.srcPool.Put(q)
+}
+
+func (s *SemiExt) release() {
+	if s.refs.Add(-1) == 0 && s.closed.Load() {
+		s.closeOnce.Do(s.closeResources)
+	}
 }
 
 // Close marks the store closed; subsequent queries fail, in-flight queries
-// hold their own readers and are unaffected.
+// complete normally — the mapping is released only after the last one
+// drains.
 func (s *SemiExt) Close() error {
 	s.closed.Store(true)
+	if s.refs.Load() == 0 {
+		s.closeOnce.Do(s.closeResources)
+	}
 	return nil
 }
 
-// seSource adapts one query's edge-file stream to core.SearchSource. It is
-// single-use: the reader position and the accumulated edge slice advance
-// monotonically with the query's growing prefix.
+func (s *SemiExt) closeResources() {
+	if s.view != nil {
+		s.view.Close()
+	}
+}
+
+// growCache extends the decoded-prefix cache to cover at least p and
+// returns the new cache graph, or (nil, nil) when p does not fit the
+// budget. One grower builds at a time; racers re-check once admitted and
+// adopt the freshly swapped cache instead of rebuilding, and a waiter
+// whose context expires abandons the wait with ctx.Err(). The build
+// itself polls ctx on the streaming path; the view path's single bulk
+// decode+assembly runs at memory speed and is the one uninterruptible
+// unit.
+func (s *SemiExt) growCache(ctx context.Context, p int) (*graph.Graph, error) {
+	if p > s.maxCacheP {
+		return nil, nil
+	}
+	select {
+	case s.growSem <- struct{}{}:
+		defer func() { <-s.growSem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if c := s.cache.Load(); c != nil && c.p >= p {
+		return c.g, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Overshoot geometrically (cover 2× the requested size, clamped to the
+	// budget) so consecutive query rounds don't each trigger a rebuild;
+	// total rebuild work stays linear in the final cached size.
+	target := s.prefixForSize(2 * s.sizes[p])
+	if target > s.maxCacheP {
+		target = s.maxCacheP
+	}
+	if target < p {
+		target = p
+	}
+	g, err := s.materialize(ctx, target, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Store(&prefixCache{p: target, g: g, pool: core.NewPool(g)})
+	return g, nil
+}
+
+// materialize assembles the prefix graph [0, p) from the edge file, using
+// the zero-copy view when the store has one and a sequential stream
+// otherwise. A nil scratch builds into fresh arrays (cache growth); the
+// per-query sources pass their pooled scratch. The streaming path polls
+// ctx every few thousand adjacency lists.
+func (s *SemiExt) materialize(ctx context.Context, p int, sc *graph.PrefixScratch, q *seSource) (*graph.Graph, error) {
+	e := s.edgeCount(p)
+	if s.view != nil {
+		var buf []int32
+		if q != nil {
+			buf = q.adjBuf
+		}
+		upAdj, err := s.view.Adj(0, e, buf)
+		if err != nil {
+			return nil, err
+		}
+		if q != nil && !s.view.Mapped() {
+			q.adjBuf = upAdj // keep the grown decode buffer for reuse
+		}
+		return graph.FromUpAdjacency(s.weights[:p], s.upDeg[:p], upAdj, sc)
+	}
+	// Stream mode: a pooled reader streams strictly sequentially from the
+	// start of the payload up to p, accumulating the flat up-adjacency.
+	var (
+		adj []int32
+		r   *semiext.Reader
+	)
+	if q != nil {
+		if q.r == nil {
+			q.r = new(semiext.Reader)
+		}
+		if !q.streamOpen {
+			if err := q.r.Reopen(s.path, s.weights, s.upDeg, s.m); err != nil {
+				return nil, err
+			}
+			q.streamOpen = true
+		}
+		r, adj = q.r, q.adj
+	} else {
+		r = new(semiext.Reader)
+		if err := r.Reopen(s.path, s.weights, s.upDeg, s.m); err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		adj = make([]int32, 0, e)
+	}
+	var err error
+	for budget := 0; r.NextVertex() < p; budget++ {
+		if budget%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if adj, err = r.ReadVertexAdj(adj); err != nil {
+			return nil, err
+		}
+	}
+	if q != nil {
+		q.adj = adj
+	}
+	return graph.FromUpAdjacency(s.weights[:p], s.upDeg[:p], adj, sc)
+}
+
+// seSource adapts the store to core.SearchSource for one query. It is
+// pooled: the CSR scratch, decode buffer, accumulated adjacency, and
+// stream reader are reused by later queries once the query returns.
 type seSource struct {
-	st    *SemiExt
-	r     *semiext.Reader
-	edges [][2]int32
-	ctx   context.Context
+	st  *SemiExt
+	ctx context.Context
+
+	// Private-build state, used only by rounds that outgrow (or bypass)
+	// the cache. The graphs built into csr alias its arrays, so the
+	// scratch is reused only across rounds/queries, never while such a
+	// graph is still referenced.
+	csr    graph.PrefixScratch
+	adjBuf []int32 // bulk-decode target when the view cannot alias the mapping
+
+	// Stream-mode state: reader opened lazily on the first private build,
+	// flat adjacency accumulated across this query's rounds.
+	r          *semiext.Reader
+	adj        []int32
+	streamOpen bool
+}
+
+// scratchBytes is the memory the source would keep alive while pooled.
+func (q *seSource) scratchBytes() int64 {
+	return q.csr.Bytes() + 4*int64(cap(q.adjBuf)+cap(q.adj))
 }
 
 func (q *seSource) NumVertices() int { return q.st.n }
 
 func (q *seSource) PrefixSize(p int) int64 { return q.st.sizes[p] }
 
-// PrefixForSize mirrors graph.PrefixForSize exactly, so the semi-external
-// growth sequence matches the in-memory one round for round.
-func (q *seSource) PrefixForSize(want int64) int {
-	if want <= 0 {
-		return 0
-	}
-	p := sort.Search(q.st.n, func(p int) bool { return q.st.sizes[p+1] >= want })
-	if p == q.st.n {
-		return q.st.n
-	}
-	return p + 1
-}
+func (q *seSource) PrefixForSize(want int64) int { return q.st.prefixForSize(want) }
 
 // ctxCheckEvery bounds how many adjacency lists are streamed between two
 // context polls while materializing a prefix.
 const ctxCheckEvery = 4096
 
-// Materialize streams the edge file up to vertex p and assembles the
-// prefix subgraph. Vertex IDs equal global ranks, as the driver requires.
+// Materialize returns an in-memory graph covering at least the prefix
+// [0, p): the shared cache when p fits (growing it if the budget allows),
+// a query-private build otherwise.
 func (q *seSource) Materialize(p int) (*graph.Graph, error) {
-	var err error
-	for budget := 0; q.r.NextVertex() < p; budget++ {
-		if budget%ctxCheckEvery == 0 {
-			if err := q.ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if q.edges, err = q.r.ReadVertexEdges(q.edges); err != nil {
-			return nil, err
-		}
+	if c := q.st.cache.Load(); c != nil && p <= c.p {
+		return c.g, nil
 	}
-	var b graph.Builder
-	for u := 0; u < p; u++ {
-		b.AddVertex(int32(u), q.st.weights[u])
+	if g, err := q.st.growCache(q.ctx, p); g != nil || err != nil {
+		return g, err
 	}
-	for _, e := range q.edges {
-		b.AddEdge(e[0], e[1])
+	if err := q.ctx.Err(); err != nil {
+		return nil, err
 	}
-	return b.Build()
+	return q.st.materialize(q.ctx, p, &q.csr, q)
+}
+
+// SourcePool hands TopKOver the engine pool bound to the shared cache
+// graph, so cache-fitting queries check pooled engines, CVS buffers, and
+// enumeration state out instead of allocating per query.
+func (q *seSource) SourcePool(g *graph.Graph) *core.Pool {
+	if c := q.st.cache.Load(); c != nil && c.g == g {
+		return c.pool
+	}
+	return nil
 }

@@ -46,8 +46,10 @@ type Store interface {
 // implementation: "memory" (or "") loads the whole graph file into RAM —
 // text format, or the compact binary format for paths ending in ".bin" —
 // while "semiext" opens a semi-external edge file (see WriteEdgeFile),
-// loading only per-vertex state.
-func Open(path, backend string) (Store, error) {
+// loading only per-vertex state. Options tune the semi-external backend
+// (access mode, decoded-prefix cache budget) and are ignored by the
+// in-memory one.
+func Open(path, backend string, opts ...OpenOption) (Store, error) {
 	switch backend {
 	case "", "memory":
 		g, err := graph.LoadFile(path)
@@ -56,7 +58,7 @@ func Open(path, backend string) (Store, error) {
 		}
 		return OpenMem(g)
 	case "semiext":
-		return OpenEdgeFile(path)
+		return OpenEdgeFile(path, opts...)
 	default:
 		return nil, fmt.Errorf("store: unknown backend %q (want \"memory\" or \"semiext\")", backend)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"influcomm/internal/core"
@@ -32,25 +33,51 @@ func renderResult(res *core.Result) string {
 	return s
 }
 
-// TestBackendsAgree is the core contract: for the same graph, the
-// semi-external backend returns byte-identical results — communities AND
-// access statistics — to the in-memory backend and to the plain core
+// semiExtVariants is every semi-external serving configuration the
+// equivalence tests must hold for: the residual streaming path, the
+// zero-copy view without caching, and decoded-prefix caches from "too
+// small to matter" through "covers the whole graph". The strict "mmap"
+// mode refuses to open on platforms without the mapping, so it joins the
+// matrix only where it can (the "auto" default still exercises the view
+// everywhere, via pread on such platforms).
+func semiExtVariants() map[string][]OpenOption {
+	v := map[string][]OpenOption{
+		"stream":      {WithEdgeFileMode("stream")},
+		"auto":        nil,
+		"cache-tiny":  {WithPrefixCacheBytes(1 << 10)},
+		"cache-huge":  {WithPrefixCacheBytes(1 << 30)},
+		"cache-strm":  {WithEdgeFileMode("stream"), WithPrefixCacheBytes(1 << 20)},
+		"cache-small": {WithPrefixCacheBytes(16 << 10)},
+	}
+	if semiext.MmapAvailable {
+		v["mmap"] = []OpenOption{WithEdgeFileMode("mmap")}
+	}
+	return v
+}
+
+// TestBackendsAgree is the core contract: for the same graph, every
+// semi-external serving mode returns byte-identical results — communities
+// AND access statistics — to the in-memory backend and to the plain core
 // entry point, across semantics and tuning options.
 func TestBackendsAgree(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		g := gen.Random(200, 6, seed)
 		path := writeEdgeFile(t, g)
-		se, err := OpenEdgeFile(path)
-		if err != nil {
-			t.Fatal(err)
+		ses := map[string]*SemiExt{}
+		for name, opts := range semiExtVariants() {
+			se, err := OpenEdgeFile(path, opts...)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if se.NumVertices() != g.NumVertices() || se.NumEdges() != g.NumEdges() {
+				t.Fatalf("seed %d %s: semiext shape (%d,%d), want (%d,%d)",
+					seed, name, se.NumVertices(), se.NumEdges(), g.NumVertices(), g.NumEdges())
+			}
+			ses[name] = se
 		}
 		mem, err := OpenMem(g)
 		if err != nil {
 			t.Fatal(err)
-		}
-		if se.NumVertices() != g.NumVertices() || se.NumEdges() != g.NumEdges() {
-			t.Fatalf("seed %d: semiext shape (%d,%d), want (%d,%d)",
-				seed, se.NumVertices(), se.NumEdges(), g.NumVertices(), g.NumEdges())
 		}
 		ctx := context.Background()
 		cases := []struct {
@@ -71,22 +98,186 @@ func TestBackendsAgree(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d %s: core: %v", seed, tc.name, err)
 			}
+			ref := renderResult(want)
 			gotMem, err := mem.TopK(ctx, tc.k, tc.gamma, tc.opts)
 			if err != nil {
 				t.Fatalf("seed %d %s: mem: %v", seed, tc.name, err)
 			}
-			gotSE, err := se.TopK(ctx, tc.k, tc.gamma, tc.opts)
-			if err != nil {
-				t.Fatalf("seed %d %s: semiext: %v", seed, tc.name, err)
-			}
-			ref := renderResult(want)
 			if got := renderResult(gotMem); got != ref {
 				t.Errorf("seed %d %s: memory backend differs from core\n got %s\nwant %s", seed, tc.name, got, ref)
 			}
-			if got := renderResult(gotSE); got != ref {
-				t.Errorf("seed %d %s: semiext backend differs from core\n got %s\nwant %s", seed, tc.name, got, ref)
+			for mode, se := range ses {
+				gotSE, err := se.TopK(ctx, tc.k, tc.gamma, tc.opts)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: semiext: %v", seed, tc.name, mode, err)
+				}
+				if got := renderResult(gotSE); got != ref {
+					t.Errorf("seed %d %s: semiext %s differs from core\n got %s\nwant %s", seed, tc.name, mode, got, ref)
+				}
 			}
 		}
+		for _, se := range ses {
+			se.Close()
+		}
+	}
+}
+
+// TestPrefixCacheBudget drives the cache-budget edge cases: budget 0 never
+// caches, a tiny budget never exceeds its frontier, and a budget larger
+// than the decoded file grows to the whole graph — all while answers stay
+// byte-identical to core.
+func TestPrefixCacheBudget(t *testing.T) {
+	g := gen.Random(300, 6, 17)
+	path := writeEdgeFile(t, g)
+	ctx := context.Background()
+	want, err := core.TopK(g, 20, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := renderResult(want)
+
+	run := func(se *SemiExt) {
+		t.Helper()
+		res, err := se.TopK(ctx, 20, 2, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderResult(res); got != ref {
+			t.Fatalf("result differs from core\n got %s\nwant %s", got, ref)
+		}
+	}
+
+	off, err := OpenEdgeFile(path) // default: no cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(off)
+	if p := off.CachedPrefix(); p != 0 {
+		t.Errorf("budget 0: cache covers %d vertices, want 0", p)
+	}
+
+	tiny, err := OpenEdgeFile(path, WithPrefixCacheBytes(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(tiny)
+	if tiny.maxCacheP >= g.NumVertices() {
+		t.Fatalf("tiny budget admits the whole graph (maxCacheP=%d)", tiny.maxCacheP)
+	}
+	if p := tiny.CachedPrefix(); p > tiny.maxCacheP {
+		t.Errorf("cache covers %d vertices, budget frontier is %d", p, tiny.maxCacheP)
+	}
+
+	huge, err := OpenEdgeFile(path, WithPrefixCacheBytes(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge.maxCacheP != g.NumVertices() {
+		t.Errorf("huge budget: maxCacheP=%d, want %d", huge.maxCacheP, g.NumVertices())
+	}
+	run(huge)
+	// A query that needs the whole graph pushes the cache to cover it; the
+	// next query must be served entirely from the cache.
+	if _, err := huge.TopK(ctx, g.NumVertices(), 2, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if p := huge.CachedPrefix(); p != g.NumVertices() {
+		t.Errorf("after a whole-graph query the cache covers %d of %d vertices", p, g.NumVertices())
+	}
+	run(huge)
+
+	if _, err := OpenEdgeFile(path, WithPrefixCacheBytes(-1)); err == nil {
+		t.Error("negative budget: want error")
+	}
+	if _, err := OpenEdgeFile(path, WithEdgeFileMode("bogus")); err == nil {
+		t.Error("unknown mode: want error")
+	}
+}
+
+// TestPrefixCacheConcurrentGrowth hammers one store from many goroutines
+// with queries of increasing depth while the cache grows underneath them;
+// run under -race this is the lock-free-readers/singleflight-grower proof.
+func TestPrefixCacheConcurrentGrowth(t *testing.T) {
+	g := gen.Random(400, 6, 23)
+	se, err := OpenEdgeFile(writeEdgeFile(t, g), WithPrefixCacheBytes(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	ks := []int{1, 3, 10, 40, 120, 400}
+	refs := make([]string, len(ks))
+	for i, k := range ks {
+		want, err := core.TopK(g, k, 3, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = renderResult(want)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2*len(ks); i++ {
+				j := (w + i) % len(ks)
+				res, err := se.TopK(context.Background(), ks[j], 3, core.Options{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := renderResult(res); got != refs[j] {
+					errs <- fmt.Errorf("k=%d diverged under concurrent growth", ks[j])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSemiExtCloseWaitsForQueries closes the store while queries hold
+// references: the mapping must stay alive until they drain (a use-after-
+// munmap would crash or corrupt under -race).
+func TestSemiExtCloseWaitsForQueries(t *testing.T) {
+	g := gen.Random(400, 6, 29)
+	se, err := OpenEdgeFile(writeEdgeFile(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.TopK(g, 5, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := renderResult(want)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := se.TopK(context.Background(), 5, 3, core.Options{})
+			if err != nil {
+				// A query admitted after Close fails cleanly; that is fine.
+				return
+			}
+			if got := renderResult(res); got != ref {
+				errs <- fmt.Errorf("query during close diverged:\n got %s\nwant %s", got, ref)
+			}
+		}()
+	}
+	se.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if _, err := se.TopK(context.Background(), 5, 3, core.Options{}); err == nil {
+		t.Error("query on closed store: want error")
 	}
 }
 
@@ -139,7 +330,8 @@ func TestSemiExtClosed(t *testing.T) {
 
 func TestSemiExtCancellation(t *testing.T) {
 	g := gen.Random(400, 6, 3)
-	se, err := OpenEdgeFile(writeEdgeFile(t, g))
+	path := writeEdgeFile(t, g)
+	se, err := OpenEdgeFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,6 +339,18 @@ func TestSemiExtCancellation(t *testing.T) {
 	cancel()
 	if _, err := se.TopK(ctx, 5, 3, core.Options{}); err != context.Canceled {
 		t.Errorf("cancelled query returned %v, want context.Canceled", err)
+	}
+	// The cache-growth path observes cancellation too: a cancelled context
+	// must not be able to hang on (or behind) the singleflight grower.
+	cached, err := OpenEdgeFile(path, WithPrefixCacheBytes(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.growCache(ctx, g.NumVertices()); err != context.Canceled {
+		t.Errorf("cancelled cache growth returned %v, want context.Canceled", err)
+	}
+	if cached.CachedPrefix() != 0 {
+		t.Error("cancelled growth still built a cache")
 	}
 }
 
@@ -195,35 +399,49 @@ func TestOpenByBackend(t *testing.T) {
 	}
 }
 
-// BenchmarkSemiExtServe compares the semi-external serve path (per-query
-// sequential edge-file streaming) against the in-memory pooled path for the
-// same query; the perf-regression gate tracks both series.
+// BenchmarkSemiExtServe compares every semi-external serve path against
+// the in-memory pooled path for the same query; the perf-regression gate
+// tracks all four series, including allocs/op:
+//
+//	SemiExt     — the residual per-query sequential streaming path
+//	Mmap        — shared zero-copy view, prefix rebuilt per query
+//	PrefixCache — shared decoded prefix, pooled engines, lock-free reads
+//	Memory      — the fully in-memory backend (the target to approach)
 func BenchmarkSemiExtServe(b *testing.B) {
 	g := gen.Random(20000, 8, 42)
 	path := writeEdgeFile(b, g)
-	se, err := OpenEdgeFile(path)
-	if err != nil {
-		b.Fatal(err)
-	}
 	mem, err := OpenMem(g)
 	if err != nil {
 		b.Fatal(err)
 	}
 	ctx := context.Background()
-	b.Run("SemiExt", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := se.TopK(ctx, 10, 4, core.Options{}); err != nil {
-				b.Fatal(err)
+	bench := func(name string, st Store) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.TopK(ctx, 10, 4, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	b.Run("Memory", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := mem.TopK(ctx, 10, 4, core.Options{}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+		})
+	}
+	se, err := OpenEdgeFile(path, WithEdgeFileMode("stream"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench("SemiExt", se)
+	mm, err := OpenEdgeFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench("Mmap", mm)
+	pc, err := OpenEdgeFile(path, WithPrefixCacheBytes(64<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pc.TopK(ctx, 10, 4, core.Options{}); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	bench("PrefixCache", pc)
+	bench("Memory", mem)
 }

@@ -20,19 +20,46 @@ func NewMemoryStore(g *Graph) (Store, error) {
 	return store.OpenMem(g)
 }
 
+// StoreOption tunes how a semi-external store reads its edge file; the
+// in-memory backend ignores these options.
+type StoreOption = store.OpenOption
+
+// WithPrefixCacheBytes budgets the semi-external decoded-prefix cache:
+// LocalSearch's geometric growth means virtually every query touches the
+// heavy prefix of the weight-ranked graph, so the store keeps one shared,
+// immutable decoded copy of it (up to n extra resident bytes, grown on
+// demand, read lock-free by all concurrent queries) and serves cache-
+// fitting queries as fast as the in-memory backend. 0 — the default —
+// disables the cache, preserving the strict O(n)-resident semi-external
+// model.
+func WithPrefixCacheBytes(n int64) StoreOption {
+	return store.WithPrefixCacheBytes(n)
+}
+
+// WithEdgeFileMode selects the semi-external access path: "auto" (default)
+// shares one zero-copy view of the edge file across all queries, degrading
+// to positioned reads where mapping is unavailable; "mmap" is the same
+// view but fails to open without a real mapping; "stream" forces
+// per-query sequential reads.
+func WithEdgeFileMode(mode string) StoreOption {
+	return store.WithEdgeFileMode(mode)
+}
+
 // OpenEdgeFileStore opens a semi-external edge file written by SaveEdgeFile
-// as a Store. Only the per-vertex vectors are loaded; each query streams a
-// prefix of the file sequentially, reading just as far as LocalSearch's
-// geometric growth requires.
-func OpenEdgeFileStore(path string) (Store, error) {
-	return store.OpenEdgeFile(path)
+// as a Store. Only the per-vertex vectors are loaded; queries read just as
+// far into the adjacency as LocalSearch's geometric growth requires,
+// through a shared memory-mapped view by default (see WithEdgeFileMode)
+// and optionally through a shared decoded-prefix cache
+// (WithPrefixCacheBytes).
+func OpenEdgeFileStore(path string, opts ...StoreOption) (Store, error) {
+	return store.OpenEdgeFile(path, opts...)
 }
 
 // OpenStore opens path with an explicit backend choice: "memory" (or "")
 // loads a graph file fully into RAM, "semiext" opens an edge file
 // semi-externally.
-func OpenStore(path, backend string) (Store, error) {
-	return store.Open(path, backend)
+func OpenStore(path, backend string, opts ...StoreOption) (Store, error) {
+	return store.Open(path, backend, opts...)
 }
 
 // SaveEdgeFile writes g to path in the semi-external edge-file layout:
