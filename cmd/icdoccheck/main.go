@@ -1,0 +1,204 @@
+// Command icdoccheck keeps the documentation honest in CI. It has two
+// checks, combinable in one invocation:
+//
+//	icdoccheck [-godoc dir]... [-md path]...
+//
+// -godoc parses the Go package in dir and fails if any exported top-level
+// symbol — type, function, method on an exported type, const, or var —
+// lacks a doc comment (a doc comment on a grouped declaration covers the
+// group). It is the enforcement behind the "every exported symbol is
+// documented" rule on the public API.
+//
+// -md scans a markdown file (or every .md file under a directory) and
+// fails on relative links whose targets do not exist on disk, so README
+// and docs/ cannot silently rot as files move. External (http, https,
+// mailto) and pure-anchor links are skipped; a "path#anchor" link checks
+// only the path.
+//
+// Exits 0 when every check passes, 1 with one line per finding otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	var godocDirs, mdPaths []string
+	flag.Func("godoc", "package directory whose exported symbols must all carry doc comments (repeatable)", func(s string) error {
+		godocDirs = append(godocDirs, s)
+		return nil
+	})
+	flag.Func("md", "markdown file or directory tree whose relative links must resolve (repeatable)", func(s string) error {
+		mdPaths = append(mdPaths, s)
+		return nil
+	})
+	flag.Parse()
+	if len(godocDirs) == 0 && len(mdPaths) == 0 {
+		fmt.Fprintln(os.Stderr, "icdoccheck: nothing to do; pass -godoc and/or -md")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var findings []string
+	for _, dir := range godocDirs {
+		fs, err := checkGodoc(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icdoccheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, path := range mdPaths {
+		fs, err := checkMarkdown(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icdoccheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "icdoccheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// checkGodoc parses the package in dir (tests excluded) and reports every
+// exported symbol without a doc comment.
+func checkGodoc(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", dir, err)
+	}
+	var findings []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if d.Recv != nil {
+						recv := receiverName(d.Recv)
+						if recv == "" || !ast.IsExported(recv) {
+							continue
+						}
+						report(d.Pos(), "method", recv+"."+d.Name.Name)
+						continue
+					}
+					report(d.Pos(), "function", d.Name.Name)
+				case *ast.GenDecl:
+					kind := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+					if kind == "" {
+						continue
+					}
+					for _, spec := range d.Specs {
+						switch sp := spec.(type) {
+						case *ast.TypeSpec:
+							if sp.Name.IsExported() && sp.Doc == nil && d.Doc == nil {
+								report(sp.Pos(), kind, sp.Name.Name)
+							}
+						case *ast.ValueSpec:
+							// A doc comment on the group covers its members.
+							if sp.Doc != nil || d.Doc != nil {
+								continue
+							}
+							for _, name := range sp.Names {
+								if name.IsExported() {
+									report(name.Pos(), kind, name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// receiverName extracts the base type name of a method receiver.
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// mdLink matches inline markdown links [text](target); images share the
+// syntax with a leading bang, which the pattern also accepts.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdown checks every relative link in path (a .md file, or every
+// .md file under a directory) against the filesystem.
+func checkMarkdown(path string) ([]string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	if fi.IsDir() {
+		err := filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".md") {
+				files = append(files, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		files = []string{path}
+	}
+	var findings []string
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				target, _, _ = strings.Cut(target, "#")
+				resolved := filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					findings = append(findings, fmt.Sprintf("%s:%d: broken relative link %q", f, lineNo+1, m[1]))
+				}
+			}
+		}
+	}
+	return findings, nil
+}

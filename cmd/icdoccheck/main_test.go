@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckGodoc(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", `package demo
+
+// Documented has a doc comment.
+type Documented struct{}
+
+// Method is documented.
+func (Documented) Method() {}
+
+func (Documented) Naked() {}
+
+type Undocumented int
+
+// Grouped constants share the group's doc comment.
+const (
+	A = 1
+	B = 2
+)
+
+var NoDoc = 3
+
+func internalHelper() {} // unexported: exempt
+
+type hidden struct{}
+
+func (hidden) Exported() {} // method on unexported type: exempt
+`)
+	findings, err := checkGodoc(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f[strings.Index(f, "exported"):])
+	}
+	want := []string{
+		"exported method Documented.Naked has no doc comment",
+		"exported type Undocumented has no doc comment",
+		"exported var NoDoc has no doc comment",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCheckGodocRepoRoot runs the real check against the repository's
+// public package, making the godoc-pass guarantee itself a test.
+func TestCheckGodocRepoRoot(t *testing.T) {
+	findings, err := checkGodoc("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}
+
+func TestCheckMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/real.md", "# target")
+	write(t, dir, "README.md", strings.Join([]string{
+		"[good](docs/real.md)",
+		"[anchored](docs/real.md#section)",
+		"[external](https://example.com/nope) [mail](mailto:a@b.c) [frag](#local)",
+		"[broken](docs/missing.md)",
+		"![img](missing.png)",
+	}, "\n"))
+	findings, err := checkMarkdown(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %q, want the two broken links", findings)
+	}
+	if !strings.Contains(findings[0], "docs/missing.md") || !strings.Contains(findings[1], "missing.png") {
+		t.Errorf("findings = %q", findings)
+	}
+	// Single-file mode resolves relative to the file's directory.
+	findings, err = checkMarkdown(filepath.Join(dir, "docs", "real.md"))
+	if err != nil || len(findings) != 0 {
+		t.Fatalf("clean file: %q, %v", findings, err)
+	}
+}

@@ -9,8 +9,15 @@
 //
 //	icindex -graph g.txt [-out g.icx] [-edges g.edges] [-pagerank]
 //	        [-workers N] [-timeout 0] [-verify]
+//	icindex -compact g.edges
 //
-// At least one of -out and -edges is required. The index is bound to the
+// -compact folds a mutable dataset's write-ahead update log (g.edges.log,
+// left behind by an icserver that exited uncleanly) back into its edge
+// file offline: the log is replayed, the edge file rewritten atomically,
+// and the log removed — the maintenance step a clean server shutdown
+// performs automatically. It runs alone, without -graph.
+//
+// Otherwise at least one of -out and -edges is required. The index is bound to the
 // exact graph and weight vector it was built from: pass the same graph
 // file (and the same -pagerank setting) to icserver, and rebuild the
 // index whenever the graph changes. Construction fans the independent
@@ -35,6 +42,7 @@ type config struct {
 	graphPath   string
 	outPath     string
 	edgesPath   string
+	compactPath string
 	usePagerank bool
 	workers     int
 	timeout     time.Duration
@@ -46,11 +54,18 @@ func main() {
 	flag.StringVar(&cfg.graphPath, "graph", "", "path to the graph file (required)")
 	flag.StringVar(&cfg.outPath, "out", "", "path to write the index to")
 	flag.StringVar(&cfg.edgesPath, "edges", "", "path to write a semi-external edge file to")
+	flag.StringVar(&cfg.compactPath, "compact", "", "compact a mutable dataset's update log back into this edge file, then exit")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores before building (use the same flag on icserver)")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel build workers (0 = all cores, 1 = sequential)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the build after this long (0 = no limit)")
 	flag.BoolVar(&cfg.verify, "verify", false, "reload the written index and spot-check it against an online query")
 	flag.Parse()
+	if cfg.compactPath != "" {
+		if err := compact(cfg.compactPath, log.Printf); err != nil {
+			log.Fatalf("icindex: %v", err)
+		}
+		return
+	}
 	if cfg.graphPath == "" || (cfg.outPath == "" && cfg.edgesPath == "") {
 		fmt.Fprintln(os.Stderr, "icindex: -graph and at least one of -out / -edges are required")
 		flag.Usage()
@@ -59,6 +74,23 @@ func main() {
 	if err := run(context.Background(), cfg, log.Printf); err != nil {
 		log.Fatalf("icindex: %v", err)
 	}
+}
+
+// compact replays the write-ahead update log of the edge file at path and
+// folds it back into the file; opening the mutable store does the replay,
+// closing it cleanly does the compaction.
+func compact(path string, logf func(string, ...any)) error {
+	st, err := influcomm.OpenMutableStore(path)
+	if err != nil {
+		return err
+	}
+	applied := st.UpdatesApplied()
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("compacting %s: %w", path, err)
+	}
+	logf("icindex: compacted %s: %d logged updates folded in (%d vertices, %d edges)",
+		path, applied, st.NumVertices(), st.NumEdges())
+	return nil
 }
 
 // run loads the graph, builds and persists the index, and optionally

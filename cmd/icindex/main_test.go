@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -142,5 +143,51 @@ func TestRunErrors(t *testing.T) {
 	cancel()
 	if err := run(ctx, config{graphPath: graphPath, outPath: filepath.Join(dir, "o.icx"), timeout: time.Minute}, logf); err == nil {
 		t.Error("cancelled context: want error")
+	}
+}
+
+// TestCompact folds a write-ahead update log back into its edge file: the
+// offline equivalent of a clean server shutdown.
+func TestCompact(t *testing.T) {
+	graphPath := writeFixture(t)
+	edgesPath := filepath.Join(t.TempDir(), "g.edges")
+	cfg := config{graphPath: graphPath, edgesPath: edgesPath}
+	if err := run(context.Background(), cfg, func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leave a pending log behind, as a crashed server would.
+	st, err := influcomm.OpenMutableStore(edgesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEdges := st.NumEdges()
+	if _, err := influcomm.Apply(context.Background(), st, []influcomm.EdgeUpdate{{U: 0, V: 4, Delete: false}}); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: simulate the crash (Abandon releases the log's lock
+	// without compacting, as process death would).
+	if err := st.(interface{ Abandon() error }).Abandon(); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	if err := compact(edgesPath, func(f string, a ...any) { logs = append(logs, f) }); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if len(logs) != 1 {
+		t.Fatalf("logs = %q", logs)
+	}
+	if _, err := os.Stat(edgesPath + ".log"); !os.IsNotExist(err) {
+		t.Fatalf("log survived compaction: %v", err)
+	}
+	re, err := influcomm.OpenMutableStore(edgesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumEdges() != baseEdges+1 || re.UpdatesApplied() != 0 {
+		t.Fatalf("compacted file has %d edges (%d replayed), want %d and 0",
+			re.NumEdges(), re.UpdatesApplied(), baseEdges+1)
 	}
 }

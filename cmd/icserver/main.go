@@ -4,7 +4,7 @@
 //
 //	icserver -graph g.txt [-index g.icx] [-addr :8080] [-pagerank]
 //	         [-dataset name=path[,backend=semiext][,index=p.icx]
-//	                  [,prefix-cache=SIZE][,mode=auto|mmap|stream]]...
+//	                  [,prefix-cache=SIZE][,mode=auto|mmap|stream][,mutable=true]]...
 //	         [-cache 256] [-maxk 10000] [-query-timeout 30s]
 //	         [-max-inflight 64] [-read-timeout 10s] [-write-timeout 60s]
 //	         [-idle-timeout 2m] [-shutdown-timeout 15s] [-pprof addr]
@@ -17,6 +17,7 @@
 //	GET    /v1/topk?k=10&gamma=5[&noncontainment=1|&truss=1][&dataset=name]
 //	POST   /v1/admin/datasets
 //	DELETE /v1/admin/datasets/{name}
+//	POST   /v1/admin/datasets/{name}/updates
 //
 // The -graph file becomes the "default" dataset; each -dataset flag (which
 // may repeat) loads a further named dataset, either fully in memory
@@ -26,7 +27,13 @@
 // prefix they need through a shared memory-mapped view (mode=stream forces
 // the sequential reader), and prefix-cache=SIZE (e.g. 64M) budgets a
 // shared decoded-prefix cache that serves cache-fitting queries at
-// in-memory speed. Datasets can also be loaded and unloaded at runtime
+// in-memory speed. mutable=true opens an edge file as a dynamic dataset:
+// POST /v1/admin/datasets/{name}/updates applies edge insertions and
+// deletions online (queries keep serving from immutable snapshots, never
+// pausing), every batch is fsynced to a write-ahead log beside the edge
+// file before it is visible, the log replays on restart after a crash,
+// and a clean shutdown compacts it back into the edge file. Datasets can
+// also be loaded and unloaded at runtime
 // through the admin endpoints — protect those with -admin-token (or keep
 // the port private): they can unload live datasets and open server-side
 // files. Repeated identical queries are answered
@@ -73,6 +80,7 @@ type datasetSpec struct {
 	index       string
 	mode        string
 	prefixCache int64
+	mutable     bool
 }
 
 // parseByteSize parses a byte count with an optional K/M/G suffix (base
@@ -106,12 +114,12 @@ func parseByteSize(s string) (int64, error) {
 }
 
 // parseDatasetSpec parses
-// "name=path[,backend=semiext][,index=p.icx][,prefix-cache=SIZE][,mode=m]".
+// "name=path[,backend=semiext][,index=p.icx][,prefix-cache=SIZE][,mode=m][,mutable=true]".
 func parseDatasetSpec(spec string) (datasetSpec, error) {
 	var d datasetSpec
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok || name == "" || rest == "" {
-		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream]", spec)
+		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,mutable=true]", spec)
 	}
 	d.name = name
 	parts := strings.Split(rest, ",")
@@ -134,9 +142,20 @@ func parseDatasetSpec(spec string) (datasetSpec, error) {
 				return d, fmt.Errorf("bad -dataset option prefix-cache in %q: %v", spec, err)
 			}
 			d.prefixCache = n
+		case "mutable":
+			switch v {
+			case "true":
+				d.mutable = true
+			case "false":
+			default:
+				return d, fmt.Errorf("bad -dataset option mutable=%q in %q (want true or false)", v, spec)
+			}
 		default:
 			return d, fmt.Errorf("unknown -dataset option %q in %q", k, spec)
 		}
+	}
+	if d.mutable && d.backend != "" && d.backend != "mutable" {
+		return d, fmt.Errorf("-dataset %q: mutable=true conflicts with backend=%s", spec, d.backend)
 	}
 	return d, nil
 }
@@ -167,7 +186,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (empty = off; keep it private)")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores")
-	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream] (repeatable)", func(spec string) error {
+	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,mutable=true] (repeatable)", func(spec string) error {
 		d, err := parseDatasetSpec(spec)
 		if err != nil {
 			return err
@@ -260,7 +279,11 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 		if d.mode != "" {
 			sopts = append(sopts, influcomm.WithEdgeFileMode(d.mode))
 		}
-		st, err := influcomm.OpenStore(d.path, d.backend, sopts...)
+		backend := d.backend
+		if d.mutable {
+			backend = "mutable"
+		}
+		st, err := influcomm.OpenStore(d.path, backend, sopts...)
 		if err != nil {
 			return fmt.Errorf("dataset %s: %w", d.name, err)
 		}
@@ -327,10 +350,15 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		srv.Close()
+		h.Close()
 		return fmt.Errorf("graceful shutdown: %w", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		h.Close()
 		return err
 	}
-	return nil
+	// Closing the dataset backends after the HTTP drain compacts mutable
+	// datasets' write-ahead logs back into their edge files, so a clean
+	// shutdown leaves no log to replay on the next start.
+	return h.Close()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -154,7 +155,15 @@ func TestParseDatasetSpec(t *testing.T) {
 	if d.prefixCache != 64<<20 || d.mode != "mmap" {
 		t.Errorf("parsed %+v", d)
 	}
-	for _, bad := range []string{"", "noequals", "name=", "n=p,bogus", "n=p,k=v", "n=p,prefix-cache=lots", "n=p,prefix-cache=-1"} {
+	d, err = parseDatasetSpec("dyn=/d/g.edges,mutable=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.mutable {
+		t.Errorf("parsed %+v, want mutable", d)
+	}
+	for _, bad := range []string{"", "noequals", "name=", "n=p,bogus", "n=p,k=v", "n=p,prefix-cache=lots", "n=p,prefix-cache=-1",
+		"n=p,mutable=yes", "n=p,backend=semiext,mutable=true"} {
 		if _, err := parseDatasetSpec(bad); err == nil {
 			t.Errorf("%q: want parse error", bad)
 		}
@@ -390,5 +399,89 @@ func mustGet(t *testing.T, url string, out any) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		t.Fatalf("decoding %s: %v", url, err)
+	}
+}
+
+// TestServeMutableDataset boots the server with a mutable edge-file
+// dataset, applies updates over HTTP, and checks that a graceful shutdown
+// compacts the write-ahead log back into the edge file.
+func TestServeMutableDataset(t *testing.T) {
+	_, edgePath := writeRankFixture(t)
+	graphPath := writeFixture(t)
+	cfg := testConfig(graphPath)
+	cfg.datasets = []datasetSpec{{name: "dyn", path: edgePath, mutable: true}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, ready) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	var before struct {
+		Edges int64 `json:"edges"`
+	}
+	mustGet(t, base+"/v1/datasets", &struct{}{})
+	resp, err := http.Post(base+"/v1/admin/datasets/dyn/updates", "application/json",
+		strings.NewReader(`{"updates":[{"op":"delete","u":0,"v":1},{"op":"delete","u":2,"v":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur struct {
+		Deleted       int    `json:"deleted"`
+		SnapshotEpoch uint64 `json:"snapshot_epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ur.Deleted != 2 || ur.SnapshotEpoch != 1 {
+		t.Fatalf("updates: status %d, %+v", resp.StatusCode, ur)
+	}
+	var list struct {
+		Datasets []struct {
+			Name           string `json:"name"`
+			Backend        string `json:"backend"`
+			Edges          int64  `json:"edges"`
+			Mutable        bool   `json:"mutable"`
+			UpdatesApplied int64  `json:"updates_applied"`
+		} `json:"datasets"`
+	}
+	mustGet(t, base+"/v1/datasets", &list)
+	for _, d := range list.Datasets {
+		if d.Name == "dyn" {
+			if d.Backend != "mutable" || !d.Mutable || d.UpdatesApplied != 2 || d.Edges != 14 {
+				t.Fatalf("dyn dataset after updates: %+v", d)
+			}
+			before.Edges = d.Edges
+		}
+	}
+	if before.Edges == 0 {
+		t.Fatal("dyn dataset missing from listing")
+	}
+
+	// Graceful shutdown must compact: log gone, edge file holds 14 edges.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	if _, err := os.Stat(edgePath + ".log"); !os.IsNotExist(err) {
+		t.Fatalf("update log survived clean shutdown: %v", err)
+	}
+	st, err := influcomm.OpenMutableStore(edgePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.NumEdges() != 14 || st.UpdatesApplied() != 0 {
+		t.Fatalf("compacted edge file has %d edges and %d replayed updates, want 14 and 0",
+			st.NumEdges(), st.UpdatesApplied())
 	}
 }

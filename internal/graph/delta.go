@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HasEdge reports whether the undirected edge {u, v} (rank IDs) exists.
+// It costs O(log deg) via binary search on the smaller-indexed row.
+func (g *Graph) HasEdge(u, v int32) bool {
+	if u == v || u < 0 || v < 0 || int(u) >= g.n || int(v) >= g.n {
+		return false
+	}
+	row := g.adj[g.off[u]:g.off[u+1]]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	return i < len(row) && row[i] == v
+}
+
+// ApplyEdgeDelta returns a new graph equal to g with the given edges
+// inserted and deleted. Endpoints are rank IDs with each pair normalized
+// lo < hi; inserts must be absent from g, deletes present, and the two
+// lists must be disjoint and duplicate-free — the mutable layer
+// normalizes raw update batches down to exactly this shape.
+//
+// Edge mutations never change vertex weights, so the weight ranking — and
+// with it the identity of every vertex — is untouched. That makes the
+// update incremental rather than a rebuild: the returned graph aliases
+// g's weight, original-ID, and label arrays outright, copies the
+// adjacency prefix below the smallest touched vertex verbatim, and
+// re-merges only rows from that vertex on, recomputing the up-degree and
+// up-prefix vectors over the affected suffix. Cost is O(n + m_suffix + b)
+// with no sorting or deduplication of the surviving edge set — compare
+// Builder.Build's O(m log m) sort-the-world pass, which ApplyEdits pays
+// on every call.
+func ApplyEdgeDelta(g *Graph, inserts, deletes [][2]int32) (*Graph, error) {
+	if len(inserts) == 0 && len(deletes) == 0 {
+		return g, nil
+	}
+	// Each undirected edge touches two rows: {lo,hi} adds hi to row lo and
+	// lo to row hi. Collect the directed view, sorted by (owner, neighbor),
+	// so every affected row sees its changes as one ascending run.
+	type change struct {
+		owner, nb int32
+		del       bool
+	}
+	changes := make([]change, 0, 2*(len(inserts)+len(deletes)))
+	addPair := func(e [2]int32, del bool) error {
+		lo, hi := e[0], e[1]
+		if lo >= hi || lo < 0 || int(hi) >= g.n {
+			return fmt.Errorf("graph: delta edge (%d,%d) is not a normalized in-range pair", lo, hi)
+		}
+		changes = append(changes, change{lo, hi, del}, change{hi, lo, del})
+		return nil
+	}
+	for _, e := range inserts {
+		if err := addPair(e, false); err != nil {
+			return nil, err
+		}
+		if g.HasEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("graph: delta inserts existing edge (%d,%d)", e[0], e[1])
+		}
+	}
+	for _, e := range deletes {
+		if err := addPair(e, true); err != nil {
+			return nil, err
+		}
+		if !g.HasEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("graph: delta deletes missing edge (%d,%d)", e[0], e[1])
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].owner != changes[j].owner {
+			return changes[i].owner < changes[j].owner
+		}
+		return changes[i].nb < changes[j].nb
+	})
+	for i := 1; i < len(changes); i++ {
+		if changes[i].owner == changes[i-1].owner && changes[i].nb == changes[i-1].nb {
+			return nil, fmt.Errorf("graph: delta lists edge (%d,%d) twice", changes[i].owner, changes[i].nb)
+		}
+	}
+
+	newM := g.m + int64(len(inserts)) - int64(len(deletes))
+	first := int(changes[0].owner) // rows below it are byte-identical
+
+	ng := &Graph{
+		n: g.n,
+		m: newM,
+		// Weights, identity, and labels are untouched by edge mutations;
+		// aliasing them keeps every snapshot's OrigID/Label/Weight views
+		// interchangeable, which the serving layer relies on when it
+		// renders a result from one snapshot while another is current.
+		weights:  g.weights,
+		origID:   g.origID,
+		labels:   g.labels,
+		off:      make([]int64, g.n+1),
+		adj:      make([]int32, 2*newM),
+		upDeg:    make([]int32, g.n),
+		upPrefix: make([]int64, g.n+1),
+	}
+	copy(ng.off[:first+1], g.off[:first+1])
+	copy(ng.adj[:g.off[first]], g.adj[:g.off[first]])
+	copy(ng.upDeg, g.upDeg)
+	copy(ng.upPrefix[:first+1], g.upPrefix[:first+1])
+
+	ci := 0
+	for u := first; u < g.n; u++ {
+		old := g.adj[g.off[u]:g.off[u+1]]
+		w := ng.off[u]
+		up := int64(0)
+		if ci < len(changes) && int(changes[ci].owner) == u {
+			// Merge the row's ascending change run into the ascending old
+			// row; count the up-run (neighbors < u) as entries land.
+			oi := 0
+			for oi < len(old) || (ci < len(changes) && int(changes[ci].owner) == u) {
+				var v int32
+				switch {
+				case ci < len(changes) && int(changes[ci].owner) == u &&
+					(oi >= len(old) || changes[ci].nb <= old[oi]):
+					c := changes[ci]
+					ci++
+					if c.del {
+						// HasEdge verified presence, and the duplicate check
+						// rules out a same-batch insert; the matching old
+						// entry is next — skip it.
+						oi++
+						continue
+					}
+					v = c.nb
+				default:
+					v = old[oi]
+					oi++
+				}
+				ng.adj[w] = v
+				w++
+				if int(v) < u {
+					up++
+				}
+			}
+		} else {
+			copy(ng.adj[w:w+int64(len(old))], old)
+			w += int64(len(old))
+			up = int64(g.upDeg[u])
+		}
+		ng.off[u+1] = w
+		ng.upDeg[u] = int32(up)
+		ng.upPrefix[u+1] = ng.upPrefix[u] + up
+	}
+	if got := ng.off[g.n]; got != 2*newM {
+		return nil, fmt.Errorf("graph: delta produced %d half-edges, want %d", got, 2*newM)
+	}
+	return ng, nil
+}

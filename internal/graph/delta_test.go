@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// graphsEqual asserts structural equality of two graphs through the public
+// accessors, so the incremental delta path can be checked against a
+// from-scratch Builder rebuild field by field.
+func graphsEqual(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("delta graph invalid: %v", err)
+	}
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape mismatch: got %d/%d vertices/edges, want %d/%d",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	for u := int32(0); int(u) < want.NumVertices(); u++ {
+		if got.Weight(u) != want.Weight(u) {
+			t.Fatalf("weight mismatch at %d", u)
+		}
+		if got.UpDegree(u) != want.UpDegree(u) {
+			t.Fatalf("upDeg mismatch at %d: got %d want %d", u, got.UpDegree(u), want.UpDegree(u))
+		}
+		if got.PrefixEdges(int(u)+1) != want.PrefixEdges(int(u)+1) {
+			t.Fatalf("upPrefix mismatch at %d", u)
+		}
+		gr, wr := got.Neighbors(u), want.Neighbors(u)
+		if len(gr) != len(wr) {
+			t.Fatalf("degree mismatch at %d: got %d want %d", u, len(gr), len(wr))
+		}
+		for i := range gr {
+			if gr[i] != wr[i] {
+				t.Fatalf("adjacency mismatch at %d[%d]: got %d want %d", u, i, gr[i], wr[i])
+			}
+		}
+	}
+}
+
+// TestApplyEdgeDeltaMatchesRebuild drives random insert/delete batches
+// through the incremental path and a full Builder rebuild and demands
+// identical graphs after every batch.
+func TestApplyEdgeDeltaMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(40)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64() * 100
+		}
+		present := map[[2]int32]bool{}
+		var edges [][2]int32
+		for i := 0; i < 3*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if !present[[2]int32{u, v}] {
+				present[[2]int32{u, v}] = true
+				edges = append(edges, [2]int32{u, v})
+			}
+		}
+		base, err := FromEdges(weights, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// FromEdges remaps to rank IDs; track the live edge set in rank
+		// space from the built graph itself.
+		rank := map[[2]int32]bool{}
+		for u := int32(0); int(u) < base.NumVertices(); u++ {
+			for _, v := range base.UpNeighbors(u) {
+				rank[[2]int32{v, u}] = true
+			}
+		}
+
+		cur := base
+		for batch := 0; batch < 8; batch++ {
+			var ins, del [][2]int32
+			seen := map[[2]int32]bool{}
+			for i := 0; i < 1+rng.Intn(10); i++ {
+				u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				e := [2]int32{u, v}
+				if seen[e] {
+					continue
+				}
+				seen[e] = true
+				if rank[e] {
+					del = append(del, e)
+					delete(rank, e)
+				} else {
+					ins = append(ins, e)
+					rank[e] = true
+				}
+			}
+			next, err := ApplyEdgeDelta(cur, ins, del)
+			if err != nil {
+				t.Fatalf("trial %d batch %d: %v", trial, batch, err)
+			}
+			var es [][2]int32
+			for e := range rank {
+				es = append(es, e)
+			}
+			want, err := FromEdges(cur.Weights(), es)
+			if err != nil {
+				t.Fatalf("rebuild: %v", err)
+			}
+			graphsEqual(t, next, want)
+			cur = next
+		}
+	}
+}
+
+func TestApplyEdgeDeltaRejectsBadInput(t *testing.T) {
+	g := MustFromEdges([]float64{5, 4, 3, 2}, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	cases := []struct {
+		name     string
+		ins, del [][2]int32
+	}{
+		{"insert existing", [][2]int32{{0, 1}}, nil},
+		{"delete missing", nil, [][2]int32{{0, 3}}},
+		{"self loop", [][2]int32{{2, 2}}, nil},
+		{"unnormalized", [][2]int32{{3, 1}}, nil},
+		{"out of range", [][2]int32{{0, 9}}, nil},
+		{"duplicate insert", [][2]int32{{0, 2}, {0, 2}}, nil},
+		{"insert and delete same edge", [][2]int32{{1, 2}}, [][2]int32{{1, 2}}},
+	}
+	for _, tc := range cases {
+		if _, err := ApplyEdgeDelta(g, tc.ins, tc.del); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestApplyEdgeDeltaAliasesIdentity(t *testing.T) {
+	g := MustFromEdges([]float64{5, 4, 3, 2}, [][2]int32{{0, 1}, {1, 2}})
+	ng, err := ApplyEdgeDelta(g, [][2]int32{{0, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ng.Weights()[0] != &g.Weights()[0] {
+		t.Error("weights should alias across a delta (they never change)")
+	}
+	if ng.OrigID(3) != g.OrigID(3) || ng.Label(3) != g.Label(3) {
+		t.Error("identity mapping changed across a delta")
+	}
+	// Empty delta returns g itself.
+	same, err := ApplyEdgeDelta(g, nil, nil)
+	if err != nil || same != g {
+		t.Errorf("empty delta should return the receiver, got %p/%v", same, err)
+	}
+}

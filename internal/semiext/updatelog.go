@@ -1,0 +1,238 @@
+package semiext
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The write-ahead update log persists edge mutations between edge-file
+// compactions: a mutable store appends each applied batch before mutating
+// its in-memory snapshot, replays the log when the edge file is reopened,
+// and deletes it after compacting the accumulated updates back into the
+// edge file. See docs/FORMATS.md for the byte-level specification.
+const (
+	logMagic   = uint32(0x5EDB_10C5)
+	logVersion = uint32(1)
+
+	// logHeaderSize is the fixed prologue: magic then version.
+	logHeaderSize = 8
+
+	// opInsert / opDelete are the record operation codes.
+	opInsert = byte(1)
+	opDelete = byte(2)
+
+	// maxLogBatch bounds a single record's operation count; a length field
+	// beyond it is treated as corruption rather than an allocation request.
+	maxLogBatch = 1 << 24
+)
+
+// LogUpdate is one edge mutation in an update log: endpoints are rank IDs
+// normalized U < V, exactly the shape the incremental graph delta consumes.
+type LogUpdate struct {
+	Delete bool
+	U, V   int32
+}
+
+// UpdateLog is an append handle on a write-ahead update log. One batch is
+// one record, framed with a length prefix and a CRC32C trailer so replay
+// can tell a torn tail (the crash case) from a complete record; every
+// Append is fsynced before it returns, so an acknowledged batch survives
+// a crash.
+type UpdateLog struct {
+	f    *os.File
+	path string
+	buf  []byte
+}
+
+// ReplayUpdateLog reads the update log at path and returns the logged
+// batches in append order. A missing file is an empty log. Replay stops at
+// the first incomplete or CRC-damaged record — the torn tail a crash
+// mid-append leaves — and reports how many bytes of the file were valid;
+// anything past validSize is garbage to be truncated by OpenUpdateLog.
+// A log whose header is damaged is rejected outright.
+func ReplayUpdateLog(path string) (batches [][]LogUpdate, validSize int64, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("semiext: reading update log: %w", err)
+	}
+	le := binary.LittleEndian
+	if len(data) == 0 {
+		// A zero-byte log is what OpenUpdateLog's O_CREATE leaves before
+		// the header lands (or a crash right after create): an empty log.
+		return nil, 0, nil
+	}
+	if len(data) < logHeaderSize {
+		return nil, 0, fmt.Errorf("semiext: update log %s truncated inside its header", path)
+	}
+	if m := le.Uint32(data[0:]); m != logMagic {
+		return nil, 0, fmt.Errorf("semiext: update log %s has bad magic %#x", path, m)
+	}
+	if v := le.Uint32(data[4:]); v != logVersion {
+		return nil, 0, fmt.Errorf("semiext: update log %s has unsupported version %d (this build reads version %d)", path, v, logVersion)
+	}
+	pos := int64(logHeaderSize)
+	for int64(len(data))-pos >= 4 {
+		count := le.Uint32(data[pos:])
+		if count == 0 || count > maxLogBatch {
+			break // corrupt length: treat as tail damage
+		}
+		recLen := int64(4) + 9*int64(count) + 4
+		if int64(len(data))-pos < recLen {
+			break // torn tail: record was being written when we crashed
+		}
+		body := data[pos : pos+recLen-4]
+		if crc32.Checksum(body, crcTable) != le.Uint32(data[pos+recLen-4:]) {
+			break
+		}
+		batch := make([]LogUpdate, count)
+		ok := true
+		for i := range batch {
+			rec := body[4+9*i:]
+			u := LogUpdate{U: int32(le.Uint32(rec[1:])), V: int32(le.Uint32(rec[5:]))}
+			switch rec[0] {
+			case opInsert:
+			case opDelete:
+				u.Delete = true
+			default:
+				ok = false
+			}
+			// A stored rank beyond int32 wraps negative on decode, so the
+			// sign checks also reject out-of-range encodings; u < v is the
+			// normalization every writer guarantees.
+			if u.U < 0 || u.V < 0 || u.U >= u.V {
+				ok = false
+			}
+			batch[i] = u
+		}
+		if !ok {
+			// The CRC matched but the content violates the format's own
+			// rules: not tail damage, a writer bug or deliberate tampering.
+			return nil, 0, fmt.Errorf("semiext: update log %s holds an invalid record at offset %d", path, pos)
+		}
+		batches = append(batches, batch)
+		pos += recLen
+	}
+	return batches, pos, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// OpenUpdateLog opens (creating if needed) the update log at path for
+// appending, first truncating any torn tail left by a crash so new records
+// land on a clean boundary. The caller replays the returned batches into
+// its in-memory state before applying new ones. The log is held under an
+// exclusive advisory lock for the handle's lifetime, taken before the
+// replay reads a byte, so two stores over the same edge file fail fast
+// instead of interleaving appends.
+func OpenUpdateLog(path string) (*UpdateLog, [][]LogUpdate, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("semiext: opening update log: %w", err)
+	}
+	if err := lockLogFile(f); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	batches, validSize, err := ReplayUpdateLog(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if validSize == 0 {
+		// Fresh log: write the header before any record.
+		var hdr [logHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:], logMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], logVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("semiext: initializing update log: %w", err)
+		}
+		validSize = logHeaderSize
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("semiext: truncating torn log tail: %w", err)
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &UpdateLog{f: f, path: path}, batches, nil
+}
+
+// Append durably logs one batch: the record is written in a single Write
+// call and fsynced before Append returns, so a batch the caller goes on to
+// apply in memory is guaranteed to be replayed after a crash.
+func (l *UpdateLog) Append(batch []LogUpdate) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if len(batch) > maxLogBatch {
+		return fmt.Errorf("semiext: update batch of %d exceeds the log's %d-op record limit", len(batch), maxLogBatch)
+	}
+	le := binary.LittleEndian
+	need := 4 + 9*len(batch) + 4
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	buf := l.buf[:need]
+	le.PutUint32(buf[0:], uint32(len(batch)))
+	for i, u := range batch {
+		if u.U < 0 || u.U >= u.V {
+			return fmt.Errorf("semiext: update (%d,%d) is not a normalized rank pair", u.U, u.V)
+		}
+		rec := buf[4+9*i:]
+		if u.Delete {
+			rec[0] = opDelete
+		} else {
+			rec[0] = opInsert
+		}
+		le.PutUint32(rec[1:], uint32(u.U))
+		le.PutUint32(rec[5:], uint32(u.V))
+	}
+	le.PutUint32(buf[need-4:], crc32.Checksum(buf[:need-4], crcTable))
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("semiext: appending to update log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("semiext: syncing update log: %w", err)
+	}
+	return nil
+}
+
+// Path returns the log's file path.
+func (l *UpdateLog) Path() string { return l.path }
+
+// Close releases the file handle without removing the log; the logged
+// batches will be replayed on the next open.
+func (l *UpdateLog) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// Remove closes and deletes the log: the compaction epilogue, called only
+// after the accumulated updates have been atomically rewritten into the
+// edge file. Ordering matters — edge file first, log removal second — so a
+// crash between the two replays the (now no-op free) log against the
+// already-compacted file rather than losing updates.
+func (l *UpdateLog) Remove() error {
+	cerr := l.Close()
+	if err := os.Remove(l.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return cerr
+}
+
+// UpdateLogPath derives the update-log path of an edge file.
+func UpdateLogPath(edgePath string) string { return edgePath + ".log" }

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package semiext
+
+import "os"
+
+// lockLogFile is a no-op where flock is unavailable; the double-open
+// protection of the write-ahead log is advisory and unix-only, matching
+// the mmap fast path's platform split.
+func lockLogFile(*os.File) error { return nil }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package semiext
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockLogFile takes an exclusive advisory lock on the open log file, so
+// two stores (two datasets of one server, or two processes) can never
+// append to — and silently corrupt — the same write-ahead log. The lock
+// dies with the file descriptor, so a crashed holder never blocks
+// recovery the way a lock *file* would.
+func lockLogFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("semiext: update log %s is locked by another store (same edge file opened mutably twice?): %w", f.Name(), err)
+	}
+	return nil
+}

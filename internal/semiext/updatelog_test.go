@@ -1,0 +1,169 @@
+package semiext
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestUpdateLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.edges.log")
+	l, batches, err := OpenUpdateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 0 {
+		t.Fatalf("fresh log replayed %d batches", len(batches))
+	}
+	want := [][]LogUpdate{
+		{{U: 0, V: 3}, {U: 1, V: 2, Delete: true}},
+		{{U: 2, V: 5}},
+	}
+	for _, b := range want {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Append(nil); err != nil {
+		t.Fatal(err) // empty batches are a no-op, not a record
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got, err := OpenUpdateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d batches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("batch %d: %d ops, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("batch %d op %d: got %+v want %+v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestUpdateLogTornTail simulates a crash mid-append: replay must keep
+// every complete record and ignore the partial one, and a subsequent
+// append must land cleanly after the truncated tail.
+func TestUpdateLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.edges.log")
+	l, _, err := OpenUpdateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]LogUpdate{{U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	for _, tail := range [][]byte{
+		{0x02, 0x00, 0x00, 0x00, 0x01},             // length claims 2 ops, body missing
+		{0x01, 0x00, 0x00, 0x00, 0x01, 0x02, 0x03}, // one op, truncated mid-record
+		{0xff}, // lone garbage byte
+	} {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(tail); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		l, got, err := OpenUpdateLog(path)
+		if err != nil {
+			t.Fatalf("tail %x: %v", tail, err)
+		}
+		if len(got) != 1 || len(got[0]) != 1 || got[0][0] != (LogUpdate{U: 0, V: 1}) {
+			t.Fatalf("tail %x: replay returned %+v", tail, got)
+		}
+		// The torn tail was truncated; appending again must produce a log
+		// that replays both records.
+		if err := l.Append([]LogUpdate{{U: 1, V: 2, Delete: true}}); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		got, _, err = ReplayUpdateLog(path)
+		if err != nil || len(got) != 2 {
+			t.Fatalf("tail %x: after truncate+append replay gave %d batches (%v)", tail, len(got), err)
+		}
+		// Reset for the next tail shape.
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		l, _, err = OpenUpdateLog(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append([]LogUpdate{{U: 0, V: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+	}
+}
+
+// TestUpdateLogCorruptRecord: a record whose CRC matches but whose content
+// is invalid is a writer bug, not tail damage — replay must reject it.
+func TestUpdateLogRejectsFlippedPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.edges.log")
+	l, _, err := OpenUpdateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]LogUpdate{{U: 3, V: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[logHeaderSize+4] ^= 0xff // flip the op byte, CRC now mismatches
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := OpenUpdateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("flipped record still replayed: %+v", got)
+	}
+}
+
+func TestUpdateLogBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.edges.log")
+	if err := os.WriteFile(path, []byte("not a log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenUpdateLog(path); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := os.WriteFile(path, []byte{0xc5, 0x10, 0xdb, 0x5e, 0x09, 0, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenUpdateLog(path); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestUpdateLogAppendRejectsUnnormalized(t *testing.T) {
+	l, _, err := OpenUpdateLog(filepath.Join(t.TempDir(), "g.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, u := range []LogUpdate{{U: 2, V: 1}, {U: 3, V: 3}, {U: -1, V: 4}} {
+		if err := l.Append([]LogUpdate{u}); err == nil {
+			t.Errorf("unnormalized update %+v accepted", u)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"influcomm/internal/store"
+)
+
+// mutableStoreOverRankGraph serves rankGraph mutably in memory — enough
+// for exercising the admin routes without touching disk.
+func mutableStoreOverRankGraph(t *testing.T) (store.MutableStore, error) {
+	t.Helper()
+	return store.OpenMutableGraph(rankGraph(t))
+}
+
+// authServer is a tokened server with one mutable dataset, so every admin
+// route — load, unload, updates — exists and is gated.
+func authServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ms, err := mutableStoreOverRankGraph(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(rankGraph(t), WithAdminToken("s3cret"), WithDataset("dyn", DatasetConfig{Store: ms}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doReq(t *testing.T, method, url, body string, auth string) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewBufferString(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(b)
+}
+
+// TestAdminAuthEdgeCases exhaustively covers the token matrix PR 3 only
+// happy-path tested: every admin route rejects missing, wrong, malformed,
+// prefix, and wrong-scheme credentials with 401 + WWW-Authenticate, while
+// accepting the exact token; non-admin routes ignore the Authorization
+// header entirely — including a wrong one.
+func TestAdminAuthEdgeCases(t *testing.T) {
+	ts := authServer(t)
+	adminCalls := []struct{ method, path, body string }{
+		{http.MethodPost, "/v1/admin/datasets", `{"name":"x","path":"/nope"}`},
+		{http.MethodDelete, "/v1/admin/datasets/dyn", ""},
+		{http.MethodPost, "/v1/admin/datasets/dyn/updates", `{"updates":[{"u":0,"v":9}]}`},
+	}
+	badAuth := []struct{ name, header string }{
+		{"missing token", ""},
+		{"wrong token", "Bearer wrong"},
+		{"empty bearer", "Bearer "},
+		{"token is a prefix", "Bearer s3cre"},
+		{"token has a suffix", "Bearer s3cret2"},
+		{"wrong scheme", "Basic s3cret"},
+		{"bare token without scheme", "s3cret"},
+		{"lowercase scheme", "bearer s3cret"},
+	}
+	for _, call := range adminCalls {
+		for _, auth := range badAuth {
+			code, _ := doReq(t, call.method, ts.URL+call.path, call.body, auth.header)
+			if code != http.StatusUnauthorized {
+				t.Errorf("%s %s with %s: got %d, want 401", call.method, call.path, auth.name, code)
+			}
+		}
+	}
+	// The challenge header names the scheme.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/admin/datasets/dyn", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("WWW-Authenticate"); got != "Bearer" {
+		t.Errorf("WWW-Authenticate = %q, want Bearer", got)
+	}
+
+	// A 401 must short-circuit before any request processing: an
+	// unauthenticated updates call with a garbage body reports the auth
+	// failure, not a body parse error.
+	code, body := doReq(t, http.MethodPost, ts.URL+"/v1/admin/datasets/dyn/updates", `{garbage`, "")
+	if code != http.StatusUnauthorized || strings.Contains(body, "body") {
+		t.Errorf("auth must run before body parsing: %d %s", code, body)
+	}
+
+	// Non-admin routes stay open with a token configured, and ignore any
+	// Authorization header — wrong tokens must not break queries sent by
+	// clients that broadcast credentials.
+	for _, path := range []string{"/healthz", "/v1/stats", "/v1/datasets", "/v1/topk?k=2&gamma=2&dataset=dyn"} {
+		for _, auth := range []string{"", "Bearer wrong", "Bearer s3cret"} {
+			code, body := doReq(t, http.MethodGet, ts.URL+path, "", auth)
+			if code != http.StatusOK {
+				t.Errorf("GET %s with auth %q: got %d (%s), want 200", path, auth, code, body)
+			}
+		}
+	}
+
+	// The exact token is accepted on every admin route (updates first, so
+	// the dataset still exists for the unload).
+	code, body = doReq(t, http.MethodPost, ts.URL+"/v1/admin/datasets/dyn/updates", `{"updates":[{"u":0,"v":9}]}`, "Bearer s3cret")
+	if code != http.StatusOK {
+		t.Fatalf("authenticated updates: %d %s", code, body)
+	}
+	code, body = doReq(t, http.MethodDelete, ts.URL+"/v1/admin/datasets/dyn", "", "Bearer s3cret")
+	if code != http.StatusOK {
+		t.Fatalf("authenticated unload: %d %s", code, body)
+	}
+}
+
+// TestNoTokenLeavesAdminOpen pins the documented default: with no token
+// configured the admin endpoints accept unauthenticated requests.
+func TestNoTokenLeavesAdminOpen(t *testing.T) {
+	ms, err := mutableStoreOverRankGraph(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(rankGraph(t), WithDataset("dyn", DatasetConfig{Store: ms}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	code, body := doReq(t, http.MethodPost, ts.URL+"/v1/admin/datasets/dyn/updates", `{"updates":[{"u":0,"v":9}]}`, "")
+	if code != http.StatusOK {
+		t.Fatalf("open-admin updates: %d %s", code, body)
+	}
+}

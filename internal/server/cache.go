@@ -9,9 +9,14 @@ import (
 // cacheKey identifies one query result. gen is the dataset's registration
 // generation, so results of an unloaded dataset can never serve a later
 // dataset that reuses its name, even if the purge raced a concurrent put.
+// epoch is the dataset's snapshot epoch (always 0 for immutable backends):
+// applying edge updates bumps it, so entries computed on an earlier
+// snapshot silently stop matching — updates invalidate by key, not by
+// purge, and a purge racing a concurrent put cannot resurrect stale data.
 type cacheKey struct {
 	dataset string
 	gen     uint64
+	epoch   uint64
 	k       int
 	gamma   int
 	mode    string

@@ -39,15 +39,28 @@ type dataset struct {
 	st   store.Store
 
 	// index, when non-nil, answers default-semantics queries in
-	// output-proportional time; only in-memory backends can carry one.
-	index *index.Index
+	// output-proportional time; only backends with whole-graph access can
+	// carry one. It is an atomic pointer because applying edge updates to
+	// a mutable dataset invalidates the index: the update handler stores
+	// nil and queries fall back to pooled LocalSearch until an operator
+	// rebuilds and reloads one (icindex + admin reload). indexEpoch is the
+	// snapshot epoch the index was attached at; queries honor the index
+	// only while the epoch they key their result by still equals it, so a
+	// query racing an update can never cache a pre-update index answer
+	// under the post-update epoch — the handler's nil swap is then just
+	// bookkeeping, not the correctness fence.
+	index      atomic.Pointer[index.Index]
+	indexEpoch uint64
 
-	// trussIndex is built once, on the first truss query: the graph is
-	// immutable, so rebuilding the O(m) index per request would be the
-	// same per-query setup waste the engine pool exists to avoid, while
-	// building it eagerly would tax servers that never see truss traffic.
-	trussOnce  sync.Once
+	// trussIndex is built lazily on the first truss query and rebuilt only
+	// when the store's snapshot epoch moves: the graph is immutable
+	// between updates, so rebuilding the O(m) index per request would be
+	// the same per-query setup waste the engine pool exists to avoid,
+	// while building it eagerly would tax servers that never see truss
+	// traffic.
+	trussMu    sync.Mutex
 	trussIndex *truss.Index
+	trussEpoch uint64
 
 	queries     atomic.Int64
 	indexServed atomic.Int64
@@ -59,13 +72,55 @@ type dataset struct {
 	refs      atomic.Int64
 	unloaded  atomic.Bool
 	closeOnce sync.Once
+	closeErr  error
+}
+
+// epoch returns the store's snapshot epoch: 0 for immutable backends, the
+// monotonically increasing batch counter for mutable ones. It keys the
+// result cache and the truss index, so both stay coherent across updates.
+func (d *dataset) epoch() uint64 {
+	if ms := store.AsMutable(d.st); ms != nil {
+		return ms.SnapshotEpoch()
+	}
+	return 0
+}
+
+// snapshotOf returns a store's whole graph together with the epoch it
+// belongs to, in one coherent read for mutable backends; immutable
+// backends are eternally at epoch 0 (and semi-external ones return nil).
+func snapshotOf(st store.Store) (*graph.Graph, uint64) {
+	if ms := store.AsMutable(st); ms != nil {
+		return ms.Snapshot()
+	}
+	return st.Graph(), 0
+}
+
+// truss returns the truss index for g, building it on first use and
+// rebuilding it when epoch has moved past the cached one.
+func (d *dataset) truss(g *graph.Graph, epoch uint64) *truss.Index {
+	d.trussMu.Lock()
+	defer d.trussMu.Unlock()
+	if d.trussIndex == nil || d.trussEpoch != epoch {
+		d.trussIndex = truss.NewIndex(g)
+		d.trussEpoch = epoch
+	}
+	return d.trussIndex
 }
 
 func (d *dataset) acquire() { d.refs.Add(1) }
 
+// closeStore closes the backend exactly once, recording the error —
+// mutable backends compact their write-ahead log here, and a failed
+// compaction must not vanish silently. closeErr is written inside the
+// Once and read only after a Do call has returned, which is the
+// synchronization sync.Once provides.
+func (d *dataset) closeStore() {
+	d.closeOnce.Do(func() { d.closeErr = d.st.Close() })
+}
+
 func (d *dataset) release() {
 	if d.refs.Add(-1) == 0 && d.unloaded.Load() {
-		d.closeOnce.Do(func() { d.st.Close() })
+		d.closeStore()
 	}
 }
 
@@ -74,7 +129,7 @@ func (d *dataset) release() {
 func (d *dataset) markUnloaded() {
 	d.unloaded.Store(true)
 	if d.refs.Load() == 0 {
-		d.closeOnce.Do(func() { d.st.Close() })
+		d.closeStore()
 	}
 }
 
@@ -94,6 +149,12 @@ type DatasetInfo struct {
 	Queries      int64 `json:"queries"`
 	IndexQueries int64 `json:"index_queries"`
 	LocalQueries int64 `json:"local_queries"`
+	// Mutable marks datasets that accept online edge updates;
+	// SnapshotEpoch and UpdatesApplied report how many effective batches
+	// and individual mutations have been applied since load.
+	Mutable        bool   `json:"mutable,omitempty"`
+	SnapshotEpoch  uint64 `json:"snapshot_epoch,omitempty"`
+	UpdatesApplied int64  `json:"updates_applied,omitempty"`
 }
 
 func (d *dataset) info() DatasetInfo {
@@ -102,7 +163,7 @@ func (d *dataset) info() DatasetInfo {
 		Backend:      d.st.Backend(),
 		Vertices:     d.st.NumVertices(),
 		Edges:        d.st.NumEdges(),
-		IndexLoaded:  d.index != nil,
+		IndexLoaded:  d.index.Load() != nil,
 		Queries:      d.queries.Load(),
 		IndexQueries: d.indexServed.Load(),
 		LocalQueries: d.localServed.Load(),
@@ -110,6 +171,11 @@ func (d *dataset) info() DatasetInfo {
 	if se, ok := d.st.(*store.SemiExt); ok {
 		info.Mode = se.Mode()
 		info.CachedPrefix = se.CachedPrefix()
+	}
+	if ms := store.AsMutable(d.st); ms != nil {
+		info.Mutable = true
+		info.SnapshotEpoch = ms.SnapshotEpoch()
+		info.UpdatesApplied = ms.UpdatesApplied()
 	}
 	return info
 }
@@ -192,7 +258,11 @@ func (s *Server) addDataset(name string, cfg DatasetConfig) (*dataset, error) {
 		return nil, fmt.Errorf("server: dataset %q is %w", name, errAlreadyLoaded)
 	}
 	s.registry.gen++
-	ds := &dataset{name: name, gen: s.registry.gen, st: st, index: cfg.Index}
+	ds := &dataset{name: name, gen: s.registry.gen, st: st}
+	if cfg.Index != nil {
+		ds.index.Store(cfg.Index)
+		ds.indexEpoch = ds.epoch()
+	}
 	s.registry.datasets[name] = ds
 	return ds, nil
 }
@@ -217,6 +287,37 @@ func (s *Server) RemoveDataset(name string) error {
 	return nil
 }
 
+// Close unloads every dataset and closes its backend (waiting for
+// in-flight queries per the usual drain discipline). Call it after the
+// HTTP server has shut down: backends with durable state — mutable
+// datasets with a pending write-ahead log — compact on close, so a clean
+// process exit leaves their edge files fresh and their logs removed. The
+// returned error joins every close failure of a dataset that was idle
+// (the post-drain case); a dataset still pinned by a straggling query
+// closes later, its error necessarily unreported.
+func (s *Server) Close() error {
+	s.registry.mu.Lock()
+	dss := make([]*dataset, 0, len(s.registry.datasets))
+	for name, ds := range s.registry.datasets {
+		dss = append(dss, ds)
+		delete(s.registry.datasets, name)
+	}
+	s.registry.mu.Unlock()
+	var errs []error
+	for _, ds := range dss {
+		ds.markUnloaded()
+		if ds.refs.Load() == 0 {
+			// Synchronize with whichever goroutine ran the close, then
+			// read its recorded outcome.
+			ds.closeOnce.Do(func() {})
+			if ds.closeErr != nil {
+				errs = append(errs, fmt.Errorf("dataset %s: %w", ds.name, ds.closeErr))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
 func validDatasetName(name string) bool {
 	if len(name) == 0 || len(name) > 64 {
 		return false
@@ -239,8 +340,11 @@ type loadRequest struct {
 	// Path is the server-side file to load: a graph file for the memory
 	// backend, an edge file for the semiext backend.
 	Path string `json:"path"`
-	// Backend selects "memory" (default) or "semiext".
+	// Backend selects "memory" (default), "semiext", or "mutable".
 	Backend string `json:"backend,omitempty"`
+	// Mutable opens the path (an edge file) as a durable mutable dataset;
+	// shorthand for Backend "mutable".
+	Mutable bool `json:"mutable,omitempty"`
 	// Index optionally loads a prebuilt index file (memory backend only).
 	Index string `json:"index,omitempty"`
 	// PrefixCacheBytes budgets the semi-external decoded-prefix cache
@@ -286,7 +390,15 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 	if req.Mode != "" {
 		opts = append(opts, store.WithEdgeFileMode(req.Mode))
 	}
-	st, err := store.Open(req.Path, req.Backend, opts...)
+	backend := req.Backend
+	if req.Mutable {
+		if backend != "" && backend != "mutable" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("mutable conflicts with backend %q", backend)})
+			return
+		}
+		backend = "mutable"
+	}
+	st, err := store.Open(req.Path, backend, opts...)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return

@@ -24,6 +24,7 @@
 //	GET    /v1/topk?...&truss=1            γ-truss variant (§5.2, in-memory datasets)
 //	POST   /v1/admin/datasets              load a dataset from disk
 //	DELETE /v1/admin/datasets/{name}       unload a dataset
+//	POST   /v1/admin/datasets/{name}/updates  apply edge updates (mutable datasets)
 //
 // Responses are JSON. Community members are reported as the graph's
 // original vertex IDs (plus labels when the graph has them) for in-memory
@@ -46,6 +47,7 @@ import (
 	"influcomm/internal/core"
 	"influcomm/internal/graph"
 	"influcomm/internal/index"
+	"influcomm/internal/store"
 	"influcomm/internal/truss"
 )
 
@@ -197,6 +199,7 @@ func New(g *graph.Graph, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/admin/datasets", s.handleLoadDataset)
 	s.mux.HandleFunc("DELETE /v1/admin/datasets/{name}", s.handleUnloadDataset)
+	s.mux.HandleFunc("POST /v1/admin/datasets/{name}/updates", s.handleApplyUpdates)
 	return s, nil
 }
 
@@ -234,6 +237,12 @@ type statsResponse struct {
 	IndexQueries  int64 `json:"index_queries"`
 	LocalQueries  int64 `json:"local_queries"`
 
+	// Mutable-dataset counters for the default dataset: the snapshot epoch
+	// and the total effective edge mutations applied since load (per-
+	// dataset figures live in Datasets).
+	SnapshotEpoch  uint64 `json:"snapshot_epoch,omitempty"`
+	UpdatesApplied int64  `json:"updates_applied,omitempty"`
+
 	CacheCapacity int   `json:"cache_capacity"`
 	CacheEntries  int   `json:"cache_entries"`
 	CacheHits     int64 `json:"cache_hits"`
@@ -262,9 +271,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Vertices = ds.st.NumVertices()
 		resp.Edges = ds.st.NumEdges()
-		resp.IndexLoaded = ds.index != nil
-		if ds.index != nil {
-			resp.IndexGammaMax = ds.index.GammaMax()
+		if ix := ds.index.Load(); ix != nil {
+			resp.IndexLoaded = true
+			resp.IndexGammaMax = ix.GammaMax()
+		}
+		if ms := store.AsMutable(ds.st); ms != nil {
+			resp.SnapshotEpoch = ms.SnapshotEpoch()
+			resp.UpdatesApplied = ms.UpdatesApplied()
 		}
 	}
 	if s.cache != nil {
@@ -407,7 +420,13 @@ func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, erro
 	defer ds.release()
 	ds.queries.Add(1)
 
-	key := cacheKey{dataset: name, gen: ds.gen, k: k, gamma: gamma, mode: mode}
+	// The epoch is read once, before the query executes, and keys both the
+	// cache entry and the index-validity check below: a concurrent update
+	// can at worst leave an entry keyed under an epoch that no future
+	// request carries (monotonic, so it just ages out of the LRU) — never
+	// a stale result served as current.
+	epoch := ds.epoch()
+	key := cacheKey{dataset: name, gen: ds.gen, epoch: epoch, k: k, gamma: gamma, mode: mode}
 	if s.cache != nil {
 		if hit, ok := s.cache.get(key); ok { // hit/miss counters live on the cache
 			resp := *hit // shallow copy; communities are immutable once built
@@ -418,9 +437,21 @@ func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, erro
 
 	start := time.Now()
 	resp := &topKResponse{K: k, Gamma: gamma, Mode: mode}
+	// The index answers only while the keyed epoch still equals the epoch
+	// it was attached at: an update that races this request makes the
+	// comparison fail (or will fence the cached entry via its new epoch),
+	// so a pre-update index answer can never be cached as current.
+	ix := ds.index.Load()
+	if ix != nil && epoch != ds.indexEpoch {
+		ix = nil
+	}
 	switch {
 	case useTruss:
-		g := ds.st.Graph()
+		// Graph and epoch must be one coherent read for mutable datasets,
+		// so the truss index is always built on exactly the snapshot the
+		// epoch names (possibly newer than the keyed epoch above, which is
+		// the harmless direction).
+		g, tepoch := snapshotOf(ds.st)
 		if g == nil {
 			return nil, &httpError{http.StatusBadRequest,
 				fmt.Sprintf("truss queries need whole-graph access; dataset %q uses the %s backend", name, ds.st.Backend())}
@@ -428,8 +459,7 @@ func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, erro
 		if gamma < 2 {
 			return nil, &httpError{http.StatusBadRequest, "truss queries need gamma >= 2"}
 		}
-		ds.trussOnce.Do(func() { ds.trussIndex = truss.NewIndex(g) })
-		res, err := truss.LocalSearchCtx(ctx, ds.trussIndex, k, int32(gamma))
+		res, err := truss.LocalSearchCtx(ctx, ds.truss(g, tepoch), k, int32(gamma))
 		if err != nil {
 			return nil, queryError(err)
 		}
@@ -439,12 +469,12 @@ func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, erro
 			resp.Communities = append(resp.Communities, render(g, c.Influence(), c.Keynode(), c.Vertices()))
 		}
 		resp.AccessedVertices = res.Stats.FinalPrefix
-	case ds.index != nil && !nonContain:
+	case ix != nil && !nonContain:
 		// Index-first path: the materialized decomposition answers the
 		// default semantics in output-proportional time. AccessedVertices
 		// stays 0 — the point of the index is that no part of the graph
 		// outside the reported communities is touched.
-		comms, err := ds.index.TopK(k, int32(gamma))
+		comms, err := ix.TopK(k, int32(gamma))
 		if err != nil {
 			return nil, queryError(err)
 		}

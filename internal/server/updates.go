@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"influcomm/internal/store"
+)
+
+// updateJSON is one edge mutation of a POST .../updates request.
+type updateJSON struct {
+	// Op is "insert" (default when empty) or "delete".
+	Op string `json:"op,omitempty"`
+	// U, V are the edge endpoints as original vertex IDs.
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+}
+
+// updatesRequest is the POST /v1/admin/datasets/{name}/updates body.
+type updatesRequest struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+// updatesResponse reports what the batch did.
+type updatesResponse struct {
+	Dataset  string `json:"dataset"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	Skipped  int    `json:"skipped"`
+	// SnapshotEpoch is the epoch queries see from now on.
+	SnapshotEpoch uint64 `json:"snapshot_epoch"`
+	// IndexInvalidated reports that a prebuilt index was dropped by this
+	// batch: queries fall back to online LocalSearch until a rebuilt index
+	// is loaded again.
+	IndexInvalidated bool `json:"index_invalidated,omitempty"`
+}
+
+// maxUpdateBatch bounds one request's operation count, keeping a single
+// admin call from staging unbounded work.
+const maxUpdateBatch = 1 << 20
+
+// handleApplyUpdates serves POST /v1/admin/datasets/{name}/updates: apply
+// one batch of edge insertions/deletions to a mutable dataset. The dataset
+// keeps serving throughout — in-flight queries finish on the snapshot they
+// pinned, queries arriving after the response see the updated graph. A
+// prebuilt index on the dataset is invalidated (updates change the
+// decomposition it materialized) and the result cache stops matching old
+// entries via the epoch in its key.
+func (s *Server) handleApplyUpdates(w http.ResponseWriter, r *http.Request) {
+	if !s.adminAllowed(w, r) {
+		return
+	}
+	name := r.PathValue("name")
+	var req updatesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "updates must hold at least one operation"})
+		return
+	}
+	if len(req.Updates) > maxUpdateBatch {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("batch of %d exceeds the %d-op limit", len(req.Updates), maxUpdateBatch)})
+		return
+	}
+	batch := make([]store.EdgeUpdate, len(req.Updates))
+	for i, u := range req.Updates {
+		switch u.Op {
+		case "", "insert":
+		case "delete":
+			batch[i].Delete = true
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad op %q (want \"insert\" or \"delete\")", u.Op)})
+			return
+		}
+		batch[i].U, batch[i].V = u.U, u.V
+	}
+
+	ds := s.registry.acquireLookup(name)
+	if ds == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("dataset %q is not loaded", name)})
+		return
+	}
+	defer ds.release()
+	ms := store.AsMutable(ds.st)
+	if ms == nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("dataset %q uses the immutable %s backend; load it with mutable=true to accept updates", name, ds.st.Backend())})
+		return
+	}
+	stats, err := ms.ApplyUpdates(r.Context(), batch)
+	if err != nil {
+		// A bad batch is the client's fault; anything else — write-ahead
+		// log I/O, a store closed by a racing unload — is the server's,
+		// and must not tell clients (or their retry policies) that the
+		// request itself was malformed.
+		code := http.StatusInternalServerError
+		if errors.Is(err, store.ErrInvalidBatch) {
+			code = http.StatusBadRequest
+		}
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+		return
+	}
+	resp := updatesResponse{
+		Dataset:       name,
+		Inserted:      stats.Inserted,
+		Deleted:       stats.Deleted,
+		Skipped:       stats.Skipped,
+		SnapshotEpoch: stats.Epoch,
+	}
+	if stats.Inserted+stats.Deleted > 0 {
+		// The graph moved: a prebuilt index no longer describes it. Drop it
+		// so default-semantics queries fall back to pooled LocalSearch
+		// (which needs no maintenance — the paper's core asymmetry), and
+		// purge the dataset's cached results; the epoch in the cache key
+		// already fences them off, the purge just frees the memory early.
+		if ds.index.Swap(nil) != nil {
+			resp.IndexInvalidated = true
+		}
+		if s.cache != nil {
+			s.cache.invalidateDataset(name)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"context"
+
+	"influcomm/internal/graph"
+	"influcomm/internal/mutable"
+)
+
+// EdgeUpdate is one edge mutation of a MutableStore batch; endpoints are
+// original vertex IDs (see mutable.Update).
+type EdgeUpdate = mutable.Update
+
+// ErrInvalidBatch marks ApplyUpdates failures caused by the batch itself
+// (unknown vertices, self loops) rather than by the store; callers map it
+// to client errors.
+var ErrInvalidBatch = mutable.ErrInvalidBatch
+
+// UpdateStats reports what one ApplyUpdates batch did.
+type UpdateStats = mutable.ApplyStats
+
+// MutableStore is a Store whose graph accepts online edge updates while
+// serving: readers pin immutable copy-on-write snapshots, so queries in
+// flight during an update complete on the graph they started on and
+// serving never pauses. The "mutable" backend implements it.
+type MutableStore interface {
+	Store
+
+	// ApplyUpdates applies one batch of edge insertions/deletions and
+	// publishes the resulting snapshot. No-ops (inserting a present edge,
+	// deleting an absent one) are skipped and counted, not errors.
+	ApplyUpdates(ctx context.Context, batch []EdgeUpdate) (UpdateStats, error)
+
+	// Snapshot returns the current graph with its epoch in one coherent
+	// read; derived per-graph state (truss or prebuilt indexes) is keyed
+	// by the epoch.
+	Snapshot() (*graph.Graph, uint64)
+
+	// SnapshotEpoch returns the current snapshot epoch (0 at open, +1 per
+	// effective batch).
+	SnapshotEpoch() uint64
+
+	// UpdatesApplied returns the total effective edge mutations applied
+	// since open.
+	UpdatesApplied() int64
+}
+
+// OpenMutable opens the edge file at path as a durable mutable store: the
+// graph loads fully into memory, the write-ahead update log (path + ".log")
+// is replayed over it, applied batches are logged before they are visible,
+// and a clean Close compacts log and edge file back into one. See
+// mutable.Open.
+func OpenMutable(path string) (MutableStore, error) {
+	return mutable.Open(path)
+}
+
+// OpenMutableGraph serves g mutably without durability: updates change the
+// served snapshots but are not persisted anywhere.
+func OpenMutableGraph(g *graph.Graph) (MutableStore, error) {
+	return mutable.NewStore(g)
+}
+
+// AsMutable returns the store's mutable interface when its backend supports
+// online updates, and nil otherwise; the serving layer uses it to route
+// admin update requests without caring which concrete backend is loaded.
+func AsMutable(st Store) MutableStore {
+	ms, _ := st.(MutableStore)
+	return ms
+}

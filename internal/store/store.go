@@ -45,10 +45,11 @@ type Store interface {
 // Open opens the file at path as a Store. backend selects the
 // implementation: "memory" (or "") loads the whole graph file into RAM —
 // text format, or the compact binary format for paths ending in ".bin" —
-// while "semiext" opens a semi-external edge file (see WriteEdgeFile),
-// loading only per-vertex state. Options tune the semi-external backend
-// (access mode, decoded-prefix cache budget) and are ignored by the
-// in-memory one.
+// "semiext" opens a semi-external edge file (see WriteEdgeFile) loading
+// only per-vertex state, and "mutable" opens an edge file as a durable
+// MutableStore that accepts online edge updates. Options tune the
+// semi-external backend (access mode, decoded-prefix cache budget) and are
+// ignored by the others.
 func Open(path, backend string, opts ...OpenOption) (Store, error) {
 	switch backend {
 	case "", "memory":
@@ -59,7 +60,9 @@ func Open(path, backend string, opts ...OpenOption) (Store, error) {
 		return OpenMem(g)
 	case "semiext":
 		return OpenEdgeFile(path, opts...)
+	case "mutable":
+		return OpenMutable(path)
 	default:
-		return nil, fmt.Errorf("store: unknown backend %q (want \"memory\" or \"semiext\")", backend)
+		return nil, fmt.Errorf("store: unknown backend %q (want \"memory\", \"semiext\", or \"mutable\")", backend)
 	}
 }

@@ -1,6 +1,9 @@
 package influcomm
 
 import (
+	"context"
+	"fmt"
+
 	"influcomm/internal/semiext"
 	"influcomm/internal/store"
 )
@@ -57,9 +60,61 @@ func OpenEdgeFileStore(path string, opts ...StoreOption) (Store, error) {
 
 // OpenStore opens path with an explicit backend choice: "memory" (or "")
 // loads a graph file fully into RAM, "semiext" opens an edge file
-// semi-externally.
+// semi-externally, and "mutable" opens an edge file as a durable
+// MutableStore accepting online edge updates.
 func OpenStore(path, backend string, opts ...StoreOption) (Store, error) {
 	return store.Open(path, backend, opts...)
+}
+
+// EdgeUpdate is one edge mutation of a MutableStore batch: the undirected
+// edge {U, V} (original vertex IDs) is inserted, or deleted when Delete is
+// set. Edge updates never change vertex weights, so the weight ranking —
+// and every vertex's identity — is stable across updates.
+type EdgeUpdate = store.EdgeUpdate
+
+// UpdateStats reports what one update batch did: how many edges were
+// inserted and deleted, how many operations were no-ops (inserting a
+// present edge, deleting an absent one, or being superseded by a later
+// operation on the same edge in the batch), and the snapshot epoch queries
+// observe from now on.
+type UpdateStats = store.UpdateStats
+
+// MutableStore is a Store whose graph accepts online edge updates while
+// serving. Readers pin immutable copy-on-write snapshots with a single
+// atomic load, so queries in flight during an update complete on the graph
+// they started on and serving never pauses; writers serialize among
+// themselves and publish whole snapshots via an incremental CSR delta
+// (no sorting, no full rebuild). Results after any update sequence are
+// exactly those of a fresh store built from the updated edge set.
+type MutableStore = store.MutableStore
+
+// OpenMutableStore opens the edge file at path (written by SaveEdgeFile)
+// as a durable MutableStore: the graph loads fully into memory, a
+// write-ahead update log at path + ".log" is replayed over it, every
+// applied batch is fsynced to the log before it becomes visible, and a
+// clean Close compacts the log back into the edge file atomically. A
+// store that crashes without Close recovers by replaying the log on the
+// next OpenMutableStore.
+func OpenMutableStore(path string) (MutableStore, error) {
+	return store.OpenMutable(path)
+}
+
+// NewMutableStore serves g as a MutableStore without durability: updates
+// mutate the served snapshots but are not persisted anywhere.
+func NewMutableStore(g *Graph) (MutableStore, error) {
+	return store.OpenMutableGraph(g)
+}
+
+// Apply applies one batch of edge updates to st, which must be a
+// MutableStore (any other backend returns an error): the facade-level
+// entry point for callers holding a plain Store. See
+// MutableStore.ApplyUpdates for the batch semantics.
+func Apply(ctx context.Context, st Store, updates []EdgeUpdate) (UpdateStats, error) {
+	ms := store.AsMutable(st)
+	if ms == nil {
+		return UpdateStats{}, fmt.Errorf("influcomm: the %s backend is immutable; open the store with OpenMutableStore to apply updates", st.Backend())
+	}
+	return ms.ApplyUpdates(ctx, updates)
 }
 
 // SaveEdgeFile writes g to path in the semi-external edge-file layout:
