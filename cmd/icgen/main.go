@@ -35,6 +35,7 @@ func main() {
 		usePagerank = flag.Bool("pagerank", false, "assign PageRank weights")
 		dataset     = flag.String("dataset", "", "emit a workload stand-in instead of generating")
 		out         = flag.String("o", "", "output path (required; .bin = binary, .edges = semi-external)")
+		format      = flag.String("format", "v1", "edge-file layout for .edges output: v1 (flat) or v2 (delta+varint compressed)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -42,13 +43,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*model, *n, *density, *edges, *communities, *size, *seed, *usePagerank, *dataset, *out); err != nil {
+	if err := run(*model, *n, *density, *edges, *communities, *size, *seed, *usePagerank, *dataset, *out, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "icgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, n, density int, edges int64, communities, size int, seed uint64, usePagerank bool, dataset, out string) error {
+func run(model string, n, density int, edges int64, communities, size int, seed uint64, usePagerank bool, dataset, out, format string) error {
 	var g *graph.Graph
 	var err error
 	if dataset != "" {
@@ -83,7 +84,14 @@ func run(model string, n, density int, edges int64, communities, size int, seed 
 	}
 	fmt.Printf("generated %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 	if strings.HasSuffix(out, ".edges") {
-		return semiext.WriteEdgeFile(out, g)
+		switch format {
+		case "v1":
+			return semiext.WriteEdgeFileFormat(out, g, semiext.FormatV1)
+		case "v2":
+			return semiext.WriteEdgeFileFormat(out, g, semiext.FormatV2)
+		default:
+			return fmt.Errorf("bad -format %q (want v1 or v2)", format)
+		}
 	}
 	return influcomm.SaveGraph(out, g)
 }

@@ -25,7 +25,7 @@ func TestGenerateModels(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			out := filepath.Join(dir, c.out)
-			if err := run(c.model, 200, 3, 400, 10, 8, 1, true, "", out); err != nil {
+			if err := run(c.model, 200, 3, 400, 10, 8, 1, true, "", out, "v1"); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 			if filepath.Ext(out) == ".edges" {
@@ -55,20 +55,40 @@ func TestGenerateDatasetStandIn(t *testing.T) {
 		t.Skip("dataset generation in -short mode")
 	}
 	out := filepath.Join(t.TempDir(), "email.edges")
-	if err := run("", 0, 0, 0, 0, 0, 0, false, "email", out); err != nil {
+	if err := run("", 0, 0, 0, 0, 0, 0, false, "email", out, "v1"); err != nil {
 		t.Fatalf("dataset stand-in: %v", err)
 	}
 }
 
 func TestGenerateErrors(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.txt")
-	if err := run("nosuchmodel", 10, 2, 10, 2, 5, 1, false, "", out); err == nil {
+	if err := run("nosuchmodel", 10, 2, 10, 2, 5, 1, false, "", out, "v1"); err == nil {
 		t.Error("unknown model: want error")
 	}
-	if err := run("", 0, 0, 0, 0, 0, 0, false, "nosuchdataset", out); err == nil {
+	if err := run("", 0, 0, 0, 0, 0, 0, false, "nosuchdataset", out, "v1"); err == nil {
 		t.Error("unknown dataset: want error")
 	}
-	if err := run("ba", -5, 2, 0, 0, 0, 1, false, "", out); err == nil {
+	if err := run("ba", -5, 2, 0, 0, 0, 1, false, "", out, "v1"); err == nil {
 		t.Error("negative n: want error")
+	}
+}
+
+// TestGenerateV2EdgeFile: -format v2 writes the compressed layout, which
+// the reader detects; a bad format is an error.
+func TestGenerateV2EdgeFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.edges")
+	if err := run("planted", 0, 0, 0, 10, 12, 3, false, "", out, "v2"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	r, err := semiext.OpenReader(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Format() != semiext.FormatV2 {
+		t.Errorf("written format v%d, want v2", r.Format())
+	}
+	if err := run("ba", 50, 3, 0, 0, 0, 1, false, "", out, "flat"); err == nil {
+		t.Error("bad format: want error")
 	}
 }

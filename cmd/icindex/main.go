@@ -7,15 +7,24 @@
 //
 // Usage:
 //
-//	icindex -graph g.txt [-out g.icx] [-edges g.edges] [-pagerank]
-//	        [-workers N] [-timeout 0] [-verify]
+//	icindex -graph g.txt [-out g.icx] [-edges g.edges] [-format v1|v2]
+//	        [-pagerank] [-workers N] [-timeout 0] [-verify]
 //	icindex -compact g.edges
+//	icindex -recode in.edges [-edges out.edges] [-format v1|v2]
 //
 // -compact folds a mutable dataset's write-ahead update log (g.edges.log,
 // left behind by an icserver that exited uncleanly) back into its edge
 // file offline: the log is replayed, the edge file rewritten atomically,
 // and the log removed — the maintenance step a clean server shutdown
 // performs automatically. It runs alone, without -graph.
+//
+// -recode rewrites an existing edge file into the layout -format selects —
+// v1 (flat 4-byte adjacency) or v2 (delta-gap + varint compressed,
+// typically ~3x smaller on clustered graphs) — writing to -edges, or back
+// over the input atomically when -edges is omitted. Either layout serves
+// identically; recoding never changes query results, only bytes on disk.
+// It runs alone, without -graph. -format likewise selects the layout
+// -edges writes in the build mode (default v1).
 //
 // Otherwise at least one of -out and -edges is required. The index is bound to the
 // exact graph and weight vector it was built from: pass the same graph
@@ -33,9 +42,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"influcomm"
+	"influcomm/internal/graph"
+	"influcomm/internal/semiext"
 )
 
 type config struct {
@@ -43,10 +55,24 @@ type config struct {
 	outPath     string
 	edgesPath   string
 	compactPath string
+	recodePath  string
+	format      string
 	usePagerank bool
 	workers     int
 	timeout     time.Duration
 	verify      bool
+}
+
+// parseFormat maps the -format flag to an edge-file format constant.
+func parseFormat(s string) (int, error) {
+	switch s {
+	case "", "v1":
+		return influcomm.EdgeFileV1, nil
+	case "v2":
+		return influcomm.EdgeFileV2, nil
+	default:
+		return 0, fmt.Errorf("bad -format %q (want v1 or v2)", s)
+	}
 }
 
 func main() {
@@ -55,6 +81,8 @@ func main() {
 	flag.StringVar(&cfg.outPath, "out", "", "path to write the index to")
 	flag.StringVar(&cfg.edgesPath, "edges", "", "path to write a semi-external edge file to")
 	flag.StringVar(&cfg.compactPath, "compact", "", "compact a mutable dataset's update log back into this edge file, then exit")
+	flag.StringVar(&cfg.recodePath, "recode", "", "rewrite this edge file into the -format layout (to -edges, or in place), then exit")
+	flag.StringVar(&cfg.format, "format", "", "edge-file layout to write: v1 (flat, default) or v2 (delta+varint compressed)")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores before building (use the same flag on icserver)")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel build workers (0 = all cores, 1 = sequential)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the build after this long (0 = no limit)")
@@ -62,6 +90,12 @@ func main() {
 	flag.Parse()
 	if cfg.compactPath != "" {
 		if err := compact(cfg.compactPath, log.Printf); err != nil {
+			log.Fatalf("icindex: %v", err)
+		}
+		return
+	}
+	if cfg.recodePath != "" {
+		if err := recode(cfg, log.Printf); err != nil {
 			log.Fatalf("icindex: %v", err)
 		}
 		return
@@ -93,6 +127,52 @@ func compact(path string, logf func(string, ...any)) error {
 	return nil
 }
 
+// recode reads the edge file at cfg.recodePath in full — the bulk prefix
+// decode splits across -workers goroutines — and rewrites it atomically in
+// the layout -format selects, to -edges or over the input. Both layouts
+// round-trip losslessly, so v1→v2→v1 reproduces the original bytes.
+func recode(cfg config, logf func(string, ...any)) error {
+	format, err := parseFormat(cfg.format)
+	if err != nil {
+		return err
+	}
+	outPath := cfg.edgesPath
+	if outPath == "" {
+		outPath = cfg.recodePath
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	v, err := semiext.OpenView(cfg.recodePath)
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	adj, err := v.AdjPrefix(v.NumVertices(), v.NumEdges(), workers, nil)
+	if err != nil {
+		return fmt.Errorf("decoding %s: %w", cfg.recodePath, err)
+	}
+	g, err := graph.FromUpAdjacency(v.Weights(), v.UpDegrees(), adj, nil)
+	if err != nil {
+		return fmt.Errorf("rebuilding graph from %s: %w", cfg.recodePath, err)
+	}
+	inSize := int64(0)
+	if info, err := os.Stat(cfg.recodePath); err == nil {
+		inSize = info.Size()
+	}
+	if err := semiext.WriteEdgeFileFormat(outPath, g, format); err != nil {
+		return fmt.Errorf("writing %s: %w", outPath, err)
+	}
+	info, err := os.Stat(outPath)
+	if err != nil {
+		return err
+	}
+	logf("icindex: recoded %s (v%d, %d bytes) -> %s (v%d, %d bytes): %d vertices, %d edges",
+		cfg.recodePath, v.Format(), inSize, outPath, format, info.Size(), g.NumVertices(), g.NumEdges())
+	return nil
+}
+
 // run loads the graph, builds and persists the index, and optionally
 // verifies the written file; logf receives progress lines.
 func run(ctx context.Context, cfg config, logf func(string, ...any)) error {
@@ -112,15 +192,19 @@ func run(ctx context.Context, cfg config, logf func(string, ...any)) error {
 	}
 
 	if cfg.edgesPath != "" {
-		if err := influcomm.SaveEdgeFile(cfg.edgesPath, g); err != nil {
+		format, err := parseFormat(cfg.format)
+		if err != nil {
+			return err
+		}
+		if err := influcomm.SaveEdgeFileFormat(cfg.edgesPath, g, format); err != nil {
 			return fmt.Errorf("writing edge file: %w", err)
 		}
 		info, err := os.Stat(cfg.edgesPath)
 		if err != nil {
 			return err
 		}
-		logf("icindex: %d vertices, %d edges -> semi-external edge file, %d bytes at %s",
-			g.NumVertices(), g.NumEdges(), info.Size(), cfg.edgesPath)
+		logf("icindex: %d vertices, %d edges -> semi-external edge file (v%d), %d bytes at %s",
+			g.NumVertices(), g.NumEdges(), format, info.Size(), cfg.edgesPath)
 	}
 	if cfg.outPath == "" {
 		return nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"influcomm"
+	"influcomm/internal/semiext"
 )
 
 func writeFixture(t *testing.T) string {
@@ -189,5 +190,111 @@ func TestCompact(t *testing.T) {
 	if re.NumEdges() != baseEdges+1 || re.UpdatesApplied() != 0 {
 		t.Fatalf("compacted file has %d edges (%d replayed), want %d and 0",
 			re.NumEdges(), re.UpdatesApplied(), baseEdges+1)
+	}
+}
+
+// TestRecodeRoundTrip: -recode rewrites between layouts losslessly —
+// v1→v2 produces a smaller file with identical answers, v2→v1 restores the
+// original bytes exactly, and in-place recoding (no -edges) works too.
+func TestRecodeRoundTrip(t *testing.T) {
+	graphPath := writeFixture(t)
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "g.edges")
+	logf := func(string, ...any) {}
+	if err := run(context.Background(), config{graphPath: graphPath, edgesPath: v1Path}, logf); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2Path := filepath.Join(dir, "g.v2.edges")
+	if err := recode(config{recodePath: v1Path, edgesPath: v2Path, format: "v2"}, logf); err != nil {
+		t.Fatalf("recode v1->v2: %v", err)
+	}
+	backPath := filepath.Join(dir, "g.back.edges")
+	if err := recode(config{recodePath: v2Path, edgesPath: backPath, format: "v1"}, logf); err != nil {
+		t.Fatalf("recode v2->v1: %v", err)
+	}
+	back, err := os.ReadFile(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(orig) {
+		t.Fatal("v1->v2->v1 round trip is not byte-identical")
+	}
+
+	// The v2 file serves the same answers as the original.
+	g, err := influcomm.LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := influcomm.OpenEdgeFileStore(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	online, err := influcomm.TopK(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := st.TopK(context.Background(), 3, 2, influcomm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served.Communities) != len(online.Communities) {
+		t.Fatalf("v2 file served %d communities, online %d", len(served.Communities), len(online.Communities))
+	}
+	for i := range served.Communities {
+		if served.Communities[i].Influence() != online.Communities[i].Influence() {
+			t.Errorf("community %d: influence %v from v2 file, %v online",
+				i, served.Communities[i].Influence(), online.Communities[i].Influence())
+		}
+	}
+
+	// In-place: recoding v1Path itself to v2 leaves a v2 file that recodes
+	// back to the original bytes.
+	if err := recode(config{recodePath: v1Path, format: "v2"}, logf); err != nil {
+		t.Fatalf("in-place recode: %v", err)
+	}
+	if err := recode(config{recodePath: v1Path, format: "v1"}, logf); err != nil {
+		t.Fatalf("in-place recode back: %v", err)
+	}
+	inPlace, err := os.ReadFile(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(inPlace) != string(orig) {
+		t.Fatal("in-place v1->v2->v1 round trip is not byte-identical")
+	}
+
+	// A bad -format is an error, not a silent v1.
+	if err := recode(config{recodePath: v1Path, format: "v3"}, logf); err == nil {
+		t.Error("format v3: want error")
+	}
+}
+
+// TestEdgesFormatV2: -format v2 in build mode writes a compressed edge
+// file that the semi-external store detects and serves.
+func TestEdgesFormatV2(t *testing.T) {
+	graphPath := writeFixture(t)
+	edgesPath := filepath.Join(t.TempDir(), "g.edges")
+	var logs []string
+	logf := func(f string, a ...any) { logs = append(logs, f) }
+	cfg := config{graphPath: graphPath, edgesPath: edgesPath, format: "v2"}
+	if err := run(context.Background(), cfg, logf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := semiext.OpenView(edgesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if v.Format() != semiext.FormatV2 {
+		t.Fatalf("written format v%d, want v2", v.Format())
+	}
+	if err := run(context.Background(), config{graphPath: graphPath, edgesPath: edgesPath, format: "bogus"}, logf); err == nil {
+		t.Error("bogus format: want error")
 	}
 }

@@ -137,9 +137,12 @@ func aggregate(samples map[string]*rawSamples) benchFile {
 
 // compare reports regressions (current slower than baseline by more than
 // threshold, or allocating more than allocThreshold beyond it) and
-// benchmarks missing from the current run; both fail the gate. New
-// benchmarks and improvements are informational.
-func compare(baseline, current benchFile, threshold, allocThreshold float64, logf func(string, ...any)) (failures int) {
+// benchmarks missing from the current run; both fail the gate.
+// Improvements are informational. Benchmarks present in the run but absent
+// from the baseline are informational too, unless requireBaseline is set —
+// then they fail, so a PR adding a benchmark must record its baseline row
+// in the same change instead of shipping an ungated number.
+func compare(baseline, current benchFile, threshold, allocThreshold float64, requireBaseline bool, logf func(string, ...any)) (failures int) {
 	names := make([]string, 0, len(baseline.Benchmarks))
 	for name := range baseline.Benchmarks {
 		names = append(names, name)
@@ -186,7 +189,12 @@ func compare(baseline, current benchFile, threshold, allocThreshold float64, log
 	}
 	sort.Strings(extra)
 	for _, name := range extra {
-		logf("new  %s: %.0f ns/op (not in baseline)", name, current.Benchmarks[name].NsPerOp)
+		if requireBaseline {
+			logf("FAIL %s: %.0f ns/op but no baseline row (record it: icperfgate -update)", name, current.Benchmarks[name].NsPerOp)
+			failures++
+		} else {
+			logf("new  %s: %.0f ns/op (not in baseline)", name, current.Benchmarks[name].NsPerOp)
+		}
 	}
 	return failures
 }
@@ -200,12 +208,13 @@ func writeJSONFile(path string, v any) error {
 }
 
 type config struct {
-	in             string
-	out            string
-	baseline       string
-	threshold      float64
-	allocThreshold float64
-	update         bool
+	in              string
+	out             string
+	baseline        string
+	threshold       float64
+	allocThreshold  float64
+	update          bool
+	requireBaseline bool
 }
 
 // run executes the gate; the returned count is the number of failures.
@@ -254,7 +263,7 @@ func run(cfg config, stdin io.Reader, logf func(string, ...any)) (int, error) {
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return 0, fmt.Errorf("parsing baseline %s: %w", cfg.baseline, err)
 	}
-	return compare(baseline, current, cfg.threshold, cfg.allocThreshold, logf), nil
+	return compare(baseline, current, cfg.threshold, cfg.allocThreshold, cfg.requireBaseline, logf), nil
 }
 
 func main() {
@@ -265,6 +274,7 @@ func main() {
 	flag.Float64Var(&cfg.threshold, "threshold", 0.25, "relative slowdown that fails the gate")
 	flag.Float64Var(&cfg.allocThreshold, "alloc-threshold", 0.25, "relative allocs/op growth that fails the gate (half-alloc absolute slack)")
 	flag.BoolVar(&cfg.update, "update", false, "rewrite the baseline from this run instead of comparing")
+	flag.BoolVar(&cfg.requireBaseline, "require-baseline", false, "fail on benchmarks the baseline has no row for (new benchmarks must be recorded, not shipped ungated)")
 	flag.Parse()
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	failures, err := run(cfg, os.Stdin, logf)

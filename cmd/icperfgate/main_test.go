@@ -70,11 +70,15 @@ func TestCompare(t *testing.T) {
 		"E": {NsPerOp: 100}, // new: informational
 	}}
 	var lines []string
-	n := compare(base, cur, 0.25, 0.25, func(f string, args ...any) {
+	n := compare(base, cur, 0.25, 0.25, false, func(f string, args ...any) {
 		lines = append(lines, strings.Split(f, " ")[0])
 	})
 	if n != 2 {
 		t.Fatalf("failures = %d, want 2 (one regression, one missing): %v", n, lines)
+	}
+	// With -require-baseline the new benchmark E fails too.
+	if n := compare(base, cur, 0.25, 0.25, true, func(string, ...any) {}); n != 3 {
+		t.Fatalf("require-baseline failures = %d, want 3 (regression, missing, unrecorded)", n)
 	}
 }
 
@@ -95,7 +99,7 @@ func TestCompareAllocGate(t *testing.T) {
 		"Improved":   {NsPerOp: 1000, AllocsPerOp: f64(10)},   // improvement: ok
 		"TimeStable": {NsPerOp: 1000},                         // current lost -benchmem: time-only
 	}}
-	n := compare(base, cur, 0.25, 0.25, func(string, ...any) {})
+	n := compare(base, cur, 0.25, 0.25, false, func(string, ...any) {})
 	if n != 2 {
 		t.Fatalf("failures = %d, want 2 (zero-alloc break + pooled regression)", n)
 	}
@@ -103,7 +107,7 @@ func TestCompareAllocGate(t *testing.T) {
 	if n := compare(
 		benchFile{Benchmarks: map[string]benchResult{"T": {NsPerOp: 1, AllocsPerOp: f64(2)}}},
 		benchFile{Benchmarks: map[string]benchResult{"T": {NsPerOp: 1, AllocsPerOp: f64(3)}}},
-		0.25, 0.25, func(string, ...any) {}); n != 0 {
+		0.25, 0.25, false, func(string, ...any) {}); n != 0 {
 		t.Fatalf("one-alloc jitter on a tiny count failed the gate")
 	}
 }

@@ -4,7 +4,8 @@
 //
 //	icserver -graph g.txt [-index g.icx] [-addr :8080] [-pagerank]
 //	         [-dataset name=path[,backend=semiext][,index=p.icx]
-//	                  [,prefix-cache=SIZE][,mode=auto|mmap|stream][,mutable=true]]...
+//	                  [,prefix-cache=SIZE][,mode=auto|mmap|stream]
+//	                  [,workers=N][,mutable=true]]...
 //	         [-cache 256] [-maxk 10000] [-query-timeout 30s]
 //	         [-max-inflight 64] [-read-timeout 10s] [-write-timeout 60s]
 //	         [-idle-timeout 2m] [-shutdown-timeout 15s] [-pprof addr]
@@ -27,7 +28,10 @@
 // prefix they need through a shared memory-mapped view (mode=stream forces
 // the sequential reader), and prefix-cache=SIZE (e.g. 64M) budgets a
 // shared decoded-prefix cache that serves cache-fitting queries at
-// in-memory speed. mutable=true opens an edge file as a dynamic dataset:
+// in-memory speed. workers=N lets each large query evaluate its candidate
+// prefixes on up to N goroutines (byte-identical results; edge files in
+// the compressed v2 layout also bulk-decode in parallel). mutable=true
+// opens an edge file as a dynamic dataset:
 // POST /v1/admin/datasets/{name}/updates applies edge insertions and
 // deletions online (queries keep serving from immutable snapshots, never
 // pausing), every batch is fsynced to a write-ahead log beside the edge
@@ -80,6 +84,7 @@ type datasetSpec struct {
 	index       string
 	mode        string
 	prefixCache int64
+	workers     int
 	mutable     bool
 }
 
@@ -114,12 +119,12 @@ func parseByteSize(s string) (int64, error) {
 }
 
 // parseDatasetSpec parses
-// "name=path[,backend=semiext][,index=p.icx][,prefix-cache=SIZE][,mode=m][,mutable=true]".
+// "name=path[,backend=semiext][,index=p.icx][,prefix-cache=SIZE][,mode=m][,workers=N][,mutable=true]".
 func parseDatasetSpec(spec string) (datasetSpec, error) {
 	var d datasetSpec
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok || name == "" || rest == "" {
-		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,mutable=true]", spec)
+		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true]", spec)
 	}
 	d.name = name
 	parts := strings.Split(rest, ",")
@@ -142,6 +147,12 @@ func parseDatasetSpec(spec string) (datasetSpec, error) {
 				return d, fmt.Errorf("bad -dataset option prefix-cache in %q: %v", spec, err)
 			}
 			d.prefixCache = n
+		case "workers":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return d, fmt.Errorf("bad -dataset option workers=%q in %q (want a non-negative integer)", v, spec)
+			}
+			d.workers = n
 		case "mutable":
 			switch v {
 			case "true":
@@ -186,7 +197,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (empty = off; keep it private)")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores")
-	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,mutable=true] (repeatable)", func(spec string) error {
+	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true] (repeatable)", func(spec string) error {
 		d, err := parseDatasetSpec(spec)
 		if err != nil {
 			return err
@@ -278,6 +289,9 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 		}
 		if d.mode != "" {
 			sopts = append(sopts, influcomm.WithEdgeFileMode(d.mode))
+		}
+		if d.workers > 0 {
+			sopts = append(sopts, influcomm.WithQueryWorkers(d.workers))
 		}
 		backend := d.backend
 		if d.mutable {

@@ -162,8 +162,15 @@ func TestParseDatasetSpec(t *testing.T) {
 	if !d.mutable {
 		t.Errorf("parsed %+v, want mutable", d)
 	}
+	d, err = parseDatasetSpec("par=/d/g.edges,backend=semiext,workers=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.workers != 8 {
+		t.Errorf("parsed %+v, want workers=8", d)
+	}
 	for _, bad := range []string{"", "noequals", "name=", "n=p,bogus", "n=p,k=v", "n=p,prefix-cache=lots", "n=p,prefix-cache=-1",
-		"n=p,mutable=yes", "n=p,backend=semiext,mutable=true"} {
+		"n=p,mutable=yes", "n=p,backend=semiext,mutable=true", "n=p,workers=-2", "n=p,workers=lots"} {
 		if _, err := parseDatasetSpec(bad); err == nil {
 			t.Errorf("%q: want parse error", bad)
 		}
@@ -225,7 +232,7 @@ func TestServeMultiDataset(t *testing.T) {
 	graphPath, edgePath := writeRankFixture(t)
 	cfg := testConfig(graphPath)
 	cfg.cacheSize = 16
-	cfg.datasets = []datasetSpec{{name: "se", path: edgePath, backend: "semiext"}}
+	cfg.datasets = []datasetSpec{{name: "se", path: edgePath, backend: "semiext", workers: 4}}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	ready := make(chan string, 1)

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+// forkCounter wraps a ForkableSource and counts Fork calls, so tests can
+// tell whether the speculative phase actually engaged or the query fell
+// back to (or finished inside) the sequential path.
+type forkCounter struct {
+	ForkableSource
+	forks atomic.Int64
+}
+
+func (s *forkCounter) Fork(ctx context.Context) (SearchSource, func()) {
+	s.forks.Add(1)
+	return s.ForkableSource.Fork(ctx)
+}
+
+func requireSameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Stats != got.Stats {
+		t.Fatalf("%s: stats differ\n got %+v\nwant %+v", label, got.Stats, want.Stats)
+	}
+	if len(want.Communities) != len(got.Communities) {
+		t.Fatalf("%s: got %d communities, want %d", label, len(got.Communities), len(want.Communities))
+	}
+	// Compare the containment forests structurally — keynode, influence,
+	// group contents and child order must all coincide, which is exactly
+	// "byte-identical output" without materializing (and re-sorting) every
+	// nested vertex set.
+	var same func(w, g *Community) bool
+	same = func(w, g *Community) bool {
+		if w.Keynode() != g.Keynode() || w.Influence() != g.Influence() ||
+			w.Size() != g.Size() || len(w.Group()) != len(g.Group()) ||
+			len(w.Children()) != len(g.Children()) {
+			return false
+		}
+		for j, v := range w.Group() {
+			if g.Group()[j] != v {
+				return false
+			}
+		}
+		for j, ch := range w.Children() {
+			if !same(ch, g.Children()[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range want.Communities {
+		if !same(want.Communities[i], got.Communities[i]) {
+			t.Fatalf("%s: community %d (keynode %d vs %d) differs",
+				label, i, want.Communities[i].Keynode(), got.Communities[i].Keynode())
+		}
+	}
+}
+
+// TestTopKOverParallelMatchesSequential is the determinism property test:
+// over a grid of (graph, k, γ, worker count), the parallel driver must
+// return byte-identical communities and access statistics to TopKOver.
+// Run it under -race -cpu 1,4,8 to cover scheduling interleavings.
+func TestTopKOverParallelMatchesSequential(t *testing.T) {
+	planted, err := gen.PlantedCommunities(30, 90, 0.5, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*graph.Graph{
+		"random":  gen.Random(4000, 40, 7),
+		"planted": planted,
+	}
+	for name, g := range graphs {
+		if g.PrefixSize(g.NumVertices()) < ParallelMinRoundWork {
+			t.Fatalf("%s test graph too small to engage the parallel path", name)
+		}
+		src := GraphSource(g)
+		for _, gamma := range []int32{2, 4} {
+			for _, k := range []int{1, 5, 40, 1 << 20} {
+				want, err := TopKOver(context.Background(), src, k, gamma, Options{})
+				if err != nil {
+					t.Fatalf("%s k=%d γ=%d: sequential: %v", name, k, gamma, err)
+				}
+				for _, workers := range []int{1, 2, 4, 8} {
+					fc := &forkCounter{ForkableSource: src.(ForkableSource)}
+					got, err := TopKOverParallel(context.Background(), fc, k, gamma, Options{}, workers)
+					if err != nil {
+						t.Fatalf("%s k=%d γ=%d workers=%d: parallel: %v", name, k, gamma, workers, err)
+					}
+					requireSameResult(t, fmt.Sprintf("%s k=%d γ=%d workers=%d", name, k, gamma, workers), want, got)
+					// A winner round at or above the cutoff cannot have run in
+					// the sequential prelude, so the speculative phase must
+					// have forked.
+					if workers > 1 && want.Stats.FinalSize >= ParallelMinRoundWork && fc.forks.Load() == 0 {
+						t.Fatalf("%s k=%d γ=%d workers=%d: query never forked", name, k, gamma, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKOverParallelNonContainment(t *testing.T) {
+	g := gen.Random(3500, 40, 13)
+	src := GraphSource(g)
+	opts := Options{NonContainment: true}
+	for _, k := range []int{2, 10} {
+		want, err := TopKOver(context.Background(), src, k, 3, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := TopKOverParallel(context.Background(), src, k, 3, opts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, fmt.Sprintf("NC k=%d workers=%d", k, workers), want, got)
+		}
+	}
+}
+
+// TestTopKOverParallelSmallGraphFallback: queries below the work-size
+// cutoff must stay on the sequential path (no forks) and still return the
+// sequential result.
+func TestTopKOverParallelSmallGraphFallback(t *testing.T) {
+	g := gen.Random(120, 6, 3)
+	src := GraphSource(g)
+	if g.PrefixSize(g.NumVertices()) >= ParallelMinRoundWork {
+		t.Fatal("fallback test graph unexpectedly above the cutoff")
+	}
+	want, err := TopKOver(context.Background(), src, 4, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &forkCounter{ForkableSource: src.(ForkableSource)}
+	got, err := TopKOverParallel(context.Background(), fc, 4, 2, Options{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "small graph", want, got)
+	if fc.forks.Load() != 0 {
+		t.Fatalf("query below the cutoff forked %d times", fc.forks.Load())
+	}
+}
+
+// TestTopKOverParallelAblationFallback: the arithmetic-growth ablation has
+// an unbounded round count, so the parallel driver must hand it to the
+// sequential path rather than precompute its plan.
+func TestTopKOverParallelAblationFallback(t *testing.T) {
+	g := gen.Random(3000, 30, 5)
+	src := GraphSource(g)
+	opts := Options{ArithmeticGrowth: 500}
+	want, err := TopKOver(context.Background(), src, 3, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TopKOverParallel(context.Background(), src, 3, 2, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "arithmetic growth", want, got)
+}
+
+func TestTopKOverParallelValidation(t *testing.T) {
+	g := gen.Random(3000, 30, 5)
+	src := GraphSource(g)
+	if _, err := TopKOverParallel(context.Background(), src, 0, 2, Options{}, 4); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := TopKOverParallel(context.Background(), src, 1, 0, Options{}, 4); err == nil {
+		t.Error("gamma=0: want error")
+	}
+	if _, err := TopKOverParallel(context.Background(), nil, 1, 2, Options{}, 4); err == nil {
+		t.Error("nil source: want error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TopKOverParallel(ctx, src, 1, 2, Options{}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// cancellingSource cancels the query's context from inside the Nth
+// Materialize call — the shape of a client disconnecting while speculative
+// rounds are in flight.
+type cancellingSource struct {
+	SearchSource
+	cancel context.CancelFunc
+	after  int64
+	calls  *atomic.Int64
+	ctx    context.Context
+}
+
+func (s *cancellingSource) Fork(ctx context.Context) (SearchSource, func()) {
+	return &cancellingSource{SearchSource: s.SearchSource, cancel: s.cancel, after: s.after, calls: s.calls, ctx: ctx}, func() {}
+}
+
+func (s *cancellingSource) Materialize(p int) (*graph.Graph, error) {
+	if s.calls.Add(1) >= s.after {
+		s.cancel()
+	}
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return s.SearchSource.Materialize(p)
+}
+
+func TestTopKOverParallelCancellationMidQuery(t *testing.T) {
+	g := gen.Random(5000, 40, 9)
+	base := GraphSource(g)
+	// An initial prefix already above the cutoff skips the sequential
+	// prelude, and k beyond any community count forces the search through
+	// every round to the whole graph — so the cancellation always lands
+	// while speculative rounds are in flight.
+	opts := Options{InitialPrefix: 4000}
+	probe, err := TopKOver(context.Background(), base, 1<<20, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Stats.Rounds < 2 || base.PrefixSize(opts.InitialPrefix) < ParallelMinRoundWork {
+		t.Fatalf("probe: %d rounds, initial size %d; cancellation would never land mid-flight",
+			probe.Stats.Rounds, base.PrefixSize(opts.InitialPrefix))
+	}
+	for _, after := range []int64{1, 2} {
+		for _, workers := range []int{2, 8} {
+			ctx, cancel := context.WithCancel(context.Background())
+			src := &cancellingSource{SearchSource: base, cancel: cancel, after: after, calls: &atomic.Int64{}}
+			res, err := TopKOverParallel(ctx, src, 1<<20, 3, opts, workers)
+			if err == nil {
+				t.Fatalf("after=%d workers=%d: query survived its own cancellation, result %+v", after, workers, res.Stats)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("after=%d workers=%d: err = %v, want context.Canceled", after, workers, err)
+			}
+			cancel()
+		}
+	}
+}

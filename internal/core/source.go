@@ -48,6 +48,10 @@ func (s memSource) PrefixSize(p int) int64                { return s.g.PrefixSiz
 func (s memSource) PrefixForSize(want int64) int          { return s.g.PrefixForSize(want) }
 func (s memSource) Materialize(int) (*graph.Graph, error) { return s.g, nil }
 
+// Fork returns the source itself: an immutable in-memory graph serves any
+// number of concurrent rounds without per-fork state.
+func (s memSource) Fork(context.Context) (SearchSource, func()) { return s, func() {} }
+
 // GraphSource returns the SearchSource view of an in-memory graph:
 // Materialize hands back g itself, so TopKOver over it is exactly TopKCtx.
 func GraphSource(g *graph.Graph) SearchSource { return memSource{g} }
@@ -166,17 +170,23 @@ func TopKOver(ctx context.Context, src SearchSource, k int, gamma int32, opts Op
 			cvs = cvs.CompactTail(k)
 		}
 	}
-	var comms []*Community
+	return &Result{Communities: enumerateCommunities(g, cvs, pool, k, opts), Stats: st}, nil
+}
+
+// enumerateCommunities materializes the final communities from a peeled
+// CVS: the shared tail of TopKOver and the parallel driver, so the two can
+// never drift apart. A non-nil pool supplies recycled enumeration state.
+func enumerateCommunities(g *graph.Graph, cvs *CVS, pool *Pool, k int, opts Options) []*Community {
 	switch {
 	case opts.NonContainment:
-		comms = nonContainmentCommunities(g, cvs, k)
+		return nonContainmentCommunities(g, cvs, k)
 	case pool != nil:
 		enum := pool.enums.Get().(*EnumState)
-		comms = enum.Process(g, cvs, k)
+		comms := enum.Process(g, cvs, k)
 		enum.Recycle()
 		pool.enums.Put(enum)
+		return comms
 	default:
-		comms = EnumIC(g, cvs, k)
+		return EnumIC(g, cvs, k)
 	}
-	return &Result{Communities: comms, Stats: st}, nil
 }

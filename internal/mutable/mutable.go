@@ -103,9 +103,13 @@ type Store struct {
 	rankOf map[int32]int32
 
 	// log is the write-ahead update log; nil for purely in-memory stores,
-	// which mutate without durability. edgePath is the compaction target.
-	log      *semiext.UpdateLog
-	edgePath string
+	// which mutate without durability. edgePath is the compaction target and
+	// edgeFormat the layout it was opened with — compaction writes the same
+	// format back, so a compressed (v2) store stays compressed across
+	// update/close/reopen cycles.
+	log        *semiext.UpdateLog
+	edgePath   string
+	edgeFormat int
 	// dirty marks snapshot state that is ahead of the edge file, so Close
 	// knows whether compaction has anything to write.
 	dirty bool
@@ -167,7 +171,7 @@ func Open(path string) (*Store, error) {
 		return nil, fmt.Errorf("mutable: %s: %w", path, err)
 	}
 
-	s := &Store{edgePath: path}
+	s := &Store{edgePath: path, edgeFormat: r.Format()}
 	s.snap.Store(&snapshot{g: g, pool: core.NewPool(g)})
 	log, batches, err := semiext.OpenUpdateLog(semiext.UpdateLogPath(path))
 	if err != nil {
@@ -382,7 +386,8 @@ func (s *Store) Abandon() error {
 
 // Close shuts the store down. A durable store first compacts: the current
 // snapshot is rewritten into the edge file atomically (temp file + rename,
-// via the shared atomicio path inside WriteEdgeFile) and only then is the
+// via the shared atomicio path inside WriteEdgeFileFormat, preserving the
+// format the file was opened with) and only then is the
 // update log removed — a crash between the two replays a log whose every
 // op is already compacted, which filters to nothing. Queries in flight on
 // pinned snapshots complete normally; new queries fail.
@@ -400,7 +405,7 @@ func (s *Store) Close() error {
 		// pure no-ops (the post-compaction-crash case); drop it.
 		return s.log.Remove()
 	}
-	if err := semiext.WriteEdgeFile(s.edgePath, s.snap.Load().g); err != nil {
+	if err := semiext.WriteEdgeFileFormat(s.edgePath, s.snap.Load().g, s.edgeFormat); err != nil {
 		// Compaction failed; keep the log so no update is lost. The store
 		// still closes.
 		s.log.Close()

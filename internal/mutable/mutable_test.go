@@ -435,3 +435,50 @@ func TestOriginalIDResolution(t *testing.T) {
 		t.Fatal("edge (0,3) in original IDs not found after insert")
 	}
 }
+
+// TestCompactionPreservesFormat: a store opened from a compressed (v2) edge
+// file must compact back to v2 on Close, and the compacted file must carry
+// the updated graph — the open/update/close/reopen cycle keeps both the
+// layout and the data.
+func TestCompactionPreservesFormat(t *testing.T) {
+	for _, format := range []int{semiext.FormatV1, semiext.FormatV2} {
+		t.Run(fmt.Sprintf("v%d", format), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			path := filepath.Join(t.TempDir(), "g.edges")
+			g := randomGraph(rng, 30)
+			if err := semiext.WriteEdgeFileFormat(path, g, format); err != nil {
+				t.Fatal(err)
+			}
+			st, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			for i := 0; i < 3; i++ {
+				if _, err := st.ApplyUpdates(ctx, randomBatch(rng, st.Graph(), 10)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := fingerprint(t, st.Graph())
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := semiext.OpenReader(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Format() != format {
+				t.Fatalf("compacted file has format v%d, want v%d", r.Format(), format)
+			}
+			r.Close()
+			re, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if got := fingerprint(t, re.Graph()); got != want {
+				t.Fatal("compacted store diverges from pre-close state")
+			}
+		})
+	}
+}

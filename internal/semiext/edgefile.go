@@ -22,53 +22,155 @@ import (
 	"influcomm/internal/graph"
 )
 
-const fileMagic = uint32(0x5EDB_E55A)
+const (
+	fileMagic  = uint32(0x5EDB_E55A)
+	fileMagic2 = uint32(0x5EDB_E55B)
+)
+
+// Edge-file format versions. FormatV1 stores adjacency as fixed 4-byte
+// little-endian ranks; FormatV2 stores each list delta-gap + varint encoded
+// behind a block offset index (see varint.go and docs/FORMATS.md). Both
+// open through the same Reader and View; writers choose with
+// WriteEdgeFileFormat.
+const (
+	FormatV1 = 1
+	FormatV2 = 2
+)
+
+// defaultBlockVerts is the v2 block granule: one 8-byte index entry per this
+// many vertices, giving parallel decoders aligned entry points at ~0.1% file
+// overhead.
+const defaultBlockVerts = 1024
 
 // WriteEdgeFile serializes g to path in the semi-external layout: a header,
 // the vertex weight vector, the per-vertex up-degree vector, and then every
 // up-adjacency list in ascending rank order of its owner — which is exactly
 // decreasing edge weight order, so a prefix of the stream is a prefix
-// subgraph G≥τ.
+// subgraph G≥τ. It writes format v1; WriteEdgeFileFormat selects.
 //
 // The write is atomic: the file is assembled in a temporary sibling and
 // renamed over path on success, so a crash mid-write can never leave a
 // truncated edge file where a serving process expects a complete one.
 func WriteEdgeFile(path string, g *graph.Graph) error {
+	return WriteEdgeFileFormat(path, g, FormatV1)
+}
+
+// WriteEdgeFileFormat is WriteEdgeFile with an explicit format version:
+// FormatV1 (fixed-width adjacency) or FormatV2 (delta-gap + varint
+// compressed adjacency with a block offset index). Both carry the same
+// graph; v2 files are typically 3-5x smaller on clustered graphs.
+func WriteEdgeFileFormat(path string, g *graph.Graph, format int) error {
+	var body func(w *bufio.Writer) error
+	switch format {
+	case FormatV1:
+		body = func(w *bufio.Writer) error { return writeEdgeFileV1(w, g) }
+	case FormatV2:
+		body = func(w *bufio.Writer) error { return writeEdgeFileV2(w, g) }
+	default:
+		return fmt.Errorf("semiext: unknown edge-file format %d (want %d or %d)", format, FormatV1, FormatV2)
+	}
 	err := atomicio.WriteFile(path, func(f *os.File) error {
 		w := bufio.NewWriter(f)
-		le := binary.LittleEndian
-		var hdr [20]byte
-		le.PutUint32(hdr[0:], fileMagic)
-		le.PutUint64(hdr[4:], uint64(g.NumVertices()))
-		le.PutUint64(hdr[12:], uint64(g.NumEdges()))
-		if _, err := w.Write(hdr[:]); err != nil {
+		if err := body(w); err != nil {
 			return err
-		}
-		var buf [8]byte
-		for u := int32(0); int(u) < g.NumVertices(); u++ {
-			le.PutUint64(buf[:], math.Float64bits(g.Weight(u)))
-			if _, err := w.Write(buf[:]); err != nil {
-				return err
-			}
-		}
-		for u := int32(0); int(u) < g.NumVertices(); u++ {
-			le.PutUint32(buf[:4], uint32(g.UpDegree(u)))
-			if _, err := w.Write(buf[:4]); err != nil {
-				return err
-			}
-		}
-		for u := int32(0); int(u) < g.NumVertices(); u++ {
-			for _, v := range g.UpNeighbors(u) {
-				le.PutUint32(buf[:4], uint32(v))
-				if _, err := w.Write(buf[:4]); err != nil {
-					return err
-				}
-			}
 		}
 		return w.Flush()
 	})
 	if err != nil {
 		return fmt.Errorf("semiext: writing edge file: %w", err)
+	}
+	return nil
+}
+
+func writeEdgeFileV1(w *bufio.Writer, g *graph.Graph) error {
+	le := binary.LittleEndian
+	var hdr [20]byte
+	le.PutUint32(hdr[0:], fileMagic)
+	le.PutUint64(hdr[4:], uint64(g.NumVertices()))
+	le.PutUint64(hdr[12:], uint64(g.NumEdges()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		le.PutUint64(buf[:], math.Float64bits(g.Weight(u)))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		le.PutUint32(buf[:4], uint32(g.UpDegree(u)))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.UpNeighbors(u) {
+			le.PutUint32(buf[:4], uint32(v))
+			if _, err := w.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeEdgeFileV2(w *bufio.Writer, g *graph.Graph) error {
+	le := binary.LittleEndian
+	n := g.NumVertices()
+	bv := defaultBlockVerts
+	nb := (n + bv - 1) / bv
+	// Sizing pass: the block index and the varint up-degree section length
+	// go in front of the payload, so their values are computed before any
+	// list is encoded.
+	blockOff := make([]int64, nb+1)
+	var degBytes, payload int64
+	for u := 0; u < n; u++ {
+		if u%bv == 0 {
+			blockOff[u/bv] = payload
+		}
+		list := g.UpNeighbors(int32(u))
+		degBytes += int64(uvarintLen(uint64(len(list))))
+		payload += int64(encodedListLen(list))
+	}
+	blockOff[nb] = payload
+	var hdr [32]byte
+	le.PutUint32(hdr[0:], fileMagic2)
+	le.PutUint64(hdr[4:], uint64(n))
+	le.PutUint64(hdr[12:], uint64(g.NumEdges()))
+	le.PutUint32(hdr[20:], uint32(bv))
+	le.PutUint64(hdr[24:], uint64(degBytes))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for u := int32(0); int(u) < n; u++ {
+		le.PutUint64(buf[:], math.Float64bits(g.Weight(u)))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	for u := int32(0); int(u) < n; u++ {
+		if _, err := w.Write(vbuf[:binary.PutUvarint(vbuf[:], uint64(g.UpDegree(u)))]); err != nil {
+			return err
+		}
+	}
+	for _, off := range blockOff {
+		le.PutUint64(buf[:], uint64(off))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	var scratch []byte
+	for u := int32(0); int(u) < n; u++ {
+		var err error
+		if scratch, err = appendEncodedList(scratch[:0], u, g.UpNeighbors(u)); err != nil {
+			return err
+		}
+		if _, err := w.Write(scratch); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -85,14 +187,20 @@ type Reader struct {
 	weights []float64
 	upDeg   []int32
 
+	format     int     // FormatV1 or FormatV2
+	blockVerts int     // v2: vertices per block-index granule
+	blockOff   []int64 // v2: payload byte offset per block, plus total
+
 	nextVertex int   // first vertex whose up-edges have not been read
 	bytesRead  int64 // edge payload bytes consumed so far
 	headerSize int64
 
-	// scratch receives each adjacency list in one bulk read before the
-	// entries are decoded; it grows to the largest list seen and survives
-	// Reopen, so a pooled reader stops allocating per query.
-	scratch []byte
+	// scratch receives each v1 adjacency list in one bulk read before the
+	// entries are decoded, and adjScratch each decoded v2 list; both grow to
+	// the largest list seen and survive Reopen, so a pooled reader stops
+	// allocating per query.
+	scratch    []byte
+	adjScratch []int32
 }
 
 // OpenReader opens path and loads the per-vertex information.
@@ -125,23 +233,65 @@ func NewReader(src io.Reader, size int64) (*Reader, error) {
 	return r, nil
 }
 
+// FileMeta is the validated per-file state an open materializes: the
+// per-vertex vectors, the payload geometry, and — for v2 files — the block
+// offset index. A store that opened and validated an edge file once hands
+// its meta to pooled Readers (Reopen) so the per-query cost is an open and
+// a seek, not a header re-parse. Adopters must treat the slices as
+// immutable.
+type FileMeta struct {
+	Format     int
+	M          int64
+	Weights    []float64
+	UpDeg      []int32
+	PayloadOff int64
+	BlockVerts int     // v2 only: vertices per index granule
+	BlockOff   []int64 // v2 only: payload byte offset per block, plus total
+}
+
+// Meta returns the reader's validated file state for adoption by Reopen on
+// pooled readers.
+func (r *Reader) Meta() FileMeta {
+	return FileMeta{
+		Format:     r.format,
+		M:          r.m,
+		Weights:    r.weights,
+		UpDeg:      r.upDeg,
+		PayloadOff: r.headerSize,
+		BlockVerts: r.blockVerts,
+		BlockOff:   r.blockOff,
+	}
+}
+
 // Reopen opens path positioned directly at the edge payload, adopting
-// per-vertex state a previous OpenReader of the same file already loaded
-// and validated. A store serving many queries over one edge file opens the
-// header once and then pays only an open+seek per query instead of
-// re-reading 12n bytes of vectors; the reader never writes to the adopted
+// per-vertex state a previous open of the same file already loaded and
+// validated (see FileMeta). A store serving many queries over one edge file
+// opens the header once and then pays only an open+seek per query instead
+// of re-reading the vector sections; the reader never writes to the adopted
 // slices. Only the file size is re-checked — if the file was swapped for
-// one with a different shape, the edge-stream validation (range and order
-// checks in ReadVertexAdj/ReadVertexEdges) still rejects it.
+// one with a different shape, the edge-stream validation (range, order and
+// block-boundary checks in ReadVertexAdj/ReadVertexEdges) still rejects it.
 //
 // The buffered reader's 1 MiB buffer and the decode scratch are kept
 // across Reopen calls, so a pool of Readers serves the residual streaming
 // path with zero steady-state allocations. The zero Reader is valid to
 // Reopen.
-func (r *Reader) Reopen(path string, weights []float64, upDeg []int32, m int64) error {
-	n := len(weights)
-	if len(upDeg) != n {
-		return fmt.Errorf("semiext: weights hold %d vertices, up-degrees %d", n, len(upDeg))
+func (r *Reader) Reopen(path string, meta FileMeta) error {
+	n := len(meta.Weights)
+	if len(meta.UpDeg) != n {
+		return fmt.Errorf("semiext: weights hold %d vertices, up-degrees %d", n, len(meta.UpDeg))
+	}
+	switch meta.Format {
+	case FormatV1:
+		if meta.PayloadOff != 20+12*int64(n) {
+			return fmt.Errorf("semiext: v1 payload offset %d inconsistent with n=%d", meta.PayloadOff, n)
+		}
+	case FormatV2:
+		if meta.BlockVerts < 1 || len(meta.BlockOff) != (n+meta.BlockVerts-1)/meta.BlockVerts+1 {
+			return fmt.Errorf("semiext: v2 meta has %d block offsets for n=%d", len(meta.BlockOff), n)
+		}
+	default:
+		return fmt.Errorf("semiext: unknown edge-file format %d", meta.Format)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -152,12 +302,17 @@ func (r *Reader) Reopen(path string, weights []float64, upDeg []int32, m int64) 
 		f.Close()
 		return fmt.Errorf("semiext: opening edge file: %w", err)
 	}
-	headerSize := 20 + 12*int64(n)
-	if fi.Size() < headerSize || (fi.Size()-headerSize)/4 < m {
-		f.Close()
-		return fmt.Errorf("semiext: file holds %d bytes, too short for n=%d m=%d", fi.Size(), n, m)
+	var payloadLen int64
+	if meta.Format == FormatV1 {
+		payloadLen = 4 * meta.M
+	} else {
+		payloadLen = meta.BlockOff[len(meta.BlockOff)-1]
 	}
-	if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
+	if fi.Size() < meta.PayloadOff || fi.Size()-meta.PayloadOff < payloadLen {
+		f.Close()
+		return fmt.Errorf("semiext: file holds %d bytes, too short for n=%d m=%d", fi.Size(), n, meta.M)
+	}
+	if _, err := f.Seek(meta.PayloadOff, io.SeekStart); err != nil {
 		f.Close()
 		return fmt.Errorf("semiext: seeking past header: %w", err)
 	}
@@ -169,10 +324,13 @@ func (r *Reader) Reopen(path string, weights []float64, upDeg []int32, m int64) 
 	r.c = f
 	r.size = fi.Size()
 	r.n = n
-	r.m = m
-	r.weights = weights
-	r.upDeg = upDeg
-	r.headerSize = headerSize
+	r.m = meta.M
+	r.weights = meta.Weights
+	r.upDeg = meta.UpDeg
+	r.format = meta.Format
+	r.blockVerts = meta.BlockVerts
+	r.blockOff = meta.BlockOff
+	r.headerSize = meta.PayloadOff
 	r.nextVertex = 0
 	r.bytesRead = 0
 	return nil
@@ -180,11 +338,19 @@ func (r *Reader) Reopen(path string, weights []float64, upDeg []int32, m int64) 
 
 func (r *Reader) readHeader() error {
 	le := binary.LittleEndian
-	var hdr [20]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+	var hdr [32]byte
+	if _, err := io.ReadFull(r.br, hdr[:20]); err != nil {
 		return fmt.Errorf("semiext: reading header: %w", err)
 	}
-	if le.Uint32(hdr[0:]) != fileMagic {
+	switch le.Uint32(hdr[0:]) {
+	case fileMagic:
+		r.format = FormatV1
+	case fileMagic2:
+		r.format = FormatV2
+		if _, err := io.ReadFull(r.br, hdr[20:32]); err != nil {
+			return fmt.Errorf("semiext: reading header: %w", err)
+		}
+	default:
 		return fmt.Errorf("semiext: bad magic %#x", le.Uint32(hdr[0:]))
 	}
 	r.n = int(le.Uint64(hdr[4:]))
@@ -193,10 +359,32 @@ func (r *Reader) readHeader() error {
 		return fmt.Errorf("semiext: implausible header n=%d m=%d", r.n, r.m)
 	}
 	// The stream must cover the header's claims; this rejects truncated or
-	// hostile files before any header-sized allocation. The edge payload is
-	// compared by division so an absurd m cannot overflow the arithmetic.
-	if vecEnd := 20 + 12*int64(r.n); r.size < vecEnd || (r.size-vecEnd)/4 < r.m {
-		return fmt.Errorf("semiext: file holds %d bytes, too short for header n=%d m=%d", r.size, r.n, r.m)
+	// hostile files before any header-sized allocation. The v1 edge payload
+	// is compared by division so an absurd m cannot overflow the arithmetic;
+	// v2 bounds every section with subtraction from the known size.
+	var degBytes int64
+	var nb int
+	if r.format == FormatV1 {
+		if vecEnd := 20 + 12*int64(r.n); r.size < vecEnd || (r.size-vecEnd)/4 < r.m {
+			return fmt.Errorf("semiext: file holds %d bytes, too short for header n=%d m=%d", r.size, r.n, r.m)
+		}
+		r.headerSize = 20 + int64(r.n)*12
+	} else {
+		r.blockVerts = int(le.Uint32(hdr[20:]))
+		db := le.Uint64(hdr[24:])
+		if r.blockVerts < 1 {
+			return fmt.Errorf("semiext: implausible v2 block granule %d", r.blockVerts)
+		}
+		if db > uint64(r.size) {
+			return fmt.Errorf("semiext: file holds %d bytes, too short for %d degree bytes", r.size, db)
+		}
+		degBytes = int64(db)
+		nb = (r.n + r.blockVerts - 1) / r.blockVerts
+		rem := r.size - 32 - 8*int64(r.n)
+		if rem < 0 || rem-degBytes < 0 || rem-degBytes-8*int64(nb+1) < r.m {
+			return fmt.Errorf("semiext: file holds %d bytes, too short for header n=%d m=%d", r.size, r.n, r.m)
+		}
+		r.headerSize = 32 + 8*int64(r.n) + degBytes + 8*int64(nb+1)
 	}
 	r.weights = make([]float64, r.n)
 	r.upDeg = make([]int32, r.n)
@@ -219,26 +407,108 @@ func (r *Reader) readHeader() error {
 		r.weights[i] = w
 	}
 	var degSum int64
-	for i := 0; i < r.n; i++ {
-		if _, err := io.ReadFull(r.br, buf[:4]); err != nil {
-			return fmt.Errorf("semiext: reading degrees: %w", err)
+	if r.format == FormatV1 {
+		for i := 0; i < r.n; i++ {
+			if _, err := io.ReadFull(r.br, buf[:4]); err != nil {
+				return fmt.Errorf("semiext: reading degrees: %w", err)
+			}
+			d := int32(le.Uint32(buf[:4]))
+			// Up-neighbors have strictly smaller rank, so vertex i can have
+			// at most i of them; anything else is corruption the edge-stream
+			// checks would only catch after wasted reads.
+			if d < 0 || int64(d) > int64(i) {
+				return fmt.Errorf("semiext: vertex %d claims %d up-neighbors, at most %d possible", i, d, i)
+			}
+			r.upDeg[i] = d
+			degSum += int64(d)
 		}
-		d := int32(le.Uint32(buf[:4]))
-		// Up-neighbors have strictly smaller rank, so vertex i can have at
-		// most i of them; anything else is corruption the edge-stream
-		// checks would only catch after wasted reads.
-		if d < 0 || int64(d) > int64(i) {
-			return fmt.Errorf("semiext: vertex %d claims %d up-neighbors, at most %d possible", i, d, i)
+	} else {
+		var consumed int64
+		for i := 0; i < r.n; i++ {
+			d, k, err := readUvarint(r.br)
+			if err != nil {
+				return fmt.Errorf("semiext: reading degrees: %w", err)
+			}
+			consumed += int64(k)
+			if consumed > degBytes || d > uint64(i) {
+				return fmt.Errorf("semiext: vertex %d claims %d up-neighbors, at most %d possible", i, d, i)
+			}
+			r.upDeg[i] = int32(d)
+			degSum += int64(d)
 		}
-		r.upDeg[i] = d
-		degSum += int64(d)
+		if consumed != degBytes {
+			return fmt.Errorf("semiext: degree section holds %d bytes, header claims %d", consumed, degBytes)
+		}
 	}
 	if degSum != r.m {
 		return fmt.Errorf("semiext: up-degrees sum to %d edges, header claims %d", degSum, r.m)
 	}
-	r.headerSize = 20 + int64(r.n)*12
+	if r.format == FormatV2 {
+		off, err := readBlockIndex(r.br, nb, r.m, r.size-r.headerSize)
+		if err != nil {
+			return err
+		}
+		r.blockOff = off
+	}
 	return nil
 }
+
+// readUvarint decodes one unsigned varint from br, returning the value and
+// the bytes consumed. Unlike binary.ReadUvarint it reports the byte count,
+// which the v2 paths account against the declared section lengths. Both call
+// sites expect a varint to be present, so running out of stream is reported
+// as ErrUnexpectedEOF — a clean io.EOF would read as end-of-payload to
+// streaming callers.
+func readUvarint(br *bufio.Reader) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, i, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, i + 1, fmt.Errorf("varint overflows 64 bits")
+			}
+			return x | uint64(b)<<s, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, binary.MaxVarintLen64, fmt.Errorf("varint overflows 64 bits")
+}
+
+// readBlockIndex reads and validates the nb+1 entry v2 block offset index:
+// offsets are payload-relative, start at zero, never decrease, and the
+// final entry — the encoded payload length — fits the file and covers at
+// least one byte per edge.
+func readBlockIndex(br *bufio.Reader, nb int, m, payloadCap int64) ([]int64, error) {
+	off := make([]int64, nb+1)
+	var buf [8]byte
+	prev := uint64(0)
+	for b := 0; b <= nb; b++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("semiext: reading block index: %w", err)
+		}
+		o := binary.LittleEndian.Uint64(buf[:])
+		if (b == 0 && o != 0) || o < prev || o > uint64(payloadCap) {
+			return nil, fmt.Errorf("semiext: corrupt block index at entry %d", b)
+		}
+		off[b] = int64(o)
+		prev = o
+	}
+	if off[nb] < m {
+		return nil, fmt.Errorf("semiext: payload of %d bytes cannot hold %d edges", off[nb], m)
+	}
+	return off, nil
+}
+
+// Format returns the edge-file format version: FormatV1 or FormatV2.
+func (r *Reader) Format() int { return r.format }
 
 // NumVertices returns the vertex count.
 func (r *Reader) NumVertices() int { return r.n }
@@ -276,6 +546,52 @@ func (r *Reader) nextList() ([]byte, int32, error) {
 	return buf, u, nil
 }
 
+// nextListV2 streams the delta-gap varint encoded list of the next unread
+// vertex into the reader's int32 scratch, enforcing the same invariants the
+// bulk View decoder does: block boundaries land on their declared offsets,
+// entries ascend strictly within [0, owner), and a fully consumed stream
+// ends exactly at the indexed payload length.
+func (r *Reader) nextListV2() ([]int32, int32, error) {
+	u := int32(r.nextVertex)
+	if int(u)%r.blockVerts == 0 {
+		if want := r.blockOff[int(u)/r.blockVerts]; r.bytesRead != want {
+			return nil, u, fmt.Errorf("semiext: block %d starts at payload byte %d, index says %d", int(u)/r.blockVerts, r.bytesRead, want)
+		}
+	}
+	d := int(r.upDeg[u])
+	if cap(r.adjScratch) < d {
+		r.adjScratch = make([]int32, d)
+	}
+	list := r.adjScratch[:d]
+	var cur uint64
+	for j := 0; j < d; j++ {
+		x, k, err := readUvarint(r.br)
+		if err != nil {
+			return nil, u, fmt.Errorf("semiext: reading adjacency of vertex %d: %w", u, err)
+		}
+		r.bytesRead += int64(k)
+		if j == 0 {
+			cur = x
+		} else {
+			if x >= uint64(u) {
+				return nil, u, fmt.Errorf("semiext: corrupt adjacency of vertex %d", u)
+			}
+			cur += x + 1
+		}
+		if cur >= uint64(u) {
+			return nil, u, fmt.Errorf("semiext: corrupt adjacency of vertex %d", u)
+		}
+		list[j] = int32(cur)
+	}
+	r.nextVertex++
+	if r.nextVertex == r.n {
+		if want := r.blockOff[len(r.blockOff)-1]; r.bytesRead != want {
+			return nil, u, fmt.Errorf("semiext: payload ends at byte %d, index says %d", r.bytesRead, want)
+		}
+	}
+	return list, u, nil
+}
+
 // ReadVertexEdges streams the up-adjacency list of the next unread vertex,
 // appending (v, u) pairs to edges, and returns the extended slice. Calls
 // must proceed in vertex order; io.EOF is never returned for vertices whose
@@ -283,6 +599,16 @@ func (r *Reader) nextList() ([]byte, int32, error) {
 func (r *Reader) ReadVertexEdges(edges [][2]int32) ([][2]int32, error) {
 	if r.nextVertex >= r.n {
 		return edges, io.EOF
+	}
+	if r.format == FormatV2 {
+		list, u, err := r.nextListV2()
+		if err != nil {
+			return edges, err
+		}
+		for _, v := range list {
+			edges = append(edges, [2]int32{v, u})
+		}
+		return edges, nil
 	}
 	buf, u, err := r.nextList()
 	if err != nil {
@@ -308,6 +634,13 @@ func (r *Reader) ReadVertexEdges(edges [][2]int32) ([][2]int32, error) {
 func (r *Reader) ReadVertexAdj(adj []int32) ([]int32, error) {
 	if r.nextVertex >= r.n {
 		return adj, io.EOF
+	}
+	if r.format == FormatV2 {
+		list, _, err := r.nextListV2()
+		if err != nil {
+			return adj, err
+		}
+		return append(adj, list...), nil
 	}
 	buf, u, err := r.nextList()
 	if err != nil {

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
+	"sync"
 	"unsafe"
 )
 
@@ -72,7 +74,12 @@ type View struct {
 	m          int64
 	headerSize int64
 	weights    []float64 // always decoded: the region is not 8-byte aligned
-	upDeg      []int32   // aliases the mapping on little-endian mmap builds
+	upDeg      []int32   // aliases the mapping on little-endian v1 mmap builds
+
+	format         int     // FormatV1 or FormatV2
+	blockVerts     int     // v2: vertices per block-index granule
+	blockOff       []int64 // v2: payload byte offset per block, plus total
+	blockEdgeStart []int64 // v2: edge rank at each block boundary, plus m
 
 	mapped bool // data came from mmapFile and needs munmap
 }
@@ -126,7 +133,12 @@ func (v *View) parse(size int64) error {
 	if err != nil {
 		return fmt.Errorf("semiext: reading header: %w", err)
 	}
-	if le.Uint32(hdr[0:]) != fileMagic {
+	switch le.Uint32(hdr[0:]) {
+	case fileMagic:
+		v.format = FormatV1
+	case fileMagic2:
+		v.format = FormatV2
+	default:
 		return fmt.Errorf("semiext: bad magic %#x", le.Uint32(hdr[0:]))
 	}
 	v.n = int(le.Uint64(hdr[4:]))
@@ -134,13 +146,40 @@ func (v *View) parse(size int64) error {
 	if v.n < 0 || v.m < 0 || int64(v.n) > math.MaxInt32 {
 		return fmt.Errorf("semiext: implausible header n=%d m=%d", v.n, v.m)
 	}
-	vecEnd := 20 + 12*int64(v.n)
-	if size < vecEnd || (size-vecEnd)/4 < v.m {
-		return fmt.Errorf("semiext: file holds %d bytes, too short for header n=%d m=%d", size, v.n, v.m)
+	var degBytes int64
+	var nb int
+	var weightsOff int64 = 20
+	if v.format == FormatV1 {
+		vecEnd := 20 + 12*int64(v.n)
+		if size < vecEnd || (size-vecEnd)/4 < v.m {
+			return fmt.Errorf("semiext: file holds %d bytes, too short for header n=%d m=%d", size, v.n, v.m)
+		}
+		v.headerSize = vecEnd
+	} else {
+		var extBuf [12]byte
+		ext, err := v.bytes(20, 12, extBuf[:0])
+		if err != nil {
+			return fmt.Errorf("semiext: reading header: %w", err)
+		}
+		v.blockVerts = int(le.Uint32(ext[0:]))
+		db := le.Uint64(ext[4:])
+		if v.blockVerts < 1 {
+			return fmt.Errorf("semiext: implausible v2 block granule %d", v.blockVerts)
+		}
+		if db > uint64(size) {
+			return fmt.Errorf("semiext: file holds %d bytes, too short for %d degree bytes", size, db)
+		}
+		degBytes = int64(db)
+		nb = (v.n + v.blockVerts - 1) / v.blockVerts
+		rem := size - 32 - 8*int64(v.n)
+		if rem < 0 || rem-degBytes < 0 || rem-degBytes-8*int64(nb+1) < v.m {
+			return fmt.Errorf("semiext: file holds %d bytes, too short for header n=%d m=%d", size, v.n, v.m)
+		}
+		v.headerSize = 32 + 8*int64(v.n) + degBytes + 8*int64(nb+1)
+		weightsOff = 32
 	}
-	v.headerSize = vecEnd
 
-	wb, err := v.bytes(20, 8*int64(v.n), nil)
+	wb, err := v.bytes(weightsOff, 8*int64(v.n), nil)
 	if err != nil {
 		return fmt.Errorf("semiext: reading weights: %w", err)
 	}
@@ -155,25 +194,79 @@ func (v *View) parse(size int64) error {
 		}
 	}
 
-	db, err := v.bytes(20+8*int64(v.n), 4*int64(v.n), nil)
-	if err != nil {
-		return fmt.Errorf("semiext: reading degrees: %w", err)
-	}
-	if v.data != nil && hostLittleEndian {
-		v.upDeg = int32view(db)
-	} else {
-		v.upDeg = make([]int32, v.n)
-		DecodeInt32s(v.upDeg, db)
-	}
 	var degSum int64
-	for i, d := range v.upDeg {
-		if d < 0 || int64(d) > int64(i) {
-			return fmt.Errorf("semiext: vertex %d claims %d up-neighbors, at most %d possible", i, d, i)
+	if v.format == FormatV1 {
+		db, err := v.bytes(20+8*int64(v.n), 4*int64(v.n), nil)
+		if err != nil {
+			return fmt.Errorf("semiext: reading degrees: %w", err)
 		}
-		degSum += int64(d)
+		if v.data != nil && hostLittleEndian {
+			v.upDeg = int32view(db)
+		} else {
+			v.upDeg = make([]int32, v.n)
+			DecodeInt32s(v.upDeg, db)
+		}
+		for i, d := range v.upDeg {
+			if d < 0 || int64(d) > int64(i) {
+				return fmt.Errorf("semiext: vertex %d claims %d up-neighbors, at most %d possible", i, d, i)
+			}
+			degSum += int64(d)
+		}
+	} else {
+		raw, err := v.bytes(32+8*int64(v.n), degBytes, nil)
+		if err != nil {
+			return fmt.Errorf("semiext: reading degrees: %w", err)
+		}
+		v.upDeg = make([]int32, v.n)
+		pos := 0
+		for i := 0; i < v.n; i++ {
+			d, k := binary.Uvarint(raw[pos:])
+			if k <= 0 || d > uint64(i) {
+				return fmt.Errorf("semiext: vertex %d claims %d up-neighbors, at most %d possible", i, d, i)
+			}
+			pos += k
+			v.upDeg[i] = int32(d)
+			degSum += int64(d)
+		}
+		if int64(pos) != degBytes {
+			return fmt.Errorf("semiext: degree section holds %d bytes, header claims %d", pos, degBytes)
+		}
 	}
 	if degSum != v.m {
 		return fmt.Errorf("semiext: up-degrees sum to %d edges, header claims %d", degSum, v.m)
+	}
+	if v.format == FormatV2 {
+		ib, err := v.bytes(32+8*int64(v.n)+degBytes, 8*int64(nb+1), nil)
+		if err != nil {
+			return fmt.Errorf("semiext: reading block index: %w", err)
+		}
+		payloadCap := size - v.headerSize
+		off := make([]int64, nb+1)
+		prev := uint64(0)
+		for b := 0; b <= nb; b++ {
+			o := binary.LittleEndian.Uint64(ib[8*b:])
+			if (b == 0 && o != 0) || o < prev || o > uint64(payloadCap) {
+				return fmt.Errorf("semiext: corrupt block index at entry %d", b)
+			}
+			off[b] = int64(o)
+			prev = o
+		}
+		if off[nb] < v.m {
+			return fmt.Errorf("semiext: payload of %d bytes cannot hold %d edges", off[nb], v.m)
+		}
+		v.blockOff = off
+		// Edge rank at every block boundary: the parallel decoder uses it to
+		// give each chunk a disjoint slice of the output.
+		es := make([]int64, nb+1)
+		var sum int64
+		for i, d := range v.upDeg {
+			if i%v.blockVerts == 0 {
+				es[i/v.blockVerts] = sum
+			}
+			sum += int64(d)
+		}
+		es[nb] = sum
+		v.blockEdgeStart = es
 	}
 	return nil
 }
@@ -211,9 +304,31 @@ func (v *View) Weights() []float64 { return v.weights }
 // modify it; on mmap builds it aliases the read-only mapping.
 func (v *View) UpDegrees() []int32 { return v.upDeg }
 
-// Mapped reports whether adjacency access is zero-copy over a memory
-// mapping (as opposed to positioned reads).
+// Format returns the edge-file format version: FormatV1 or FormatV2.
+func (v *View) Format() int { return v.format }
+
+// Mapped reports whether byte access goes through a memory mapping (as
+// opposed to positioned reads).
 func (v *View) Mapped() bool { return v.data != nil && hostLittleEndian }
+
+// ZeroCopy reports whether adjacency results alias the mapping directly:
+// true only for v1 files on little-endian mmap builds. v2 adjacency is
+// always decoded into a caller buffer, whatever the byte access path.
+func (v *View) ZeroCopy() bool { return v.Mapped() && v.format == FormatV1 }
+
+// Meta returns the view's validated file state for adoption by Reopen on
+// pooled streaming readers.
+func (v *View) Meta() FileMeta {
+	return FileMeta{
+		Format:     v.format,
+		M:          v.m,
+		Weights:    v.weights,
+		UpDeg:      v.upDeg,
+		PayloadOff: v.headerSize,
+		BlockVerts: v.blockVerts,
+		BlockOff:   v.blockOff,
+	}
+}
 
 // Adj returns the up-adjacency entries with edge ranks [lo, hi): the
 // concatenation of every vertex's up-neighbor list in file order, so the
@@ -222,6 +337,9 @@ func (v *View) Mapped() bool { return v.data != nil && hostLittleEndian }
 // untouched; otherwise the entries are decoded into buf (grown as needed),
 // one bulk read for the whole run.
 func (v *View) Adj(lo, hi int64, buf []int32) ([]int32, error) {
+	if v.format != FormatV1 {
+		return nil, fmt.Errorf("semiext: format v%d adjacency has no per-edge byte offsets; use AdjPrefix", v.format)
+	}
 	if lo < 0 || hi < lo || hi > v.m {
 		return nil, fmt.Errorf("semiext: adjacency range [%d,%d) outside [0,%d)", lo, hi, v.m)
 	}
@@ -256,6 +374,103 @@ func (v *View) Adj(lo, hi int64, buf []int32) ([]int32, error) {
 		return nil, fmt.Errorf("semiext: reading adjacency: %w", err)
 	}
 	DecodeInt32s(buf, raw)
+	return buf, nil
+}
+
+// minDecodeChunkEdges bounds how finely AdjPrefix splits a decode: below
+// this many edges per chunk the goroutine handoff costs more than the
+// decode it parallelizes.
+const minDecodeChunkEdges = 1 << 15
+
+// AdjPrefix returns the up-adjacency of the prefix [0, p) in the flat
+// layout FromUpAdjacency consumes — edge ranks [0, e), where e is the edge
+// count of the prefix (the caller's prefix sums already know it; it is
+// re-validated here). For v1 this is Adj(0, e, buf) — zero-copy on mmap
+// builds. For v2 the compressed payload is decoded into buf; with
+// workers > 1 the block offset index splits the decode into disjoint
+// chunks handled concurrently, each chunk writing its own slice of buf, so
+// the result is byte-identical at any worker count.
+func (v *View) AdjPrefix(p int, e int64, workers int, buf []int32) ([]int32, error) {
+	if p < 0 || p > v.n {
+		return nil, fmt.Errorf("semiext: prefix %d outside [0,%d]", p, v.n)
+	}
+	if v.format == FormatV1 {
+		return v.Adj(0, e, buf)
+	}
+	bv := v.blockVerts
+	nbp := (p + bv - 1) / bv
+	want := v.blockEdgeStart[p/bv]
+	for u := (p / bv) * bv; u < p; u++ {
+		want += int64(v.upDeg[u])
+	}
+	if e != want {
+		return nil, fmt.Errorf("semiext: prefix [0,%d) holds %d edges, caller claims %d", p, want, e)
+	}
+	if int64(cap(buf)) < e {
+		buf = make([]int32, e)
+	}
+	buf = buf[:e]
+	if p == 0 {
+		return buf, nil
+	}
+	// One read covers every needed list: [0, blockOff[nbp]) spans through
+	// the end of the last touched block (a partial final block decodes only
+	// its first p-p/bv*bv vertices). On mmap builds this aliases the
+	// mapping; in ReaderAt mode it is a single positioned read.
+	raw, err := v.bytes(v.headerSize, v.blockOff[nbp], nil)
+	if err != nil {
+		return nil, fmt.Errorf("semiext: reading adjacency: %w", err)
+	}
+	if maxChunks := int(e / minDecodeChunkEdges); workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers > nbp {
+		workers = nbp
+	}
+	if workers <= 1 {
+		if _, err := decodeAdjRange(buf, raw, v.upDeg, 0, int32(p), bv, v.blockOff, 0); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	// Chunk boundaries balance edges, not blocks: blockEdgeStart is already
+	// the prefix sum the split needs.
+	bounds := make([]int, 0, workers+1)
+	bounds = append(bounds, 0)
+	for c := 1; c < workers; c++ {
+		target := e * int64(c) / int64(workers)
+		b := sort.Search(nbp, func(b int) bool { return v.blockEdgeStart[b] >= target })
+		if b > bounds[len(bounds)-1] && b < nbp {
+			bounds = append(bounds, b)
+		}
+	}
+	bounds = append(bounds, nbp)
+	errs := make([]error, len(bounds)-1)
+	var wg sync.WaitGroup
+	for c := 0; c < len(bounds)-1; c++ {
+		ba, bb := bounds[c], bounds[c+1]
+		u0, u1 := int32(ba*bv), int32(bb*bv)
+		if int(u1) > p {
+			u1 = int32(p)
+		}
+		out := buf[v.blockEdgeStart[ba]:e]
+		if bb < nbp {
+			out = buf[v.blockEdgeStart[ba]:v.blockEdgeStart[bb]]
+		}
+		in := raw[v.blockOff[ba]:v.blockOff[bb]]
+		base := v.blockOff[ba]
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, errs[c] = decodeAdjRange(out, in, v.upDeg, u0, u1, bv, v.blockOff, base)
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	return buf, nil
 }
 

@@ -154,22 +154,25 @@ func TestDecodeInt32s(t *testing.T) {
 // FuzzViewReaderEquivalence is the mmap-view half of FuzzEdgeFile: for
 // arbitrary bytes, ViewFromBytes and NewReader must agree on acceptance,
 // and when both accept, the view's bulk adjacency must be byte-identical
-// to the stream's edge-by-edge delivery.
+// to the stream's edge-by-edge delivery — for both file formats, at any
+// decode worker count.
 func FuzzViewReaderEquivalence(f *testing.F) {
 	seedDir := f.TempDir()
 	for seed := uint64(1); seed <= 3; seed++ {
 		g := gen.Random(20+int(seed)*9, 4, seed)
-		path := filepath.Join(seedDir, "seed.edges")
-		if err := WriteEdgeFile(path, g); err != nil {
-			f.Fatal(err)
+		for _, format := range []int{FormatV1, FormatV2} {
+			path := filepath.Join(seedDir, "seed.edges")
+			if err := WriteEdgeFileFormat(path, g, format); err != nil {
+				f.Fatal(err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+			f.Add(data[:20])
+			f.Add(data[:len(data)-2])
 		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			f.Fatal(err)
-		}
-		f.Add(data)
-		f.Add(data[:20])
-		f.Add(data[:len(data)-2])
 	}
 	f.Add([]byte{})
 
@@ -181,6 +184,9 @@ func FuzzViewReaderEquivalence(f *testing.F) {
 		}
 		if verr != nil {
 			return
+		}
+		if v.Format() != r.Format() {
+			t.Fatalf("format differs: view %d, reader %d", v.Format(), r.Format())
 		}
 		if v.NumVertices() != r.NumVertices() || v.NumEdges() != r.NumEdges() {
 			t.Fatalf("shape differs: view (%d,%d), reader (%d,%d)",
@@ -199,20 +205,49 @@ func FuzzViewReaderEquivalence(f *testing.F) {
 				break
 			}
 		}
-		view, aerr := v.Adj(0, v.NumEdges(), nil)
-		if aerr != nil {
-			t.Fatalf("view adjacency read failed on accepted image: %v", aerr)
+		view, aerr := v.AdjPrefix(v.NumVertices(), v.NumEdges(), 1, nil)
+		par, perr := v.AdjPrefix(v.NumVertices(), v.NumEdges(), 4, nil)
+		if (aerr == nil) != (perr == nil) {
+			t.Fatalf("decode worker count changes acceptance: 1 worker err %v, 4 workers err %v", aerr, perr)
 		}
-		// The stream validates entries (v < u) the raw view does not; it may
-		// stop early on a corrupt payload. The entries it did deliver must
-		// still match the view byte for byte.
-		for i := range flat {
-			if flat[i] != view[i] {
-				t.Fatalf("adjacency differs at entry %d: stream %d, view %d", i, flat[i], view[i])
+		if aerr == nil {
+			for i := range view {
+				if par[i] != view[i] {
+					t.Fatalf("decode differs between worker counts at entry %d", i)
+				}
 			}
 		}
-		if err == io.EOF && int64(len(flat)) != v.NumEdges() {
-			t.Fatalf("stream delivered %d entries, header claims %d", len(flat), v.NumEdges())
+		if v.Format() == FormatV1 {
+			if aerr != nil {
+				t.Fatalf("view adjacency read failed on accepted v1 image: %v", aerr)
+			}
+			// The stream validates entries (v < u) the raw v1 view does not; it
+			// may stop early on a corrupt payload. The entries it did deliver
+			// must still match the view byte for byte.
+			for i := range flat {
+				if flat[i] != view[i] {
+					t.Fatalf("adjacency differs at entry %d: stream %d, view %d", i, flat[i], view[i])
+				}
+			}
+			if err == io.EOF && int64(len(flat)) != v.NumEdges() {
+				t.Fatalf("stream delivered %d entries, header claims %d", len(flat), v.NumEdges())
+			}
+			return
+		}
+		// v2: both paths validate the full payload, so a completed stream and
+		// a successful bulk decode must coincide — and agree entry for entry.
+		if (err == io.EOF) != (aerr == nil) {
+			t.Fatalf("v2 payload acceptance differs: stream err %v, bulk decode err %v", err, aerr)
+		}
+		if aerr == nil {
+			if int64(len(flat)) != v.NumEdges() {
+				t.Fatalf("stream delivered %d entries, header claims %d", len(flat), v.NumEdges())
+			}
+			for i := range flat {
+				if flat[i] != view[i] {
+					t.Fatalf("adjacency differs at entry %d: stream %d, view %d", i, flat[i], view[i])
+				}
+			}
 		}
 	})
 }

@@ -617,3 +617,69 @@ func TestAdminLoadPrefixCache(t *testing.T) {
 		t.Fatalf("bad mode: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestAdminLoadParallelCompressed loads a compressed (v2) edge file with
+// intra-query parallelism through the admin endpoint: the dataset must
+// report its format and worker count, and answer byte-identically to the
+// in-memory default — the parallel path is an implementation detail, not a
+// semantics change.
+func TestAdminLoadParallelCompressed(t *testing.T) {
+	g := rankGraph(t)
+	edgePath := filepath.Join(t.TempDir(), "g.edges")
+	if err := semiext.WriteEdgeFileFormat(edgePath, g, semiext.FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(rankGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"name":"par","path":%q,"backend":"semiext","workers":4}`, edgePath)
+	resp, err := http.Post(ts.URL+"/v1/admin/datasets", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+	if info.Format != "v2" {
+		t.Errorf("format = %q, want v2", info.Format)
+	}
+	if info.Workers != 4 {
+		t.Errorf("workers = %d, want 4", info.Workers)
+	}
+
+	for _, q := range []string{"k=2&gamma=3", "k=5&gamma=2", "k=1&gamma=1&noncontainment=1"} {
+		_, refBody := fetch(t, ts.URL+"/v1/topk?"+q)
+		code, parBody := fetch(t, ts.URL+"/v1/topk?"+q+"&dataset=par")
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d (%s)", q, code, parBody)
+		}
+		if normalizeBody(t, refBody) != normalizeBody(t, parBody) {
+			t.Errorf("%s: parallel v2 dataset diverges from in-memory default", q)
+		}
+	}
+	for _, d := range s.Datasets() {
+		if d.Name == "par" && (d.Format != "v2" || d.Workers != 4) {
+			t.Errorf("stats report format=%q workers=%d, want v2/4", d.Format, d.Workers)
+		}
+	}
+
+	// A negative worker count in the admin request is a 400, not a crash.
+	resp, err = http.Post(ts.URL+"/v1/admin/datasets", "application/json",
+		bytes.NewBufferString(fmt.Sprintf(`{"name":"bad","path":%q,"backend":"semiext","workers":-1}`, edgePath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative workers: status %d, want 400", resp.StatusCode)
+	}
+}

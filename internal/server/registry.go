@@ -140,6 +140,12 @@ type DatasetInfo struct {
 	// Mode reports the semi-external access path ("mmap", "pread", or
 	// "stream"); empty for in-memory backends.
 	Mode string `json:"mode,omitempty"`
+	// Format reports the semi-external edge-file layout ("v1" flat, "v2"
+	// delta+varint compressed); empty for in-memory backends.
+	Format string `json:"format,omitempty"`
+	// Workers is the per-query parallelism the dataset was loaded with;
+	// 0 or 1 means sequential serving.
+	Workers int `json:"workers,omitempty"`
 	// CachedPrefix is the vertex count the semi-external decoded-prefix
 	// cache currently covers; 0 when disabled or for in-memory backends.
 	CachedPrefix int   `json:"cached_prefix,omitempty"`
@@ -170,6 +176,8 @@ func (d *dataset) info() DatasetInfo {
 	}
 	if se, ok := d.st.(*store.SemiExt); ok {
 		info.Mode = se.Mode()
+		info.Format = fmt.Sprintf("v%d", se.Format())
+		info.Workers = se.Workers()
 		info.CachedPrefix = se.CachedPrefix()
 	}
 	if ms := store.AsMutable(d.st); ms != nil {
@@ -353,6 +361,10 @@ type loadRequest struct {
 	// Mode selects the semi-external access path: "auto" (default),
 	// "mmap", or "stream".
 	Mode string `json:"mode,omitempty"`
+	// Workers enables intra-query parallelism on the semi-external backend:
+	// each query's candidate prefixes decode and evaluate on up to this many
+	// goroutines (see store.WithWorkers). 0 or 1 serves sequentially.
+	Workers int `json:"workers,omitempty"`
 }
 
 // adminAllowed enforces the optional bearer token on admin endpoints.
@@ -389,6 +401,9 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Mode != "" {
 		opts = append(opts, store.WithEdgeFileMode(req.Mode))
+	}
+	if req.Workers != 0 {
+		opts = append(opts, store.WithWorkers(req.Workers))
 	}
 	backend := req.Backend
 	if req.Mutable {

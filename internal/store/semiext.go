@@ -48,6 +48,17 @@ type SemiExt struct {
 	// growth policy runs entirely on this vector, no disk involved.
 	sizes []int64
 
+	// format is the edge-file format version (semiext.FormatV1 or V2) and
+	// meta the validated open state pooled stream readers adopt.
+	format int
+	meta   semiext.FileMeta
+
+	// workers bounds intra-query parallelism: queries large enough to leave
+	// the zero-overhead path evaluate their γ-round decompositions on up to
+	// this many goroutines, and v2 bulk decodes split the same way. 0 or 1
+	// serves strictly sequentially.
+	workers int
+
 	// view is the shared zero-copy window over the edge file; nil in
 	// stream mode, where every access goes through a pooled Reader.
 	view *semiext.View
@@ -89,6 +100,7 @@ type OpenOption func(*openConfig)
 type openConfig struct {
 	prefixCacheBytes int64
 	mode             string
+	workers          int
 }
 
 // WithPrefixCacheBytes budgets the semi-external decoded-prefix cache: the
@@ -113,8 +125,19 @@ func WithEdgeFileMode(mode string) OpenOption {
 	return func(c *openConfig) { c.mode = mode }
 }
 
+// WithWorkers bounds intra-query parallelism for the semi-external backend:
+// queries whose work size leaves the zero-overhead sequential path evaluate
+// their independent γ-round decompositions on up to n goroutines, and bulk
+// prefix decodes of compressed (v2) edge files split across the same
+// worker count. Results are byte-identical at any setting. 0 or 1 (the
+// default) serves strictly sequentially. Ignored by the memory backend.
+func WithWorkers(n int) OpenOption {
+	return func(c *openConfig) { c.workers = n }
+}
+
 // OpenEdgeFile opens a semi-external edge file written by
-// semiext.WriteEdgeFile and loads its per-vertex state.
+// semiext.WriteEdgeFile (format v1 or v2, detected from the header) and
+// loads its per-vertex state.
 func OpenEdgeFile(path string, opts ...OpenOption) (*SemiExt, error) {
 	cfg := openConfig{mode: "auto"}
 	for _, o := range opts {
@@ -123,7 +146,10 @@ func OpenEdgeFile(path string, opts ...OpenOption) (*SemiExt, error) {
 	if cfg.prefixCacheBytes < 0 {
 		return nil, fmt.Errorf("store: negative prefix-cache budget %d", cfg.prefixCacheBytes)
 	}
-	s := &SemiExt{path: path, cacheBudget: cfg.prefixCacheBytes}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("store: negative worker count %d", cfg.workers)
+	}
+	s := &SemiExt{path: path, cacheBudget: cfg.prefixCacheBytes, workers: cfg.workers}
 	switch cfg.mode {
 	case "auto", "mmap":
 		v, err := semiext.OpenView(path)
@@ -142,6 +168,8 @@ func OpenEdgeFile(path string, opts ...OpenOption) (*SemiExt, error) {
 		s.m = v.NumEdges()
 		s.weights = v.Weights()
 		s.upDeg = v.UpDegrees()
+		s.format = v.Format()
+		s.meta = v.Meta()
 		if v.Mapped() {
 			s.mode = "mmap"
 		} else {
@@ -155,12 +183,10 @@ func OpenEdgeFile(path string, opts ...OpenOption) (*SemiExt, error) {
 		defer r.Close()
 		s.n = r.NumVertices()
 		s.m = r.NumEdges()
-		s.weights = make([]float64, s.n)
-		s.upDeg = make([]int32, s.n)
-		for u := 0; u < s.n; u++ {
-			s.weights[u] = r.Weight(int32(u))
-			s.upDeg[u] = r.UpDegree(int32(u))
-		}
+		s.format = r.Format()
+		s.meta = r.Meta()
+		s.weights = s.meta.Weights
+		s.upDeg = s.meta.UpDeg
 		s.mode = "stream"
 	default:
 		return nil, fmt.Errorf("store: unknown edge-file mode %q (want \"auto\", \"mmap\", or \"stream\")", cfg.mode)
@@ -213,6 +239,15 @@ func (s *SemiExt) Backend() string { return "semiext" }
 // or "stream" (per-query sequential reader).
 func (s *SemiExt) Mode() string { return s.mode }
 
+// Format returns the edge-file format version the store serves:
+// semiext.FormatV1 (fixed-width adjacency) or semiext.FormatV2 (delta-gap
+// varint compressed adjacency).
+func (s *SemiExt) Format() int { return s.format }
+
+// Workers returns the intra-query parallelism bound (0 or 1 means strictly
+// sequential serving).
+func (s *SemiExt) Workers() int { return s.workers }
+
 // NumVertices returns the vertex count.
 func (s *SemiExt) NumVertices() int { return s.n }
 
@@ -251,6 +286,9 @@ func (s *SemiExt) TopK(ctx context.Context, k int, gamma int32, opts core.Option
 	src := s.srcPool.Get().(*seSource)
 	src.ctx = ctx
 	defer s.putSource(src)
+	if s.workers > 1 {
+		return core.TopKOverParallel(ctx, src, k, gamma, opts, s.workers)
+	}
 	return core.TopKOver(ctx, src, k, gamma, opts)
 }
 
@@ -354,11 +392,11 @@ func (s *SemiExt) materialize(ctx context.Context, p int, sc *graph.PrefixScratc
 		if q != nil {
 			buf = q.adjBuf
 		}
-		upAdj, err := s.view.Adj(0, e, buf)
+		upAdj, err := s.view.AdjPrefix(p, e, s.workers, buf)
 		if err != nil {
 			return nil, err
 		}
-		if q != nil && !s.view.Mapped() {
+		if q != nil && !s.view.ZeroCopy() {
 			q.adjBuf = upAdj // keep the grown decode buffer for reuse
 		}
 		return graph.FromUpAdjacency(s.weights[:p], s.upDeg[:p], upAdj, sc)
@@ -374,7 +412,7 @@ func (s *SemiExt) materialize(ctx context.Context, p int, sc *graph.PrefixScratc
 			q.r = new(semiext.Reader)
 		}
 		if !q.streamOpen {
-			if err := q.r.Reopen(s.path, s.weights, s.upDeg, s.m); err != nil {
+			if err := q.r.Reopen(s.path, s.meta); err != nil {
 				return nil, err
 			}
 			q.streamOpen = true
@@ -382,7 +420,7 @@ func (s *SemiExt) materialize(ctx context.Context, p int, sc *graph.PrefixScratc
 		r, adj = q.r, q.adj
 	} else {
 		r = new(semiext.Reader)
-		if err := r.Reopen(s.path, s.weights, s.upDeg, s.m); err != nil {
+		if err := r.Reopen(s.path, s.meta); err != nil {
 			return nil, err
 		}
 		defer r.Close()
@@ -465,4 +503,16 @@ func (q *seSource) SourcePool(g *graph.Graph) *core.Pool {
 		return c.pool
 	}
 	return nil
+}
+
+// Fork hands the parallel driver an independent source over the same store
+// for one speculative round: private builds go into the fork's own pooled
+// scratch, so concurrent rounds never share mutable state, while the
+// decoded-prefix cache and its engine pool stay shared (both are safe for
+// concurrent readers). The release callback returns the fork's scratch to
+// the pool; the driver invokes it only once the round's graph is dead.
+func (q *seSource) Fork(ctx context.Context) (core.SearchSource, func()) {
+	f := q.st.srcPool.Get().(*seSource)
+	f.ctx = ctx
+	return f, func() { q.st.putSource(f) }
 }

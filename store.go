@@ -48,6 +48,16 @@ func WithEdgeFileMode(mode string) StoreOption {
 	return store.WithEdgeFileMode(mode)
 }
 
+// WithQueryWorkers bounds intra-query parallelism for the semi-external
+// backend: a query whose work size leaves the zero-overhead sequential path
+// evaluates its independent candidate prefixes on up to n goroutines, and
+// bulk decodes of compressed (v2) edge files split across the same workers.
+// Results — communities and access statistics alike — are byte-identical at
+// any setting; 0 or 1 (the default) serves strictly sequentially.
+func WithQueryWorkers(n int) StoreOption {
+	return store.WithWorkers(n)
+}
+
 // OpenEdgeFileStore opens a semi-external edge file written by SaveEdgeFile
 // as a Store. Only the per-vertex vectors are loaded; queries read just as
 // far into the adjacency as LocalSearch's geometric growth requires,
@@ -124,4 +134,22 @@ func Apply(ctx context.Context, st Store, updates []EdgeUpdate) (UpdateStats, er
 // SaveGraph and SaveIndex.
 func SaveEdgeFile(path string, g *Graph) error {
 	return semiext.WriteEdgeFile(path, g)
+}
+
+// Edge-file layout versions for SaveEdgeFileFormat. V1 stores adjacency as
+// fixed 4-byte ranks; V2 delta-gap + varint compresses each list and adds a
+// block offset index, typically ~3x smaller on clustered graphs while
+// keeping the same prefix-subgraph property and byte-identical query
+// results.
+const (
+	EdgeFileV1 = semiext.FormatV1
+	EdgeFileV2 = semiext.FormatV2
+)
+
+// SaveEdgeFileFormat is SaveEdgeFile with an explicit layout choice:
+// EdgeFileV1 (flat, what SaveEdgeFile writes) or EdgeFileV2 (compressed).
+// Both open through OpenEdgeFileStore and OpenMutableStore, which detect
+// the layout from the file header.
+func SaveEdgeFileFormat(path string, g *Graph, format int) error {
+	return semiext.WriteEdgeFileFormat(path, g, format)
 }
