@@ -1,0 +1,174 @@
+// Command iccoord serves top-k influential community queries over HTTP by
+// scatter-gather across a cluster of icserver shard nodes.
+//
+// Usage:
+//
+//	iccoord -shard name=url[,url2,...][,dataset=D]... [-addr :8090]
+//	        [-maxk 10000] [-shard-timeout 10s] [-partial]
+//	        [-read-timeout 10s] [-write-timeout 60s] [-idle-timeout 2m]
+//	        [-shutdown-timeout 15s]
+//
+// Endpoints (JSON):
+//
+//	GET /healthz
+//	GET /v1/cluster
+//	GET /v1/stats
+//	GET /v1/topk?k=10&gamma=5[&noncontainment=1|&truss=1][&dataset=name]
+//
+// Each -shard flag (repeatable, at least one required) names one partition
+// of the graph and lists its replica base URLs in failover order; dataset=D
+// pins the shard-side dataset name (defaults to the query's, then the
+// shard's default). Shards are icserver nodes serving the partition graphs
+// written by Partition — see docs/CLUSTER.md for the partitioning step, the
+// wire protocol, and why the merged answers are byte-identical to serving
+// the unpartitioned graph on one node.
+//
+// A shard attempt that fails or exceeds -shard-timeout fails over to the
+// next replica. When a shard exhausts its replicas, the query fails (the
+// default, strict mode) or — with -partial — degrades: the answer covers the
+// surviving shards and is marked "partial": true with the dropped shards
+// listed in "failed_shards".
+//
+// The coordinator drains in-flight requests on SIGINT/SIGTERM, waiting up
+// to -shutdown-timeout before closing remaining connections.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"influcomm/internal/cluster"
+)
+
+// parseShardSpec parses "name=url[,url2,...][,dataset=D]": the first URL is
+// the primary replica, later bare URLs are failover replicas.
+func parseShardSpec(spec string) (cluster.Shard, error) {
+	var sh cluster.Shard
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || rest == "" {
+		return sh, fmt.Errorf("bad -shard %q: want name=url[,url2,...][,dataset=D]", spec)
+	}
+	sh.Name = name
+	for _, p := range strings.Split(rest, ",") {
+		switch {
+		case strings.HasPrefix(p, "http://") || strings.HasPrefix(p, "https://"):
+			sh.Replicas = append(sh.Replicas, p)
+		case strings.HasPrefix(p, "dataset="):
+			sh.Dataset = strings.TrimPrefix(p, "dataset=")
+		default:
+			return sh, fmt.Errorf("bad -shard part %q in %q: want a http(s) replica URL or dataset=D", p, spec)
+		}
+	}
+	if len(sh.Replicas) == 0 {
+		return sh, fmt.Errorf("bad -shard %q: no replica URLs", spec)
+	}
+	return sh, nil
+}
+
+// config collects the flag values; main parses, serve runs.
+type config struct {
+	addr            string
+	shards          []cluster.Shard
+	maxK            int
+	shardTimeout    time.Duration
+	partial         bool
+	readTimeout     time.Duration
+	writeTimeout    time.Duration
+	idleTimeout     time.Duration
+	shutdownTimeout time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8090", "listen address")
+	flag.Func("shard", "shard spec: name=url[,url2,...][,dataset=D] (repeatable, at least one required)", func(spec string) error {
+		sh, err := parseShardSpec(spec)
+		if err != nil {
+			return err
+		}
+		cfg.shards = append(cfg.shards, sh)
+		return nil
+	})
+	flag.IntVar(&cfg.maxK, "maxk", 10000, "largest k a single request may ask for")
+	flag.DurationVar(&cfg.shardTimeout, "shard-timeout", 10*time.Second, "per-shard attempt deadline before failover (0 = none)")
+	flag.BoolVar(&cfg.partial, "partial", false, "serve degraded results from surviving shards when a shard exhausts its replicas (default: fail the query)")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP write timeout")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "HTTP idle connection timeout")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 15*time.Second, "graceful shutdown drain limit")
+	flag.Parse()
+	if len(cfg.shards) == 0 {
+		fmt.Fprintln(os.Stderr, "iccoord: at least one -shard is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, cfg, nil); err != nil {
+		log.Fatalf("iccoord: %v", err)
+	}
+}
+
+// serve builds the coordinator and runs the HTTP server until ctx is
+// cancelled, then drains gracefully. When ready is non-nil the bound
+// listener address is sent on it once the server is accepting connections
+// (used by tests to serve on an ephemeral port).
+func serve(ctx context.Context, cfg config, ready chan<- string) error {
+	opts := []cluster.Option{
+		cluster.WithShardTimeout(cfg.shardTimeout),
+		cluster.WithPartialResults(cfg.partial),
+	}
+	coord, err := cluster.NewCoordinator(cfg.shards, opts...)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           cluster.NewHandler(coord, cfg.maxK),
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	mode := "strict"
+	if cfg.partial {
+		mode = "partial"
+	}
+	log.Printf("iccoord: coordinating %d shards (%s mode) on %s", len(cfg.shards), mode, ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("iccoord: shutting down, draining for up to %s", cfg.shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

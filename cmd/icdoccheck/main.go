@@ -1,7 +1,7 @@
-// Command icdoccheck keeps the documentation honest in CI. It has two
+// Command icdoccheck keeps the documentation honest in CI. It has three
 // checks, combinable in one invocation:
 //
-//	icdoccheck [-godoc dir]... [-md path]...
+//	icdoccheck [-godoc dir]... [-md path]... [-flags dir]... [-flagdocs path]...
 //
 // -godoc parses the Go package in dir and fails if any exported top-level
 // symbol — type, function, method on an exported type, const, or var —
@@ -15,6 +15,13 @@
 // mailto) and pure-anchor links are skipped; a "path#anchor" link checks
 // only the path.
 //
+// -flags parses every Go command under dir (each subdirectory holding a
+// package, or dir itself), extracts the flag names its source registers via
+// the standard flag package, and fails unless each name appears — spelled
+// -name — in at least one -flagdocs markdown file (or directory of .md
+// files). It is the enforcement behind "docs/OPERATIONS.md documents every
+// CLI flag": adding a flag without documenting it breaks the docs CI job.
+//
 // Exits 0 when every check passes, 1 with one line per finding otherwise.
 package main
 
@@ -27,6 +34,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -40,10 +49,23 @@ func main() {
 		mdPaths = append(mdPaths, s)
 		return nil
 	})
+	var flagDirs, flagDocs []string
+	flag.Func("flags", "command directory (or tree of commands) whose registered CLI flags must all be documented (repeatable)", func(s string) error {
+		flagDirs = append(flagDirs, s)
+		return nil
+	})
+	flag.Func("flagdocs", "markdown file or directory searched for -flag mentions (repeatable; used with -flags)", func(s string) error {
+		flagDocs = append(flagDocs, s)
+		return nil
+	})
 	flag.Parse()
-	if len(godocDirs) == 0 && len(mdPaths) == 0 {
-		fmt.Fprintln(os.Stderr, "icdoccheck: nothing to do; pass -godoc and/or -md")
+	if len(godocDirs) == 0 && len(mdPaths) == 0 && len(flagDirs) == 0 {
+		fmt.Fprintln(os.Stderr, "icdoccheck: nothing to do; pass -godoc, -md, and/or -flags")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if len(flagDirs) > 0 && len(flagDocs) == 0 {
+		fmt.Fprintln(os.Stderr, "icdoccheck: -flags needs at least one -flagdocs to search")
 		os.Exit(2)
 	}
 	var findings []string
@@ -57,6 +79,14 @@ func main() {
 	}
 	for _, path := range mdPaths {
 		fs, err := checkMarkdown(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icdoccheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(flagDirs) > 0 {
+		fs, err := checkFlagDocs(flagDirs, flagDocs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "icdoccheck: %v\n", err)
 			os.Exit(2)
@@ -150,6 +180,175 @@ func receiverName(recv *ast.FieldList) string {
 		return id.Name
 	}
 	return ""
+}
+
+// flagNameArg maps each flag-registration function of the standard flag
+// package to the index of its name argument: 0 for the value-returning forms
+// (flag.String, flag.Int, ...; also FlagSet methods), 1 for the *Var forms
+// and flag.Func, where the first argument is the destination.
+var flagNameArg = map[string]int{
+	"Bool": 0, "Int": 0, "Int64": 0, "Uint": 0, "Uint64": 0,
+	"String": 0, "Float64": 0, "Duration": 0, "TextVar": 1,
+	"BoolVar": 1, "IntVar": 1, "Int64Var": 1, "UintVar": 1, "Uint64Var": 1,
+	"StringVar": 1, "Float64Var": 1, "DurationVar": 1, "Var": 1,
+	"Func": 0, "BoolFunc": 0,
+}
+
+// commandDirs expands dir into the directories under it (dir included) that
+// contain non-test Go files.
+func commandDirs(dir string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// extractFlags parses the package in dir (tests excluded) and returns the
+// names of every flag it registers through the standard flag package,
+// sorted. Only string-literal names count; a computed name cannot be
+// checked against the docs and is reported as an error.
+func extractFlags(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", dir, err)
+	}
+	seen := map[string]bool{}
+	var names []string
+	var walkErr error
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				// flag.XxxVar(...) or any FlagSet method of the same name;
+				// either way the registration shape is identical.
+				idx, ok := flagNameArg[sel.Sel.Name]
+				if !ok || len(call.Args) <= idx {
+					return true
+				}
+				if id, isID := sel.X.(*ast.Ident); !isID || id.Name != "flag" {
+					return true
+				}
+				lit, ok := call.Args[idx].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					p := fset.Position(call.Pos())
+					walkErr = fmt.Errorf("%s:%d: flag name is not a string literal", p.Filename, p.Line)
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil || name == "" {
+					return true
+				}
+				if !seen[name] {
+					seen[name] = true
+					names = append(names, name)
+				}
+				return true
+			})
+		}
+	}
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// collectMarkdown expands each path into its .md files (a file is taken as
+// is) and concatenates their contents.
+func collectMarkdown(paths []string) (string, error) {
+	var sb strings.Builder
+	for _, path := range paths {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return "", err
+		}
+		files := []string{path}
+		if fi.IsDir() {
+			files = files[:0]
+			err := filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() && strings.HasSuffix(p, ".md") {
+					files = append(files, p)
+				}
+				return nil
+			})
+			if err != nil {
+				return "", err
+			}
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return "", err
+			}
+			sb.Write(data)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String(), nil
+}
+
+// checkFlagDocs verifies that every flag registered by the commands under
+// flagDirs is mentioned, spelled -name, somewhere in the flagDocs markdown.
+func checkFlagDocs(flagDirs, flagDocs []string) ([]string, error) {
+	docs, err := collectMarkdown(flagDocs)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, root := range flagDirs {
+		dirs, err := commandDirs(root)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range dirs {
+			names, err := extractFlags(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range names {
+				// The flag must appear as "-name" with nothing word-like or a
+				// second dash glued to the front, and the name ending at a
+				// word boundary — prose mentions and `-name` code spans both
+				// match, substrings of longer flags do not.
+				re := regexp.MustCompile(`(^|[^-\w])-` + regexp.QuoteMeta(name) + `\b`)
+				if !re.MatchString(docs) {
+					findings = append(findings, fmt.Sprintf("%s: flag -%s is not documented in %s",
+						dir, name, strings.Join(flagDocs, ", ")))
+				}
+			}
+		}
+	}
+	return findings, nil
 }
 
 // mdLink matches inline markdown links [text](target); images share the

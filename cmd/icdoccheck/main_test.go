@@ -82,6 +82,77 @@ func TestCheckGodocRepoRoot(t *testing.T) {
 	}
 }
 
+func TestExtractFlags(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "tool/main.go", `package main
+
+import (
+	"flag"
+	"time"
+)
+
+func main() {
+	var s string
+	var d time.Duration
+	flag.StringVar(&s, "graph", "", "usage")
+	flag.DurationVar(&d, "query-timeout", 0, "usage")
+	n := flag.Int("maxk", 10, "usage")
+	flag.Func("dataset", "usage", func(string) error { return nil })
+	_ = n
+	flag.Parse()
+}
+`)
+	names, err := extractFlags(filepath.Join(dir, "tool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dataset", "graph", "maxk", "query-timeout"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("flags = %v, want %v", names, want)
+	}
+}
+
+func TestCheckFlagDocs(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "cmd/tool/main.go", `package main
+
+import "flag"
+
+func main() {
+	flag.String("documented", "", "usage")
+	flag.String("missing", "", "usage")
+	flag.String("addr", "", "usage")
+	flag.Parse()
+}
+`)
+	write(t, dir, "docs/OPS.md", strings.Join([]string{
+		"Run with `-documented value`.",
+		"The word pre-addr must not count as documenting -ad... nothing.",
+		"And --missing (GNU spelling) should still count? No: double dash",
+		"means the regex sees a dash before the dash, so it must NOT match.",
+		"`-addr :8080` sets the listen address.",
+	}, "\n"))
+	findings, err := checkFlagDocs([]string{filepath.Join(dir, "cmd")}, []string{filepath.Join(dir, "docs")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "flag -missing") {
+		t.Fatalf("findings = %q, want exactly the -missing flag", findings)
+	}
+}
+
+// TestCheckFlagDocsRepo runs the real check against the repository's own
+// commands and documentation, making the flag-coverage guarantee a test.
+func TestCheckFlagDocsRepo(t *testing.T) {
+	findings, err := checkFlagDocs([]string{".."}, []string{"../../README.md", "../../docs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}
+
 func TestCheckMarkdown(t *testing.T) {
 	dir := t.TempDir()
 	write(t, dir, "docs/real.md", "# target")

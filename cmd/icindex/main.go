@@ -11,6 +11,7 @@
 //	        [-pagerank] [-workers N] [-timeout 0] [-verify]
 //	icindex -compact g.edges
 //	icindex -recode in.edges [-edges out.edges] [-format v1|v2]
+//	icindex -graph g.txt -partition N [-pagerank]   (writes g.txt.shardI.bin)
 //
 // -compact folds a mutable dataset's write-ahead update log (g.edges.log,
 // left behind by an icserver that exited uncleanly) back into its edge
@@ -25,6 +26,16 @@
 // identically; recoding never changes query results, only bytes on disk.
 // It runs alone, without -graph. -format likewise selects the layout
 // -edges writes in the build mode (default v1).
+//
+// -partition splits the graph into up to N component-closed shard graphs,
+// written next to the input as g.txt.shard0.bin, g.txt.shard1.bin, ... in
+// the binary graph format (which, unlike the text format, preserves sparse
+// original IDs exactly) — the offline step that feeds a scatter-gather
+// cluster (one icserver per shard file behind an iccoord; see
+// docs/CLUSTER.md). With -pagerank the *global* PageRank scores are baked
+// into the shard files first; do not pass -pagerank to the shard servers in
+// that case, or they would recompute per-shard scores and break parity with
+// a single node.
 //
 // Otherwise at least one of -out and -edges is required. The index is bound to the
 // exact graph and weight vector it was built from: pass the same graph
@@ -56,6 +67,7 @@ type config struct {
 	edgesPath   string
 	compactPath string
 	recodePath  string
+	partition   int
 	format      string
 	usePagerank bool
 	workers     int
@@ -82,6 +94,7 @@ func main() {
 	flag.StringVar(&cfg.edgesPath, "edges", "", "path to write a semi-external edge file to")
 	flag.StringVar(&cfg.compactPath, "compact", "", "compact a mutable dataset's update log back into this edge file, then exit")
 	flag.StringVar(&cfg.recodePath, "recode", "", "rewrite this edge file into the -format layout (to -edges, or in place), then exit")
+	flag.IntVar(&cfg.partition, "partition", 0, "split -graph into up to N component-closed shard graphs (<graph>.shardI.bin), then exit")
 	flag.StringVar(&cfg.format, "format", "", "edge-file layout to write: v1 (flat, default) or v2 (delta+varint compressed)")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores before building (use the same flag on icserver)")
 	flag.IntVar(&cfg.workers, "workers", 0, "parallel build workers (0 = all cores, 1 = sequential)")
@@ -96,6 +109,17 @@ func main() {
 	}
 	if cfg.recodePath != "" {
 		if err := recode(cfg, log.Printf); err != nil {
+			log.Fatalf("icindex: %v", err)
+		}
+		return
+	}
+	if cfg.partition > 0 {
+		if cfg.graphPath == "" {
+			fmt.Fprintln(os.Stderr, "icindex: -partition requires -graph")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := partitionCmd(cfg, log.Printf); err != nil {
 			log.Fatalf("icindex: %v", err)
 		}
 		return
@@ -170,6 +194,42 @@ func recode(cfg config, logf func(string, ...any)) error {
 	}
 	logf("icindex: recoded %s (v%d, %d bytes) -> %s (v%d, %d bytes): %d vertices, %d edges",
 		cfg.recodePath, v.Format(), inSize, outPath, format, info.Size(), g.NumVertices(), g.NumEdges())
+	return nil
+}
+
+// partitionCmd splits the graph into component-closed shard graphs and
+// writes each as <graph>.shardI.bin — the binary format, because shard
+// vertex sets have gaps in the original-ID space and only the binary layout
+// stores original IDs explicitly (the text format would materialize the
+// gaps as phantom weight-0 vertices). With -pagerank the global scores are
+// baked in before the split, since per-shard PageRank would not match the
+// global ranking.
+func partitionCmd(cfg config, logf func(string, ...any)) error {
+	g, err := influcomm.LoadGraph(cfg.graphPath)
+	if err != nil {
+		return err
+	}
+	if cfg.usePagerank {
+		if g, err = influcomm.PageRankWeights(g); err != nil {
+			return err
+		}
+	}
+	shards, err := influcomm.PartitionGraph(g, cfg.partition)
+	if err != nil {
+		return err
+	}
+	for i, sg := range shards {
+		path := fmt.Sprintf("%s.shard%d.bin", cfg.graphPath, i)
+		if err := influcomm.SaveGraph(path, sg); err != nil {
+			return fmt.Errorf("writing shard %d: %w", i, err)
+		}
+		logf("icindex: shard %d: %d vertices, %d edges at %s",
+			i, sg.NumVertices(), sg.NumEdges(), path)
+	}
+	if len(shards) < cfg.partition {
+		logf("icindex: graph has only enough components for %d of %d shards",
+			len(shards), cfg.partition)
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -272,6 +273,67 @@ func TestRecodeRoundTrip(t *testing.T) {
 	// A bad -format is an error, not a silent v1.
 	if err := recode(config{recodePath: v1Path, format: "v3"}, logf); err == nil {
 		t.Error("format v3: want error")
+	}
+}
+
+// TestPartition: -partition writes component-closed shard graph files that
+// together cover the input and each reload cleanly.
+func TestPartition(t *testing.T) {
+	// Two triangles and a pendant pair: three components.
+	var b influcomm.Builder
+	for id := int32(0); id < 8; id++ {
+		b.AddVertex(id, float64(10+id))
+	}
+	for _, e := range [][2]int32{
+		{0, 1}, {0, 2}, {1, 2},
+		{3, 4}, {3, 5}, {4, 5},
+		{6, 7},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphPath := filepath.Join(t.TempDir(), "g.txt")
+	if err := influcomm.SaveGraph(graphPath, g); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	logf := func(f string, a ...any) { logs = append(logs, f) }
+	if err := partitionCmd(config{graphPath: graphPath, partition: 2}, logf); err != nil {
+		t.Fatalf("partitionCmd: %v", err)
+	}
+	if len(logs) != 2 {
+		t.Fatalf("logs = %q, want one line per shard", logs)
+	}
+	total := int64(0)
+	totalEdges := int64(0)
+	for i := 0; i < 2; i++ {
+		sg, err := influcomm.LoadGraph(fmt.Sprintf("%s.shard%d.bin", graphPath, i))
+		if err != nil {
+			t.Fatalf("reloading shard %d: %v", i, err)
+		}
+		total += int64(sg.NumVertices())
+		totalEdges += sg.NumEdges()
+	}
+	if total != int64(g.NumVertices()) || totalEdges != g.NumEdges() {
+		t.Fatalf("shards cover %d vertices / %d edges, want %d / %d",
+			total, totalEdges, g.NumVertices(), g.NumEdges())
+	}
+
+	// A single-component graph cannot be split beyond one shard.
+	onePath := writeFixture(t)
+	logs = nil
+	if err := partitionCmd(config{graphPath: onePath, partition: 3}, logf); err != nil {
+		t.Fatalf("partitionCmd on connected graph: %v", err)
+	}
+	if len(logs) != 2 || !strings.Contains(logs[1], "components") {
+		t.Fatalf("logs = %q, want one shard line plus a short-fall notice", logs)
+	}
+	if err := partitionCmd(config{graphPath: filepath.Join(t.TempDir(), "missing.txt"), partition: 2}, logf); err == nil {
+		t.Error("missing graph: want error")
 	}
 }
 

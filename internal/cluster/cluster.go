@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Shard is one partition of the dataset: a name the coordinator reports in
+// epoch vectors and failure lists, and one or more replica base URLs that
+// each serve the same partition.
+type Shard struct {
+	// Name identifies the shard in Result.Epochs and Result.FailedShards.
+	Name string `json:"name"`
+	// Replicas are base URLs ("http://host:port") tried in order: the first
+	// is primary, the rest are failover targets serving the same partition.
+	Replicas []string `json:"replicas"`
+	// Dataset overrides the query's dataset name on this shard; empty means
+	// the query's name (or the shard server's default) is used.
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// Result is one merged cluster answer.
+type Result struct {
+	// Communities is the global top-k, in decreasing influence order —
+	// byte-identical (field for field) to single-node serving of the
+	// unpartitioned graph when the shards were built with Partition.
+	Communities []Community
+	// Epochs maps each participating shard's name to the snapshot epoch it
+	// pinned for this query: the epoch vector that tells a client exactly
+	// which data version each piece of the answer reflects.
+	Epochs map[string]uint64
+	// Partial reports that at least one shard was dropped (all replicas
+	// failed or timed out) and the answer covers only the survivors. Only
+	// possible when the coordinator allows partial results.
+	Partial bool
+	// FailedShards names the dropped shards, sorted.
+	FailedShards []string
+}
+
+// Option configures a Coordinator.
+type Option func(*Coordinator)
+
+// WithShardTimeout bounds each shard attempt (connect through trailer). A
+// replica that exceeds it is treated exactly like a failed one: the
+// coordinator fails over to the next replica, and past the last replica the
+// shard is dropped (partial mode) or the query errors (strict mode). Zero
+// means no per-shard bound; the request context still applies.
+func WithShardTimeout(d time.Duration) Option {
+	return func(c *Coordinator) { c.shardTimeout = d }
+}
+
+// WithPartialResults selects degraded serving: when a shard exhausts its
+// replicas the query continues over the survivors and the Result is marked
+// Partial. The default is strict mode — any shard failure fails the query,
+// so an answer is always complete.
+func WithPartialResults(allow bool) Option {
+	return func(c *Coordinator) { c.partial = allow }
+}
+
+// WithHTTPClient substitutes the HTTP client used for shard streams.
+func WithHTTPClient(client *http.Client) Option {
+	return func(c *Coordinator) { c.client = client }
+}
+
+// Coordinator scatters top-k queries across shards and gathers the global
+// answer by k-way merging the shards' decreasing-influence streams. It is
+// safe for concurrent use.
+type Coordinator struct {
+	shards       []Shard
+	client       *http.Client
+	shardTimeout time.Duration
+	partial      bool
+
+	queries   atomic.Int64
+	errors    atomic.Int64
+	partials  atomic.Int64
+	failovers atomic.Int64
+}
+
+// NewCoordinator validates the topology and builds a coordinator.
+func NewCoordinator(shards []Shard, opts ...Option) (*Coordinator, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: a coordinator needs at least one shard")
+	}
+	seen := make(map[string]bool, len(shards))
+	for i, sh := range shards {
+		if sh.Name == "" {
+			return nil, fmt.Errorf("cluster: shard %d has no name", i)
+		}
+		if seen[sh.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", sh.Name)
+		}
+		seen[sh.Name] = true
+		if len(sh.Replicas) == 0 {
+			return nil, fmt.Errorf("cluster: shard %q has no replicas", sh.Name)
+		}
+	}
+	c := &Coordinator{shards: shards, client: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Shards returns the configured topology.
+func (c *Coordinator) Shards() []Shard { return c.shards }
+
+// Stats is a snapshot of the coordinator's serving counters.
+type Stats struct {
+	// Queries is the number of TopK calls started.
+	Queries int64 `json:"queries"`
+	// Errors is the number that returned an error.
+	Errors int64 `json:"errors"`
+	// PartialResults is the number answered with at least one shard dropped.
+	PartialResults int64 `json:"partial_results"`
+	// Failovers counts replica advances: every time a shard attempt failed
+	// and the coordinator moved to the next replica (or dropped the shard).
+	Failovers int64 `json:"failovers"`
+	// Shards is the configured shard count.
+	Shards int `json:"shards"`
+}
+
+// Stats snapshots the serving counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Queries:        c.queries.Load(),
+		Errors:         c.errors.Load(),
+		PartialResults: c.partials.Load(),
+		Failovers:      c.failovers.Load(),
+		Shards:         len(c.shards),
+	}
+}
+
+// TopK runs one scatter-gather query: the global top-k influential
+// communities for gamma under mode (ModeCore, ModeNonContainment, or
+// ModeTruss), over dataset (empty for each shard's default). Each shard
+// streams its local answer in decreasing influence order; the merge pops the
+// globally best head until k communities are popped — at that point every
+// remaining head, and everything behind it in its stream, is dominated, so
+// the coordinator closes the streams and the shards cancel their searches.
+func (c *Coordinator) TopK(ctx context.Context, dataset string, k int, gamma int32, mode string) (*Result, error) {
+	c.queries.Add(1)
+	res, err := c.topK(ctx, dataset, k, gamma, mode)
+	if err != nil {
+		c.errors.Add(1)
+		return nil, err
+	}
+	if res.Partial {
+		c.partials.Add(1)
+	}
+	return res, nil
+}
+
+func (c *Coordinator) topK(ctx context.Context, dataset string, k int, gamma int32, mode string) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1")
+	}
+	if gamma < 1 {
+		return nil, fmt.Errorf("cluster: gamma must be >= 1")
+	}
+	switch mode {
+	case "":
+		mode = ModeCore
+	case ModeCore, ModeNonContainment, ModeTruss:
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %q", mode)
+	}
+
+	n := len(c.shards)
+	cursors := make([]int, n) // next replica to try, per shard
+	dead := make([]bool, n)   // dropped shards (partial mode only)
+	for {
+		res, failIdx, failCursor, err := c.gather(ctx, dataset, k, gamma, mode, cursors, dead)
+		if err != nil {
+			return nil, err
+		}
+		if failIdx < 0 {
+			return res, nil
+		}
+		// A shard failed after the merge had already consumed some of its
+		// communities: those results are suspect (a replica restart may pin
+		// a different epoch), so the whole gather restarts with that shard's
+		// replica cursor advanced. Each restart either advances a cursor or
+		// kills a shard, so the loop terminates.
+		c.failovers.Add(1)
+		cursors[failIdx] = failCursor
+		if failCursor >= len(c.shards[failIdx].Replicas) {
+			if !c.partial {
+				return nil, fmt.Errorf("cluster: shard %q failed on all replicas", c.shards[failIdx].Name)
+			}
+			dead[failIdx] = true
+		}
+		alive := 0
+		for i := range dead {
+			if !dead[i] {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return nil, fmt.Errorf("cluster: all shards failed")
+		}
+	}
+}
+
+// shardItem is one event from a shard reader: exactly one of header, comm,
+// trailer, or err is set. replica is the replica index that produced it.
+type shardItem struct {
+	header  *StreamHeader
+	comm    *Community
+	trailer *StreamTrailer
+	err     error
+	replica int
+}
+
+// send delivers an item unless the gather has been canceled.
+func send(ctx context.Context, out chan<- shardItem, it shardItem) bool {
+	select {
+	case out <- it:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// readShard streams one shard into out. Failures before the header are
+// retried on the next replica internally — nothing has been consumed, so
+// failover is invisible to the merge. Once a header is delivered the stream
+// is committed: a later failure is reported as an err item and the merge
+// decides whether a full restart is needed.
+func (c *Coordinator) readShard(ctx context.Context, sh Shard, dataset string, start, limit int, gamma int32, mode string, out chan<- shardItem) {
+	if sh.Dataset != "" {
+		dataset = sh.Dataset
+	}
+	var lastErr error
+	for r := start; r < len(sh.Replicas); r++ {
+		if r > start {
+			c.failovers.Add(1)
+		}
+		sctx, cancel := ctx, context.CancelFunc(func() {})
+		if c.shardTimeout > 0 {
+			sctx, cancel = context.WithTimeout(ctx, c.shardTimeout)
+		}
+		ss, err := openStream(sctx, c.client, sh.Replicas[r], dataset, mode, gamma, limit)
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		if !send(ctx, out, shardItem{header: &ss.header, replica: r}) {
+			ss.Close()
+			cancel()
+			return
+		}
+		for {
+			comm, trailer, err := ss.Next()
+			var it shardItem
+			switch {
+			case err != nil:
+				if sctx.Err() != nil {
+					err = fmt.Errorf("shard %q replica %s: %w", sh.Name, sh.Replicas[r], sctx.Err())
+				}
+				it = shardItem{err: err, replica: r}
+			case trailer != nil:
+				it = shardItem{trailer: trailer, replica: r}
+			default:
+				it = shardItem{comm: comm, replica: r}
+			}
+			ok := send(ctx, out, it)
+			if !ok || it.comm == nil {
+				ss.Close()
+				cancel()
+				return
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no replicas configured")
+	}
+	send(ctx, out, shardItem{
+		err:     fmt.Errorf("shard %q: all replicas failed: %w", sh.Name, lastErr),
+		replica: len(sh.Replicas),
+	})
+}
+
+// gather runs one merge attempt. It returns either a finished Result
+// (failIdx == -1), or a restart request: failIdx names a shard that failed
+// after some of its communities were merged, failCursor the replica index to
+// resume from. Terminal errors (bad context, strict-mode failure discovered
+// before any consumption) come back as err.
+func (c *Coordinator) gather(ctx context.Context, dataset string, k int, gamma int32, mode string, cursors []int, dead []bool) (res *Result, failIdx, failCursor int, err error) {
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel() // closes surviving streams -> shards cancel their searches
+
+	n := len(c.shards)
+	chans := make([]chan shardItem, n)
+	for i := range c.shards {
+		if dead[i] {
+			continue
+		}
+		chans[i] = make(chan shardItem)
+		go c.readShard(gctx, c.shards[i], dataset, cursors[i], k, gamma, mode, chans[i])
+	}
+
+	// Per-shard merge state. A shard is "live" while it might still produce
+	// a community: it has a pending head, or a head has not been pulled yet.
+	heads := make([]*Community, n)
+	done := make([]bool, n)
+	consumed := make([]int, n)
+	epochs := make(map[string]uint64, n)
+	failed := make([]string, 0)
+	for i, sh := range c.shards {
+		if dead[i] {
+			failed = append(failed, sh.Name)
+			done[i] = true
+		}
+	}
+
+	// fail records a shard failure discovered at item it. If the merge has
+	// already consumed communities from that shard the attempt must restart
+	// from the next replica; otherwise the shard can be dropped (or the
+	// query failed) in place without disturbing the merge.
+	fail := func(i int, it shardItem) (restartAt int, err error) {
+		if consumed[i] > 0 {
+			return it.replica + 1, nil
+		}
+		if !c.partial {
+			return -1, fmt.Errorf("cluster: shard %q failed: %w", c.shards[i].Name, it.err)
+		}
+		// The cursor advance is recorded so a restart triggered by another
+		// shard does not resurrect this one.
+		c.failovers.Add(1)
+		dead[i] = true
+		cursors[i] = len(c.shards[i].Replicas)
+		done[i] = true
+		heads[i] = nil
+		delete(epochs, c.shards[i].Name)
+		failed = append(failed, c.shards[i].Name)
+		return -1, nil
+	}
+
+	// pull advances shard i to its next head (or marks it done). A restart
+	// request surfaces as restartAt >= 0: the replica cursor to resume from.
+	pull := func(i int) (restartAt int, err error) {
+		for {
+			select {
+			case it := <-chans[i]:
+				switch {
+				case it.header != nil:
+					epochs[c.shards[i].Name] = it.header.SnapshotEpoch
+					continue // the first community/trailer follows
+				case it.comm != nil:
+					heads[i] = it.comm
+					return -1, nil
+				case it.trailer != nil:
+					done[i] = true
+					heads[i] = nil
+					return -1, nil
+				default:
+					return fail(i, it)
+				}
+			case <-ctx.Done():
+				return -1, fmt.Errorf("cluster: %w", ctx.Err())
+			}
+		}
+	}
+
+	// out stays nil when no shard produces anything, so an empty answer
+	// marshals exactly like a single node's ("communities": null).
+	var out []Community
+	for len(out) < k {
+		// Ensure every live shard has a head, then pop the global best. The
+		// tie order (influence desc, keynode asc) is exactly the order the
+		// unpartitioned stream emits: equal influence means equal keynode
+		// weight, and the global vertex ranking breaks weight ties by
+		// ascending original ID.
+		best := -1
+		for i := range c.shards {
+			if done[i] {
+				continue
+			}
+			if heads[i] == nil {
+				restartAt, err := pull(i)
+				if err != nil {
+					return nil, -1, 0, err
+				}
+				if restartAt >= 0 {
+					return nil, i, restartAt, nil
+				}
+				if heads[i] == nil {
+					continue // went done (trailer) or was dropped
+				}
+			}
+			h := heads[i]
+			if best < 0 || h.Influence > heads[best].Influence ||
+				(h.Influence == heads[best].Influence && h.Keynode < heads[best].Keynode) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // every shard exhausted: the cluster has fewer than k
+		}
+		out = append(out, *heads[best])
+		heads[best] = nil
+		consumed[best]++
+	}
+
+	sort.Strings(failed)
+	return &Result{
+		Communities:  out,
+		Epochs:       epochs,
+		Partial:      len(failed) > 0,
+		FailedShards: failed,
+	}, -1, 0, nil
+}

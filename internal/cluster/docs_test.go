@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"os"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The coordinator's /v1/stats fields are pinned to docs/OPERATIONS.md the
+// same way the shard server's are (see internal/server/docs_test.go); the
+// tiny parser is duplicated rather than exported — it is test scaffolding,
+// not API.
+
+var docFieldRow = regexp.MustCompile("(?m)^\\| `([a-z0-9_]+)`")
+
+func docFields(t *testing.T, path, section string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	begin := "<!-- fields:" + section + ":begin -->"
+	_, rest, ok := strings.Cut(string(data), begin)
+	if !ok {
+		t.Fatalf("%s: marker %q not found", path, begin)
+	}
+	body, _, ok := strings.Cut(rest, "<!-- fields:"+section+":end -->")
+	if !ok {
+		t.Fatalf("%s: end marker for %q not found", path, section)
+	}
+	fields := make(map[string]bool)
+	for _, m := range docFieldRow.FindAllStringSubmatch(body, -1) {
+		fields[m[1]] = true
+	}
+	if len(fields) == 0 {
+		t.Fatalf("%s: section %s documents no fields", path, section)
+	}
+	return fields
+}
+
+func jsonFields(t *testing.T, v any) map[string]bool {
+	t.Helper()
+	fields := make(map[string]bool)
+	rt := reflect.TypeOf(v)
+	for i := 0; i < rt.NumField(); i++ {
+		name, _, _ := strings.Cut(rt.Field(i).Tag.Get("json"), ",")
+		if name != "" && name != "-" {
+			fields[name] = true
+		}
+	}
+	return fields
+}
+
+// TestCoordinatorStatsDocumented pins the iccoord /v1/stats fields to
+// docs/OPERATIONS.md in both directions.
+func TestCoordinatorStatsDocumented(t *testing.T) {
+	code := jsonFields(t, Stats{})
+	doc := docFields(t, "../../docs/OPERATIONS.md", "coordinator-stats")
+	for f := range code {
+		if !doc[f] {
+			t.Errorf("coordinator /v1/stats field %q is not documented", f)
+		}
+	}
+	for f := range doc {
+		if !code[f] {
+			t.Errorf("documented coordinator stats field %q is no longer emitted", f)
+		}
+	}
+}
+
+// TestTopKResponseFieldsDocumented pins the iccoord /v1/topk envelope to the
+// response-shape table in docs/CLUSTER.md.
+func TestTopKResponseFieldsDocumented(t *testing.T) {
+	code := jsonFields(t, topKResponse{})
+	doc := docFields(t, "../../docs/CLUSTER.md", "coordinator-topk")
+	for f := range code {
+		if !doc[f] {
+			t.Errorf("coordinator /v1/topk field %q is not documented", f)
+		}
+	}
+	for f := range doc {
+		if !code[f] {
+			t.Errorf("documented coordinator topk field %q is no longer emitted", f)
+		}
+	}
+}

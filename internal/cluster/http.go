@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// NewHandler wraps a Coordinator in the iccoord HTTP front: the same /v1/topk
+// query surface as a single icserver node, answered by scatter-gather.
+//
+//	GET /healthz                          liveness + shard count
+//	GET /v1/cluster                       the configured shard topology
+//	GET /v1/stats                         coordinator serving counters
+//	GET /v1/topk?k=10&gamma=5             merged global top-k
+//	    [&dataset=D][&mode=core|noncontainment|truss]
+//	    [&truss=1][&noncontainment=1]     single-node flag spelling, same meaning
+//
+// maxK bounds k exactly like icserver's -maxk.
+func NewHandler(c *Coordinator, maxK int) http.Handler {
+	h := &handler{c: c, maxK: maxK}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /v1/cluster", h.cluster)
+	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("GET /v1/topk", h.topK)
+	return mux
+}
+
+type handler struct {
+	c    *Coordinator
+	maxK int
+}
+
+// topKResponse is the coordinator's /v1/topk envelope. Communities carries
+// the same Community JSON as a shard stream and a single-node response;
+// the cluster-only fields are the epoch vector and the degradation markers.
+type topKResponse struct {
+	K            int               `json:"k"`
+	Gamma        int               `json:"gamma"`
+	Mode         string            `json:"mode"`
+	Communities  []Community       `json:"communities"`
+	Epochs       map[string]uint64 `json:"epochs"`
+	Partial      bool              `json:"partial"`
+	FailedShards []string          `json:"failed_shards,omitempty"`
+	ElapsedMS    float64           `json:"elapsed_ms"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": len(h.c.Shards())})
+}
+
+func (h *handler) cluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"shards": h.c.Shards()})
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.c.Stats())
+}
+
+func (h *handler) topK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	intOr := func(s string, def int) (int, error) {
+		if s == "" {
+			return def, nil
+		}
+		return strconv.Atoi(s)
+	}
+	k, err := intOr(q.Get("k"), 10)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad k: " + err.Error()})
+		return
+	}
+	gamma, err := intOr(q.Get("gamma"), 5)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad gamma: " + err.Error()})
+		return
+	}
+	if k < 1 || k > h.maxK {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("k must be in [1, %d]", h.maxK)})
+		return
+	}
+	if gamma < 1 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "gamma must be >= 1"})
+		return
+	}
+	mode := q.Get("mode")
+	useTruss, nonContain := q.Get("truss") == "1", q.Get("noncontainment") == "1"
+	switch {
+	case mode != "":
+		if mode != ModeCore && mode != ModeNonContainment && mode != ModeTruss {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("unknown mode %q", mode)})
+			return
+		}
+	case useTruss && nonContain:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "truss and noncontainment are mutually exclusive"})
+		return
+	case useTruss:
+		mode = ModeTruss
+	case nonContain:
+		mode = ModeNonContainment
+	default:
+		mode = ModeCore
+	}
+
+	start := time.Now()
+	res, err := h.c.TopK(r.Context(), q.Get("dataset"), k, int32(gamma), mode)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, &topKResponse{
+		K:            k,
+		Gamma:        gamma,
+		Mode:         mode,
+		Communities:  res.Communities,
+		Epochs:       res.Epochs,
+		Partial:      res.Partial,
+		FailedShards: res.FailedShards,
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000.0,
+	})
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"influcomm/internal/dsu"
+	"influcomm/internal/graph"
+)
+
+// Partition splits g into at most n shard graphs whose vertex sets are
+// unions of whole connected components, balanced greedily by vertex count
+// (largest component first onto the lightest shard). The result is
+// deterministic for a given graph.
+//
+// Component closure is the property the scatter-gather merge relies on: an
+// influential γ-community (core or truss) is connected, so it lies inside
+// one component and therefore inside exactly one shard; and because a shard
+// holds only whole components, its communities are exactly the global
+// communities of those components. InducedSubgraph preserves weights,
+// original IDs, labels, and the relative rank order, so per-shard results
+// merge back into the unpartitioned graph's answers byte for byte.
+//
+// When g has fewer components than n, fewer than n shards are returned —
+// a shard is never empty. n == 1 returns g itself.
+func Partition(g *graph.Graph, n int) ([]*graph.Graph, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, fmt.Errorf("cluster: cannot partition a nil or empty graph")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d must be at least 1", n)
+	}
+	if n == 1 {
+		return []*graph.Graph{g}, nil
+	}
+	nv := g.NumVertices()
+	d := dsu.New(nv)
+	for u := int32(0); int(u) < nv; u++ {
+		for _, v := range g.UpNeighbors(u) {
+			d.Union(u, v)
+		}
+	}
+	// Components keyed by root, members collected in ascending rank order.
+	sizes := make(map[int32]int)
+	for u := int32(0); int(u) < nv; u++ {
+		sizes[d.Find(u)]++
+	}
+	type component struct {
+		root int32
+		size int
+	}
+	comps := make([]component, 0, len(sizes))
+	for root, size := range sizes {
+		comps = append(comps, component{root, size})
+	}
+	// Largest first; equal sizes by root rank so the assignment is
+	// deterministic regardless of map iteration order.
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].size != comps[j].size {
+			return comps[i].size > comps[j].size
+		}
+		return comps[i].root < comps[j].root
+	})
+	if len(comps) < n {
+		n = len(comps)
+	}
+	assign := make(map[int32]int, len(comps)) // component root -> shard
+	load := make([]int, n)
+	for _, c := range comps {
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		assign[c.root] = best
+		load[best] += c.size
+	}
+	members := make([][]int32, n)
+	for s := range members {
+		members[s] = make([]int32, 0, load[s])
+	}
+	for u := int32(0); int(u) < nv; u++ {
+		members[assign[d.Find(u)]] = append(members[assign[d.Find(u)]], u)
+	}
+	shards := make([]*graph.Graph, n)
+	for s := range shards {
+		sub, err := graph.InducedSubgraph(g, members[s])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building shard %d: %w", s, err)
+		}
+		shards[s] = sub
+	}
+	return shards, nil
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"influcomm/internal/graph"
+)
+
+// componentsGraph builds a graph of four components with sizes 4, 3, 2, 1.
+func componentsGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	weights := []float64{9, 8, 7, 6, 5, 4, 3, 2, 1, 10}
+	edges := [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {0, 3}, // component A (4 vertices)
+		{4, 5}, {5, 6}, {4, 6}, // component B (3)
+		{7, 8}, // component C (2)
+		// vertex 9 is isolated: component D (1)
+	}
+	return graph.MustFromEdges(weights, edges)
+}
+
+func TestPartitionComponentClosure(t *testing.T) {
+	g := componentsGraph(t)
+	shards, err := Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("got %d shards, want 2", len(shards))
+	}
+	// Every vertex appears in exactly one shard, identified by original ID.
+	seen := make(map[int32]int)
+	total := 0
+	var edges int64
+	for i, sh := range shards {
+		total += sh.NumVertices()
+		edges += sh.NumEdges()
+		for u := int32(0); int(u) < sh.NumVertices(); u++ {
+			id := sh.OrigID(u)
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("vertex %d in shards %d and %d", id, prev, i)
+			}
+			seen[id] = i
+		}
+	}
+	if total != g.NumVertices() || edges != g.NumEdges() {
+		t.Fatalf("shards cover %d vertices / %d edges, want %d / %d",
+			total, edges, g.NumVertices(), g.NumEdges())
+	}
+	// Component closure: endpoints of every global edge land in one shard.
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		for _, v := range g.UpNeighbors(u) {
+			if seen[g.OrigID(u)] != seen[g.OrigID(v)] {
+				t.Fatalf("edge (%d,%d) crosses shards", g.OrigID(u), g.OrigID(v))
+			}
+		}
+	}
+	// Greedy balance over sizes 4,3,2,1 is 5 vs 5.
+	if shards[0].NumVertices() != 5 || shards[1].NumVertices() != 5 {
+		t.Errorf("balance: %d vs %d vertices, want 5 vs 5",
+			shards[0].NumVertices(), shards[1].NumVertices())
+	}
+	for i, sh := range shards {
+		if err := sh.Validate(); err != nil {
+			t.Errorf("shard %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := componentsGraph(t)
+	a, err := Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d shards", len(a), len(b))
+	}
+	for i := range a {
+		ida := make([]int32, a[i].NumVertices())
+		idb := make([]int32, b[i].NumVertices())
+		for u := range ida {
+			ida[u] = a[i].OrigID(int32(u))
+		}
+		for u := range idb {
+			idb[u] = b[i].OrigID(int32(u))
+		}
+		if !reflect.DeepEqual(ida, idb) {
+			t.Fatalf("shard %d differs across runs: %v vs %v", i, ida, idb)
+		}
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	g := componentsGraph(t)
+	one, err := Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != g {
+		t.Error("n=1 should return the graph itself")
+	}
+	// More shards than components: capped at the component count, none empty.
+	many, err := Partition(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != 4 {
+		t.Fatalf("got %d shards, want 4 (component count)", len(many))
+	}
+	for i, sh := range many {
+		if sh.NumVertices() == 0 {
+			t.Errorf("shard %d is empty", i)
+		}
+	}
+	if _, err := Partition(nil, 2); err == nil {
+		t.Error("nil graph: no error")
+	}
+	if _, err := Partition(g, 0); err == nil {
+		t.Error("n=0: no error")
+	}
+}

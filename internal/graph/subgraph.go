@@ -1,0 +1,88 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph returns the subgraph of g induced by the given vertex set,
+// identified by rank and sorted strictly ascending. Weights, original IDs,
+// and labels carry over untouched, and because the global rank order is
+// already (weight desc, original ID asc), the restriction of that order is
+// the subgraph's rank order: any two retained vertices keep their relative
+// ranks, ties included. That property is what lets a component-closed
+// partition of a graph answer queries byte-identically to the whole graph
+// (see internal/cluster.Partition).
+//
+// Cost is O(len(vertices) + deg(vertices)) plus one O(n) scratch vector; no
+// sorting — adjacency rows are filtered in place of g's already-sorted rows.
+func InducedSubgraph(g *Graph, vertices []int32) (*Graph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graph: induced subgraph of a nil graph")
+	}
+	p := len(vertices)
+	if p == 0 {
+		return nil, fmt.Errorf("graph: induced subgraph over an empty vertex set")
+	}
+	// local[u] is u's rank in the subgraph, or -1 when u is dropped. The
+	// strictly-ascending requirement makes the mapping monotone, so filtered
+	// adjacency rows stay sorted without re-sorting.
+	local := make([]int32, g.n)
+	for i := range local {
+		local[i] = -1
+	}
+	prev := int32(-1)
+	for i, u := range vertices {
+		if u < 0 || int(u) >= g.n {
+			return nil, fmt.Errorf("graph: induced subgraph vertex %d out of range [0, %d)", u, g.n)
+		}
+		if u <= prev {
+			return nil, fmt.Errorf("graph: induced subgraph vertices must be strictly ascending (saw %d after %d)", u, prev)
+		}
+		local[u] = int32(i)
+		prev = u
+	}
+
+	sub := &Graph{
+		n:        p,
+		weights:  make([]float64, p),
+		origID:   make([]int32, p),
+		off:      make([]int64, p+1),
+		upDeg:    make([]int32, p),
+		upPrefix: make([]int64, p+1),
+	}
+	if len(g.labels) > 0 {
+		sub.labels = make([]string, p)
+	}
+	var deg int64
+	for i, u := range vertices {
+		sub.weights[i] = g.weights[u]
+		sub.origID[i] = g.OrigID(u)
+		if sub.labels != nil {
+			sub.labels[i] = g.labels[u]
+		}
+		for _, v := range g.Neighbors(u) {
+			if local[v] >= 0 {
+				deg++
+			}
+		}
+		sub.off[i+1] = deg
+	}
+	sub.adj = make([]int32, deg)
+	var at int64
+	for i, u := range vertices {
+		var up int32
+		for _, v := range g.Neighbors(u) {
+			lv := local[v]
+			if lv < 0 {
+				continue
+			}
+			sub.adj[at] = lv
+			at++
+			if lv < int32(i) {
+				up++
+			}
+		}
+		sub.upDeg[i] = up
+		sub.upPrefix[i+1] = sub.upPrefix[i] + int64(up)
+	}
+	sub.m = deg / 2
+	return sub, nil
+}

@@ -1,0 +1,128 @@
+package graph
+
+import "testing"
+
+// subTestGraph has three components, weight ties, and labels, so an induced
+// subgraph exercises rank-order preservation and metadata carry-over.
+func subTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	var b Builder
+	weights := []float64{5, 9, 9, 7, 3, 7, 8, 2, 6, 4}
+	for id, w := range weights {
+		b.AddLabeledVertex(int32(id), w, string(rune('a'+id)))
+	}
+	for _, e := range [][2]int32{
+		{0, 1}, {1, 2}, {0, 2}, {2, 3},
+		{4, 5}, {5, 6}, {4, 6},
+		{7, 8}, {8, 9}, {7, 9},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// hasEdge reports whether v appears in u's adjacency row.
+func hasEdge(g *Graph, u, v int32) bool {
+	for _, w := range g.Neighbors(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := subTestGraph(t)
+	// Drop every other rank; the rest must keep relative order and edges.
+	var keep []int32
+	for u := int32(0); int(u) < g.NumVertices(); u += 2 {
+		keep = append(keep, u)
+	}
+	sub, err := InducedSubgraph(g, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("induced subgraph fails validation: %v", err)
+	}
+	if sub.NumVertices() != len(keep) {
+		t.Fatalf("n = %d, want %d", sub.NumVertices(), len(keep))
+	}
+	for i, u := range keep {
+		if sub.Weight(int32(i)) != g.Weight(u) {
+			t.Errorf("weight[%d] = %v, want %v", i, sub.Weight(int32(i)), g.Weight(u))
+		}
+		if sub.OrigID(int32(i)) != g.OrigID(u) {
+			t.Errorf("origID[%d] = %d, want %d", i, sub.OrigID(int32(i)), g.OrigID(u))
+		}
+		if sub.Label(int32(i)) != g.Label(u) {
+			t.Errorf("label[%d] = %q, want %q", i, sub.Label(int32(i)), g.Label(u))
+		}
+	}
+	// Edges: exactly the pairs of kept vertices adjacent in g.
+	var wantEdges int64
+	for i, u := range keep {
+		for j, v := range keep {
+			got := hasEdge(sub, int32(i), int32(j))
+			want := hasEdge(g, u, v)
+			if got != want {
+				t.Errorf("edge (%d,%d): got %v, want %v (global (%d,%d))", i, j, got, want, u, v)
+			}
+			if want && i < j {
+				wantEdges++
+			}
+		}
+	}
+	if sub.NumEdges() != wantEdges {
+		t.Errorf("m = %d, want %d", sub.NumEdges(), wantEdges)
+	}
+}
+
+func TestInducedSubgraphIdentity(t *testing.T) {
+	g := subTestGraph(t)
+	all := make([]int32, g.NumVertices())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	sub, err := InducedSubgraph(g, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != g.NumVertices() || sub.NumEdges() != g.NumEdges() {
+		t.Fatalf("identity subgraph: %d/%d vertices, %d/%d edges",
+			sub.NumVertices(), g.NumVertices(), sub.NumEdges(), g.NumEdges())
+	}
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		if g.UpDegree(u) != sub.UpDegree(u) {
+			t.Fatalf("updeg(%d) = %d, want %d", u, sub.UpDegree(u), g.UpDegree(u))
+		}
+	}
+	if g.PrefixEdges(g.NumVertices()) != sub.PrefixEdges(sub.NumVertices()) {
+		t.Fatal("prefix edge counts diverge")
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := subTestGraph(t)
+	cases := []struct {
+		name     string
+		g        *Graph
+		vertices []int32
+	}{
+		{"nil graph", nil, []int32{0}},
+		{"empty set", g, nil},
+		{"out of range", g, []int32{0, 99}},
+		{"negative", g, []int32{-1, 2}},
+		{"descending", g, []int32{3, 1}},
+		{"duplicate", g, []int32{1, 1}},
+	}
+	for _, tc := range cases {
+		if _, err := InducedSubgraph(tc.g, tc.vertices); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

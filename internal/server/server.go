@@ -22,6 +22,8 @@
 //	GET    /v1/topk?...&dataset=name       ... against a named dataset
 //	GET    /v1/topk?...&noncontainment=1   non-containment variant (§5.1)
 //	GET    /v1/topk?...&truss=1            γ-truss variant (§5.2, in-memory datasets)
+//	GET    /v1/shard/stream?gamma=5&limit=10  progressive NDJSON community stream
+//	                                       (the shard side of the cluster protocol)
 //	POST   /v1/admin/datasets              load a dataset from disk
 //	DELETE /v1/admin/datasets/{name}       unload a dataset
 //	POST   /v1/admin/datasets/{name}/updates  apply edge updates (mutable datasets)
@@ -44,11 +46,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"influcomm/internal/core"
+	"influcomm/internal/cluster"
 	"influcomm/internal/graph"
 	"influcomm/internal/index"
 	"influcomm/internal/store"
-	"influcomm/internal/truss"
 )
 
 // DefaultDataset is the name queries are routed to when no dataset
@@ -99,6 +100,8 @@ type metrics struct {
 
 	indexServed atomic.Int64 // queries answered from a prebuilt index
 	localServed atomic.Int64 // queries answered by online LocalSearch/truss
+
+	shardStreams atomic.Int64 // /v1/shard/stream requests admitted
 }
 
 // Option configures a Server.
@@ -196,6 +199,7 @@ func New(g *graph.Graph, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET "+cluster.StreamPath, s.handleShardStream)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/admin/datasets", s.handleLoadDataset)
 	s.mux.HandleFunc("DELETE /v1/admin/datasets/{name}", s.handleUnloadDataset)
@@ -237,6 +241,10 @@ type statsResponse struct {
 	IndexQueries  int64 `json:"index_queries"`
 	LocalQueries  int64 `json:"local_queries"`
 
+	// ShardStreams counts /v1/shard/stream requests served to cluster
+	// coordinators.
+	ShardStreams int64 `json:"shard_streams"`
+
 	// Mutable-dataset counters for the default dataset: the snapshot epoch
 	// and the total effective edge mutations applied since load (per-
 	// dataset figures live in Datasets).
@@ -262,6 +270,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 		IndexQueries: s.metrics.indexServed.Load(),
 		LocalQueries: s.metrics.localServed.Load(),
+		ShardStreams: s.metrics.shardStreams.Load(),
 	}
 	if ds := s.registry.lookup(DefaultDataset); ds != nil {
 		if g := ds.st.Graph(); g != nil {
@@ -293,14 +302,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// communityJSON is one community of a /v1/topk response.
-type communityJSON struct {
-	Influence float64  `json:"influence"`
-	Size      int      `json:"size"`
-	Keynode   int32    `json:"keynode"`
-	Members   []int32  `json:"members"`
-	Labels    []string `json:"labels,omitempty"`
-}
+// communityJSON is one community of a /v1/topk response. It is the cluster
+// wire shape: single-node responses, shard stream data lines, and merged
+// coordinator responses all marshal the same struct, so equal communities
+// are byte-equal across the three.
+type communityJSON = cluster.Community
 
 // topKResponse is the /v1/topk payload.
 type topKResponse struct {
@@ -380,31 +386,9 @@ func (s *Server) classify(err error) int {
 
 func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, error) {
 	q := r.URL.Query()
-	k, err := intParam(q.Get("k"), 10)
+	p, err := parseQueryParams(q, s.maxK)
 	if err != nil {
-		return nil, &httpError{http.StatusBadRequest, "bad k: " + err.Error()}
-	}
-	gamma, err := intParam(q.Get("gamma"), 5)
-	if err != nil {
-		return nil, &httpError{http.StatusBadRequest, "bad gamma: " + err.Error()}
-	}
-	if k < 1 || k > s.maxK {
-		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("k must be in [1, %d]", s.maxK)}
-	}
-	if gamma < 1 {
-		return nil, &httpError{http.StatusBadRequest, "gamma must be >= 1"}
-	}
-	useTruss := q.Get("truss") == "1"
-	nonContain := q.Get("noncontainment") == "1"
-	if useTruss && nonContain {
-		return nil, &httpError{http.StatusBadRequest, "truss and noncontainment are mutually exclusive"}
-	}
-	mode := "core"
-	switch {
-	case useTruss:
-		mode = "truss"
-	case nonContain:
-		mode = "noncontainment"
+		return nil, err
 	}
 
 	name := q.Get("dataset")
@@ -421,12 +405,12 @@ func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, erro
 	ds.queries.Add(1)
 
 	// The epoch is read once, before the query executes, and keys both the
-	// cache entry and the index-validity check below: a concurrent update
-	// can at worst leave an entry keyed under an epoch that no future
+	// cache entry and executeTopK's index-validity check: a concurrent
+	// update can at worst leave an entry keyed under an epoch that no future
 	// request carries (monotonic, so it just ages out of the LRU) — never
 	// a stale result served as current.
 	epoch := ds.epoch()
-	key := cacheKey{dataset: name, gen: ds.gen, epoch: epoch, k: k, gamma: gamma, mode: mode}
+	key := cacheKey{dataset: name, gen: ds.gen, epoch: epoch, k: p.K, gamma: int(p.Gamma), mode: p.Mode}
 	if s.cache != nil {
 		if hit, ok := s.cache.get(key); ok { // hit/miss counters live on the cache
 			resp := *hit // shallow copy; communities are immutable once built
@@ -436,66 +420,16 @@ func (s *Server) topK(ctx context.Context, r *http.Request) (*topKResponse, erro
 	}
 
 	start := time.Now()
-	resp := &topKResponse{K: k, Gamma: gamma, Mode: mode}
-	// The index answers only while the keyed epoch still equals the epoch
-	// it was attached at: an update that races this request makes the
-	// comparison fail (or will fence the cached entry via its new epoch),
-	// so a pre-update index answer can never be cached as current.
-	ix := ds.index.Load()
-	if ix != nil && epoch != ds.indexEpoch {
-		ix = nil
+	er, err := s.executeTopK(ctx, ds, p, epoch)
+	if err != nil {
+		return nil, err
 	}
-	switch {
-	case useTruss:
-		// Graph and epoch must be one coherent read for mutable datasets,
-		// so the truss index is always built on exactly the snapshot the
-		// epoch names (possibly newer than the keyed epoch above, which is
-		// the harmless direction).
-		g, tepoch := snapshotOf(ds.st)
-		if g == nil {
-			return nil, &httpError{http.StatusBadRequest,
-				fmt.Sprintf("truss queries need whole-graph access; dataset %q uses the %s backend", name, ds.st.Backend())}
-		}
-		if gamma < 2 {
-			return nil, &httpError{http.StatusBadRequest, "truss queries need gamma >= 2"}
-		}
-		res, err := truss.LocalSearchCtx(ctx, ds.truss(g, tepoch), k, int32(gamma))
-		if err != nil {
-			return nil, queryError(err)
-		}
-		s.metrics.localServed.Add(1)
-		ds.localServed.Add(1)
-		for _, c := range res.Communities {
-			resp.Communities = append(resp.Communities, render(g, c.Influence(), c.Keynode(), c.Vertices()))
-		}
-		resp.AccessedVertices = res.Stats.FinalPrefix
-	case ix != nil && !nonContain:
-		// Index-first path: the materialized decomposition answers the
-		// default semantics in output-proportional time. AccessedVertices
-		// stays 0 — the point of the index is that no part of the graph
-		// outside the reported communities is touched.
-		comms, err := ix.TopK(k, int32(gamma))
-		if err != nil {
-			return nil, queryError(err)
-		}
-		s.metrics.indexServed.Add(1)
-		ds.indexServed.Add(1)
-		for _, c := range comms {
-			resp.Communities = append(resp.Communities, render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices()))
-		}
-	default:
-		res, err := ds.st.TopK(ctx, k, int32(gamma), core.Options{NonContainment: nonContain})
-		if err != nil {
-			return nil, queryError(err)
-		}
-		s.metrics.localServed.Add(1)
-		ds.localServed.Add(1)
-		for _, c := range res.Communities {
-			resp.Communities = append(resp.Communities, render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices()))
-		}
-		resp.AccessedVertices = res.Stats.FinalPrefix
+	resp := &topKResponse{
+		K: p.K, Gamma: int(p.Gamma), Mode: p.Mode,
+		Communities:      er.Communities,
+		AccessedVertices: er.Accessed,
+		ElapsedMS:        float64(time.Since(start)) / float64(time.Millisecond),
 	}
-	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if s.cache != nil {
 		cached := *resp
 		cached.ElapsedMS = 0

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"influcomm/internal/cluster"
+)
+
+// handleShardStream serves GET /v1/shard/stream: the shard side of the
+// cluster scatter-gather protocol (docs/CLUSTER.md). The response is NDJSON
+// — one cluster.StreamLine per line — opening with a header that names the
+// snapshot epoch pinned for the whole stream, followed by communities in
+// decreasing influence order, and closed by a trailer; a stream that ends
+// without a trailer (or with an error line) was not completed cleanly.
+//
+//	GET /v1/shard/stream?gamma=G&limit=N[&dataset=D][&mode=core|noncontainment|truss]
+//
+// limit bounds the stream: a coordinator merging toward a global top-k
+// never needs more than k communities from one shard. Each line is flushed
+// as soon as it is produced, so the coordinator can merge — and terminate
+// the stream early by closing the connection, which cancels the search —
+// while the shard is still working. A shard mid-update keeps serving the
+// snapshot it pinned at the header; the epoch it reports is exactly that
+// snapshot's.
+func (s *Server) handleShardStream(w http.ResponseWriter, r *http.Request) {
+	// Shard streams share the query admission control: a saturated shard
+	// sheds coordinators like it sheds clients, and the coordinator's
+	// failover treats the 503 like any other replica failure.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server saturated, retry later"})
+			return
+		}
+	}
+	s.metrics.queries.Add(1)
+	s.metrics.shardStreams.Add(1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+
+	q := r.URL.Query()
+	p, err := parseQueryParams(q, s.maxK)
+	if err == nil {
+		// Coordinators name the semantics directly; mode= wins over the
+		// single-node truss=1/noncontainment=1 flags.
+		switch m := q.Get("mode"); m {
+		case "", cluster.ModeCore:
+			if m != "" {
+				p.Mode = cluster.ModeCore
+			}
+		case cluster.ModeNonContainment, cluster.ModeTruss:
+			p.Mode = m
+		default:
+			err = &httpError{http.StatusBadRequest, fmt.Sprintf("unknown mode %q", m)}
+		}
+	}
+	if err == nil && q.Get("limit") == "" {
+		err = &httpError{http.StatusBadRequest, "limit is required"}
+	}
+	var limit int
+	if err == nil {
+		limit, err = intParam(q.Get("limit"), 0)
+		if err != nil {
+			err = &httpError{http.StatusBadRequest, "bad limit: " + err.Error()}
+		} else if limit < 1 || limit > s.maxK {
+			err = &httpError{http.StatusBadRequest, fmt.Sprintf("limit must be in [1, %d]", s.maxK)}
+		}
+	}
+	if err != nil {
+		writeJSON(w, s.classify(err), map[string]string{"error": err.Error()})
+		return
+	}
+	p.K = limit
+
+	name := q.Get("dataset")
+	if name == "" {
+		name = DefaultDataset
+	}
+	ds := s.registry.acquireLookup(name)
+	if ds == nil {
+		s.metrics.errors.Add(1)
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("dataset %q is not loaded", name)})
+		return
+	}
+	defer ds.release()
+	ds.queries.Add(1)
+
+	// Pin the snapshot once: graph and epoch are one coherent read, and the
+	// whole stream — header, every community, trailer — describes exactly
+	// that snapshot, however many update batches land while it runs.
+	g, epoch := snapshotOf(ds.st)
+
+	// Mode/backend validation must fail as an HTTP status, before the 200
+	// and the header line commit us to the stream framing.
+	if p.Mode == cluster.ModeTruss {
+		if verr := validateTruss(ds, g, p.Gamma); verr != nil {
+			writeJSON(w, s.classify(verr), map[string]string{"error": verr.Error()})
+			return
+		}
+	}
+
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeLine := func(line cluster.StreamLine) bool {
+		if err := enc.Encode(line); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !writeLine(cluster.StreamLine{Header: &cluster.StreamHeader{
+		Dataset: name, Mode: p.Mode, SnapshotEpoch: epoch,
+	}}) {
+		return
+	}
+
+	sr, err := s.executeStream(ctx, ds, p, limit, g, epoch, func(c communityJSON) bool {
+		return writeLine(cluster.StreamLine{Community: &c})
+	})
+	s.metrics.durationUS.Add(time.Since(start).Microseconds())
+	if err != nil {
+		// The status is already written; the error travels as a stream
+		// line. classify still runs for the serving counters.
+		s.classify(err)
+		if !errors.Is(err, context.Canceled) { // a gone client cannot read the line
+			writeLine(cluster.StreamLine{Error: err.Error()})
+		}
+		return
+	}
+	writeLine(cluster.StreamLine{Trailer: &cluster.StreamTrailer{
+		Done:             true,
+		Communities:      sr.Sent,
+		Exhausted:        sr.Exhausted,
+		AccessedVertices: sr.Accessed,
+	}})
+}

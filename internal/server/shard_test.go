@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"influcomm/internal/cluster"
+)
+
+// readStream fetches a shard stream and decodes every line.
+func readStream(t *testing.T, url string) (int, []cluster.StreamLine) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var lines []cluster.StreamLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line cluster.StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("malformed line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, lines
+}
+
+func TestShardStream(t *testing.T) {
+	ts := newTestServer(t)
+	code, lines := readStream(t, ts.URL+cluster.StreamPath+"?gamma=3&limit=10")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("got %d lines, want header + trailer at least", len(lines))
+	}
+	hdr := lines[0].Header
+	if hdr == nil {
+		t.Fatalf("first line is not a header: %+v", lines[0])
+	}
+	if hdr.Dataset != DefaultDataset || hdr.Mode != cluster.ModeCore {
+		t.Errorf("header = %+v", hdr)
+	}
+	tr := lines[len(lines)-1].Trailer
+	if tr == nil {
+		t.Fatalf("last line is not a trailer: %+v", lines[len(lines)-1])
+	}
+	comms := lines[1 : len(lines)-1]
+	if tr.Communities != len(comms) {
+		t.Errorf("trailer counts %d communities, stream has %d", tr.Communities, len(comms))
+	}
+	if !tr.Exhausted {
+		t.Error("limit 10 on the test graph should exhaust the stream")
+	}
+	// Decreasing influence order is the merge precondition.
+	last := -1.0
+	for i, l := range comms {
+		c := l.Community
+		if c == nil {
+			t.Fatalf("line %d is not a community: %+v", i+1, l)
+		}
+		if last >= 0 && c.Influence > last {
+			t.Fatalf("influence rose from %v to %v at line %d", last, c.Influence, i+1)
+		}
+		last = c.Influence
+	}
+	// The stream must agree with /v1/topk at the same k: same communities,
+	// same order, field for field.
+	var topk topKResponse
+	if code := getJSON(t, ts.URL+"/v1/topk?k=10&gamma=3", &topk); code != http.StatusOK {
+		t.Fatalf("topk status %d", code)
+	}
+	if len(topk.Communities) != len(comms) {
+		t.Fatalf("stream has %d communities, /v1/topk %d", len(comms), len(topk.Communities))
+	}
+	for i := range comms {
+		sj, _ := json.Marshal(comms[i].Community)
+		tj, _ := json.Marshal(topk.Communities[i])
+		if string(sj) != string(tj) {
+			t.Errorf("community %d differs:\nstream %s\ntopk   %s", i, sj, tj)
+		}
+	}
+}
+
+func TestShardStreamLimit(t *testing.T) {
+	ts := newTestServer(t)
+	code, lines := readStream(t, ts.URL+cluster.StreamPath+"?gamma=3&limit=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	tr := lines[len(lines)-1].Trailer
+	if tr == nil || tr.Communities != 1 {
+		t.Fatalf("trailer = %+v, want 1 community", tr)
+	}
+	if tr.Exhausted {
+		t.Error("limit 1 should not exhaust a graph with 2 communities at γ=3")
+	}
+}
+
+func TestShardStreamModes(t *testing.T) {
+	ts := newTestServer(t)
+	for _, mode := range []string{cluster.ModeNonContainment, cluster.ModeTruss} {
+		gamma := "3"
+		if mode == cluster.ModeTruss {
+			gamma = "4"
+		}
+		code, lines := readStream(t, ts.URL+cluster.StreamPath+"?gamma="+gamma+"&limit=5&mode="+mode)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", mode, code)
+		}
+		if lines[0].Header == nil || lines[0].Header.Mode != mode {
+			t.Errorf("%s: header = %+v", mode, lines[0].Header)
+		}
+		if lines[len(lines)-1].Trailer == nil {
+			t.Errorf("%s: no trailer", mode)
+		}
+	}
+}
+
+func TestShardStreamErrors(t *testing.T) {
+	ts := newTestServer(t)
+	for _, q := range []string{
+		"?gamma=3",                     // missing limit
+		"?gamma=3&limit=0",             // limit below 1
+		"?gamma=3&limit=x",             // malformed limit
+		"?gamma=0&limit=5",             // bad gamma
+		"?gamma=3&limit=5&mode=bogus",  // unknown mode
+		"?gamma=1&limit=5&mode=truss",  // truss needs gamma >= 2
+		"?gamma=3&limit=5&dataset=nix", // unknown dataset
+	} {
+		code, _ := readStream(t, ts.URL+cluster.StreamPath+q)
+		if code == http.StatusOK {
+			t.Errorf("%s: got 200, want an error status", q)
+		}
+	}
+}
+
+func TestShardStreamCountsInStats(t *testing.T) {
+	ts := newTestServer(t)
+	readStream(t, ts.URL+cluster.StreamPath+"?gamma=3&limit=2")
+	var st statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.ShardStreams != 1 {
+		t.Errorf("shard_streams = %d, want 1", st.ShardStreams)
+	}
+}
