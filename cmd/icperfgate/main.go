@@ -26,6 +26,10 @@
 // hot path started allocating — exactly the regression the pooled serving
 // tier exists to prevent. Baselines recorded before allocation tracking
 // simply carry no allocs_per_op and those benchmarks gate on time alone.
+//
+// When GITHUB_STEP_SUMMARY is set (GitHub Actions), the baseline-vs-
+// current comparison is also appended there as a markdown table, so the
+// numbers appear on the workflow run page without opening the job log.
 package main
 
 import (
@@ -263,7 +267,59 @@ func run(cfg config, stdin io.Reader, logf func(string, ...any)) (int, error) {
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return 0, fmt.Errorf("parsing baseline %s: %w", cfg.baseline, err)
 	}
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if err := stepSummary(baseline, current, path); err != nil {
+			logf("step summary: %v", err)
+		}
+	}
 	return compare(baseline, current, cfg.threshold, cfg.allocThreshold, cfg.requireBaseline, logf), nil
+}
+
+// stepSummary appends the baseline-vs-current comparison as a markdown
+// table to path (the file $GITHUB_STEP_SUMMARY points at on GitHub
+// Actions), so the numbers are readable from the workflow run page
+// without digging through the job log. Rendering never fails the gate:
+// the caller only logs an error.
+func stepSummary(baseline, current benchFile, path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	names := make(map[string]bool, len(baseline.Benchmarks)+len(current.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names[name] = true
+	}
+	for name := range current.Benchmarks {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	fmt.Fprintf(f, "### Benchmark gate (%d benchmarks)\n\n", len(sorted))
+	fmt.Fprintln(f, "| benchmark | baseline ns/op | current ns/op | Δ time | allocs/op |")
+	fmt.Fprintln(f, "|---|---:|---:|---:|---:|")
+	for _, name := range sorted {
+		base, hasBase := baseline.Benchmarks[name]
+		cur, hasCur := current.Benchmarks[name]
+		allocs := "–"
+		if hasCur && cur.AllocsPerOp != nil {
+			allocs = fmt.Sprintf("%.0f", *cur.AllocsPerOp)
+		}
+		switch {
+		case !hasCur:
+			fmt.Fprintf(f, "| `%s` | %.0f | *missing* | – | %s |\n", name, base.NsPerOp, allocs)
+		case !hasBase:
+			fmt.Fprintf(f, "| `%s` | *new* | %.0f | – | %s |\n", name, cur.NsPerOp, allocs)
+		default:
+			fmt.Fprintf(f, "| `%s` | %.0f | %.0f | %+.1f%% | %s |\n",
+				name, base.NsPerOp, cur.NsPerOp, (cur.NsPerOp/base.NsPerOp-1)*100, allocs)
+		}
+	}
+	fmt.Fprintln(f)
+	return nil
 }
 
 func main() {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -149,5 +150,67 @@ func TestRunEndToEnd(t *testing.T) {
 	// Empty input is an error, not a silent pass.
 	if _, err := run(config{baseline: basePath}, strings.NewReader("no benchmarks here"), logf); err == nil {
 		t.Error("empty input: want error")
+	}
+}
+
+// TestStepSummary checks the GitHub Actions job-summary table: appended
+// (not truncated) to $GITHUB_STEP_SUMMARY, one row per benchmark with the
+// baseline-vs-current delta, and new/missing rows called out.
+func TestStepSummary(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	logf := func(string, ...any) {}
+	if _, err := run(config{update: true, baseline: basePath}, strings.NewReader(sampleBench), logf); err != nil {
+		t.Fatal(err)
+	}
+
+	summaryPath := filepath.Join(dir, "summary.md")
+	if err := os.WriteFile(summaryPath, []byte("pre-existing content\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("GITHUB_STEP_SUMMARY", summaryPath)
+	// Current run: Pooled 2x slower (all three samples, so the median
+	// doubles), PerQuery renamed away, one new benchmark.
+	cur := sampleBench
+	for _, r := range [][2]string{
+		{"      8600 ns/op", "     17200 ns/op"},
+		{"      8800 ns/op", "     17600 ns/op"},
+		{"      8700 ns/op", "     17400 ns/op"},
+		{"BenchmarkPooledTopK/PerQuery-8", "BenchmarkFresh/New-8"},
+	} {
+		cur = strings.ReplaceAll(cur, r[0], r[1])
+	}
+	if _, err := run(config{baseline: basePath, threshold: 0.25, allocThreshold: 0.25}, strings.NewReader(cur), logf); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.HasPrefix(out, "pre-existing content\n") {
+		t.Fatalf("summary was truncated, not appended:\n%s", out)
+	}
+	for _, want := range []string{
+		"| benchmark | baseline ns/op | current ns/op |",
+		"`BenchmarkPooledTopK/Pooled`",
+		"+100.0%",
+		"| `BenchmarkFresh/New` | *new* |",
+		"| `BenchmarkPooledTopK/PerQuery` | 18402 | *missing* |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Outside Actions (env unset) nothing is written.
+	t.Setenv("GITHUB_STEP_SUMMARY", "")
+	plainPath := filepath.Join(dir, "unused.md")
+	if _, err := run(config{baseline: basePath, threshold: 0.25, allocThreshold: 0.25}, strings.NewReader(sampleBench), logf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(plainPath); err == nil {
+		t.Error("summary written without GITHUB_STEP_SUMMARY")
 	}
 }

@@ -5,7 +5,8 @@
 //	icserver -graph g.txt [-index g.icx] [-addr :8080] [-pagerank]
 //	         [-dataset name=path[,backend=semiext][,index=p.icx]
 //	                  [,prefix-cache=SIZE][,mode=auto|mmap|stream]
-//	                  [,workers=N][,mutable=true]]...
+//	                  [,workers=N][,mutable=true]
+//	                  [,reindex=auto|off][,debounce=DUR]]...
 //	         [-cache 256] [-maxk 10000] [-query-timeout 30s]
 //	         [-max-inflight 64] [-read-timeout 10s] [-write-timeout 60s]
 //	         [-idle-timeout 2m] [-shutdown-timeout 15s] [-pprof addr]
@@ -36,7 +37,15 @@
 // deletions online (queries keep serving from immutable snapshots, never
 // pausing), every batch is fsynced to a write-ahead log beside the edge
 // file before it is visible, the log replays on restart after a crash,
-// and a clean shutdown compacts it back into the edge file. Datasets can
+// and a clean shutdown compacts it back into the edge file. reindex=auto
+// on a mutable dataset keeps its prebuilt index current across updates:
+// small deltas are repaired synchronously before the update response,
+// larger ones trigger an epoch-tagged background rebuild (queries fall
+// back to LocalSearch until it attaches), and debounce=DUR (e.g. 250ms)
+// sets how long the rebuild worker coalesces an update burst; without
+// reindex=auto, the first effective update drops the index for good. On
+// mutable datasets workers=N bounds the rebuild/repair parallelism
+// instead of query parallelism. Datasets can
 // also be loaded and unloaded at runtime
 // through the admin endpoints — protect those with -admin-token (or keep
 // the port private): they can unload live datasets and open server-side
@@ -86,6 +95,8 @@ type datasetSpec struct {
 	prefixCache int64
 	workers     int
 	mutable     bool
+	reindex     string
+	debounce    time.Duration
 }
 
 // parseByteSize parses a byte count with an optional K/M/G suffix (base
@@ -119,12 +130,12 @@ func parseByteSize(s string) (int64, error) {
 }
 
 // parseDatasetSpec parses
-// "name=path[,backend=semiext][,index=p.icx][,prefix-cache=SIZE][,mode=m][,workers=N][,mutable=true]".
+// "name=path[,backend=semiext][,index=p.icx][,prefix-cache=SIZE][,mode=m][,workers=N][,mutable=true][,reindex=auto|off][,debounce=DUR]".
 func parseDatasetSpec(spec string) (datasetSpec, error) {
 	var d datasetSpec
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok || name == "" || rest == "" {
-		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true]", spec)
+		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true][,reindex=auto|off][,debounce=DUR]", spec)
 	}
 	d.name = name
 	parts := strings.Split(rest, ",")
@@ -161,12 +172,28 @@ func parseDatasetSpec(spec string) (datasetSpec, error) {
 			default:
 				return d, fmt.Errorf("bad -dataset option mutable=%q in %q (want true or false)", v, spec)
 			}
+		case "reindex":
+			switch v {
+			case "auto", "off":
+				d.reindex = v
+			default:
+				return d, fmt.Errorf("bad -dataset option reindex=%q in %q (want auto or off)", v, spec)
+			}
+		case "debounce":
+			dur, err := time.ParseDuration(v)
+			if err != nil || dur < 0 {
+				return d, fmt.Errorf("bad -dataset option debounce=%q in %q (want a non-negative Go duration, e.g. 250ms)", v, spec)
+			}
+			d.debounce = dur
 		default:
 			return d, fmt.Errorf("unknown -dataset option %q in %q", k, spec)
 		}
 	}
 	if d.mutable && d.backend != "" && d.backend != "mutable" {
 		return d, fmt.Errorf("-dataset %q: mutable=true conflicts with backend=%s", spec, d.backend)
+	}
+	if d.reindex == "auto" && !d.mutable && d.backend != "mutable" {
+		return d, fmt.Errorf("-dataset %q: reindex=auto needs mutable=true (index maintenance works on mutable datasets only)", spec)
 	}
 	return d, nil
 }
@@ -197,7 +224,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (empty = off; keep it private)")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores")
-	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true] (repeatable)", func(spec string) error {
+	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true][,reindex=auto|off][,debounce=DUR] (repeatable)", func(spec string) error {
 		d, err := parseDatasetSpec(spec)
 		if err != nil {
 			return err
@@ -301,7 +328,12 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 		if err != nil {
 			return fmt.Errorf("dataset %s: %w", d.name, err)
 		}
-		cfgDS := server.DatasetConfig{Store: st}
+		cfgDS := server.DatasetConfig{Store: st, Reindex: d.reindex, ReindexDebounce: d.debounce}
+		if backend == "mutable" {
+			// On the mutable backend workers=N routes to the maintenance
+			// pipeline (the store itself ignores it).
+			cfgDS.ReindexWorkers = d.workers
+		}
 		if d.index != "" {
 			dg := st.Graph()
 			if dg == nil {

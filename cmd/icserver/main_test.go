@@ -169,8 +169,24 @@ func TestParseDatasetSpec(t *testing.T) {
 	if d.workers != 8 {
 		t.Errorf("parsed %+v, want workers=8", d)
 	}
+	d, err = parseDatasetSpec("live=/d/g.edges,mutable=true,reindex=auto,debounce=250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.reindex != "auto" || d.debounce != 250*time.Millisecond {
+		t.Errorf("parsed %+v, want reindex=auto debounce=250ms", d)
+	}
+	d, err = parseDatasetSpec("off=/d/g.edges,backend=mutable,reindex=off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.reindex != "off" {
+		t.Errorf("parsed %+v, want reindex=off", d)
+	}
 	for _, bad := range []string{"", "noequals", "name=", "n=p,bogus", "n=p,k=v", "n=p,prefix-cache=lots", "n=p,prefix-cache=-1",
-		"n=p,mutable=yes", "n=p,backend=semiext,mutable=true", "n=p,workers=-2", "n=p,workers=lots"} {
+		"n=p,mutable=yes", "n=p,backend=semiext,mutable=true", "n=p,workers=-2", "n=p,workers=lots",
+		"n=p,reindex=always", "n=p,reindex=auto", "n=p,backend=semiext,reindex=auto",
+		"n=p,mutable=true,debounce=soon", "n=p,mutable=true,debounce=-1s"} {
 		if _, err := parseDatasetSpec(bad); err == nil {
 			t.Errorf("%q: want parse error", bad)
 		}

@@ -112,6 +112,54 @@ func ExampleNewMutableStore() {
 	// top influence now 5
 }
 
+func ExampleNewMutableStore_autoReindex() {
+	// With auto-reindex, a served mutable dataset keeps its prebuilt index
+	// current across online updates instead of dropping it on the first
+	// one: small deltas are repaired synchronously inside ApplyUpdates,
+	// larger ones rebuild in the background while queries fall back to
+	// LocalSearch.
+	var b influcomm.Builder
+	for id := int32(0); id < 20; id++ {
+		b.AddVertex(id, float64(40-id))
+	}
+	for _, e := range [][2]int32{{0, 1}, {0, 2}, {1, 2}, {17, 18}, {17, 19}, {18, 19}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	ms, err := influcomm.NewMutableStore(g)
+	if err != nil {
+		panic(err)
+	}
+	ix, err := influcomm.BuildIndex(ms.Graph())
+	if err != nil {
+		panic(err)
+	}
+	s, err := server.New(exampleGraph(), server.WithAutoReindex(),
+		server.WithDataset("social", server.DatasetConfig{Store: ms, Index: ix}))
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+
+	// Deleting a bottom-of-the-ranking edge touches only a small suffix of
+	// the weight ranking, so the delta repair re-attaches a current index
+	// before ApplyUpdates even returns.
+	if _, err := ms.ApplyUpdates(context.Background(), []influcomm.EdgeUpdate{{U: 18, V: 19, Delete: true}}); err != nil {
+		panic(err)
+	}
+	for _, d := range s.Datasets() {
+		if d.Name == "social" {
+			fmt.Printf("index %s after %d delta repair(s), %d rebuild(s)\n",
+				d.IndexState, d.IndexDeltaRepairs, d.IndexRebuilds)
+		}
+	}
+	// Output:
+	// index attached after 1 delta repair(s), 0 rebuild(s)
+}
+
 func ExampleApply() {
 	st, err := influcomm.NewMutableStore(exampleGraph())
 	if err != nil {

@@ -33,8 +33,20 @@ func (g *Graph) HasEdge(u, v int32) bool {
 // Builder.Build's O(m log m) sort-the-world pass, which ApplyEdits pays
 // on every call.
 func ApplyEdgeDelta(g *Graph, inserts, deletes [][2]int32) (*Graph, error) {
+	ng, _, err := ApplyEdgeDeltaCut(g, inserts, deletes)
+	return ng, err
+}
+
+// ApplyEdgeDeltaCut is ApplyEdgeDelta, additionally returning the delta's
+// cut: the smallest rank owning a changed adjacency row. Every prefix
+// subgraph G[0, p) with p <= cut is identical between the old and new
+// graphs — both endpoints of every changed edge are >= cut — which is
+// what lets the index layer keep the decomposition below the cut and
+// recompute only the suffix. An empty delta returns g unchanged with cut
+// n (nothing touched).
+func ApplyEdgeDeltaCut(g *Graph, inserts, deletes [][2]int32) (*Graph, int, error) {
 	if len(inserts) == 0 && len(deletes) == 0 {
-		return g, nil
+		return g, g.n, nil
 	}
 	// Each undirected edge touches two rows: {lo,hi} adds hi to row lo and
 	// lo to row hi. Collect the directed view, sorted by (owner, neighbor),
@@ -54,18 +66,18 @@ func ApplyEdgeDelta(g *Graph, inserts, deletes [][2]int32) (*Graph, error) {
 	}
 	for _, e := range inserts {
 		if err := addPair(e, false); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if g.HasEdge(e[0], e[1]) {
-			return nil, fmt.Errorf("graph: delta inserts existing edge (%d,%d)", e[0], e[1])
+			return nil, 0, fmt.Errorf("graph: delta inserts existing edge (%d,%d)", e[0], e[1])
 		}
 	}
 	for _, e := range deletes {
 		if err := addPair(e, true); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if !g.HasEdge(e[0], e[1]) {
-			return nil, fmt.Errorf("graph: delta deletes missing edge (%d,%d)", e[0], e[1])
+			return nil, 0, fmt.Errorf("graph: delta deletes missing edge (%d,%d)", e[0], e[1])
 		}
 	}
 	sort.Slice(changes, func(i, j int) bool {
@@ -76,7 +88,7 @@ func ApplyEdgeDelta(g *Graph, inserts, deletes [][2]int32) (*Graph, error) {
 	})
 	for i := 1; i < len(changes); i++ {
 		if changes[i].owner == changes[i-1].owner && changes[i].nb == changes[i-1].nb {
-			return nil, fmt.Errorf("graph: delta lists edge (%d,%d) twice", changes[i].owner, changes[i].nb)
+			return nil, 0, fmt.Errorf("graph: delta lists edge (%d,%d) twice", changes[i].owner, changes[i].nb)
 		}
 	}
 
@@ -147,7 +159,7 @@ func ApplyEdgeDelta(g *Graph, inserts, deletes [][2]int32) (*Graph, error) {
 		ng.upPrefix[u+1] = ng.upPrefix[u] + up
 	}
 	if got := ng.off[g.n]; got != 2*newM {
-		return nil, fmt.Errorf("graph: delta produced %d half-edges, want %d", got, 2*newM)
+		return nil, 0, fmt.Errorf("graph: delta produced %d half-edges, want %d", got, 2*newM)
 	}
-	return ng, nil
+	return ng, first, nil
 }

@@ -1,0 +1,236 @@
+package index
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"influcomm/internal/gen"
+	"influcomm/internal/graph"
+)
+
+// serialized returns the on-disk form of ix: the byte-identity yardstick
+// the delta-repair property tests compare against a fresh build.
+func serialized(t testing.TB, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// randomToggleBatch picks edges among ranks [lo, n) and splits them into
+// inserts (currently absent) and deletes (currently present), disjoint and
+// duplicate-free — the shape ApplyEdgeDelta requires.
+func randomToggleBatch(g *graph.Graph, rng *rand.Rand, lo, size int) (inserts, deletes [][2]int32) {
+	n := g.NumVertices()
+	seen := map[[2]int32]bool{}
+	for len(seen) < size {
+		u := int32(lo + rng.Intn(n-lo))
+		v := int32(lo + rng.Intn(n-lo))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		e := [2]int32{u, v}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		if g.HasEdge(u, v) {
+			deletes = append(deletes, e)
+		} else {
+			inserts = append(inserts, e)
+		}
+	}
+	return inserts, deletes
+}
+
+// TestReindexDeltaRepairMatchesFreshBuild is the repair's core property:
+// across chained random update batches, the repaired index — at several
+// worker counts — serializes byte-identically to a fresh Build on the
+// post-update graph. Batches drawn over the full rank range exercise
+// arbitrary cuts, including cut 0 (nothing splices, everything recomputes)
+// and high cuts (almost everything splices); γmax drifts both ways as
+// edges toggle.
+func TestReindexDeltaRepairMatchesFreshBuild(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		g := gen.Random(120, 8, seed)
+		ix, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 6; round++ {
+			// Alternate whole-range batches with batches confined to the
+			// high-rank half, where the splice carries most of the index.
+			lo := 0
+			if round%2 == 1 {
+				lo = g.NumVertices() / 2
+			}
+			ins, del := randomToggleBatch(g, rng, lo, 1+rng.Intn(8))
+			ng, cut, err := graph.ApplyEdgeDeltaCut(g, ins, del)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Build(ng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := serialized(t, fresh)
+			var repaired *Index
+			for _, workers := range []int{1, 0, 4} {
+				rix, err := ix.ApplyDeltaContext(ctx, ng, cut, workers)
+				if err != nil {
+					t.Fatalf("seed %d round %d workers %d: %v", seed, round, workers, err)
+				}
+				if got := serialized(t, rix); !bytes.Equal(got, want) {
+					t.Fatalf("seed %d round %d workers %d cut %d: repaired index differs from fresh build", seed, round, workers, cut)
+				}
+				repaired = rix
+			}
+			// Chain: the next round repairs the repaired index, so drift
+			// would compound and surface.
+			g, ix = ng, repaired
+		}
+	}
+}
+
+// TestReindexDeltaRepairTargeted pins the analytically interesting cuts:
+// an edge at rank 0 forces a full recompute; a change confined to the two
+// highest ranks splices all but the last groups; γmax growth and shrink
+// must add and drop γ slots exactly as a fresh build does.
+func TestReindexDeltaRepairTargeted(t *testing.T) {
+	g := gen.Random(80, 6, 3)
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(g.NumVertices())
+
+	check := func(name string, ins, del [][2]int32) (*graph.Graph, *Index) {
+		t.Helper()
+		ng, cut, err := graph.ApplyEdgeDeltaCut(g, ins, del)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fresh, err := Build(ng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rix, err := ix.ApplyDelta(ng, cut)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(serialized(t, rix), serialized(t, fresh)) {
+			t.Fatalf("%s: repaired index differs from fresh build (cut %d)", name, cut)
+		}
+		return ng, rix
+	}
+
+	// Touch rank 0: cut is 0, the head is the entire decomposition.
+	var e0 [2]int32
+	if g.HasEdge(0, n-1) {
+		e0 = [2]int32{0, n - 1}
+		check("rank0-delete", nil, [][2]int32{e0})
+	} else {
+		e0 = [2]int32{0, n - 1}
+		check("rank0-insert", [][2]int32{e0}, nil)
+	}
+
+	// Touch only the two lowest-weight vertices: maximal splice.
+	hi := [2]int32{n - 2, n - 1}
+	if g.HasEdge(hi[0], hi[1]) {
+		check("highrank-delete", nil, [][2]int32{hi})
+	} else {
+		check("highrank-insert", [][2]int32{hi}, nil)
+	}
+
+	// Grow γmax: complete a clique over the 8 highest ranks, then tear it
+	// down again to shrink it. Both directions must track a fresh build's
+	// γ slot count.
+	var cliqueIns [][2]int32
+	for u := n - 8; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) {
+				cliqueIns = append(cliqueIns, [2]int32{u, v})
+			}
+		}
+	}
+	ng, rix := check("gammamax-grow", cliqueIns, nil)
+	if rix.GammaMax() <= ix.GammaMax() {
+		t.Fatalf("clique insert did not grow γmax (%d -> %d)", ix.GammaMax(), rix.GammaMax())
+	}
+	g, ix = ng, rix
+	var cliqueDel [][2]int32
+	for u := n - 8; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) {
+				cliqueDel = append(cliqueDel, [2]int32{u, v})
+			}
+		}
+	}
+	_, rix = check("gammamax-shrink", nil, cliqueDel)
+	if rix.GammaMax() >= ix.GammaMax() {
+		t.Fatalf("clique delete did not shrink γmax (%d -> %d)", ix.GammaMax(), rix.GammaMax())
+	}
+}
+
+// TestReindexDeltaRepairEmptyDelta covers cut == n: the repaired index
+// rebinds the existing decompositions to the new (content-identical)
+// graph without recomputing anything.
+func TestReindexDeltaRepairEmptyDelta(t *testing.T) {
+	g := gen.Random(60, 5, 9)
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, cut, err := graph.ApplyEdgeDeltaCut(g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng != g || cut != g.NumVertices() {
+		t.Fatalf("empty delta: got graph %p cut %d, want %p cut %d", ng, cut, g, g.NumVertices())
+	}
+	rix, err := ix.ApplyDelta(ng, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rix.Graph() != ng {
+		t.Error("empty delta repair did not rebind the graph")
+	}
+	if !bytes.Equal(serialized(t, rix), serialized(t, ix)) {
+		t.Error("empty delta repair changed the index content")
+	}
+}
+
+func TestReindexDeltaRepairErrors(t *testing.T) {
+	g := gen.Random(50, 4, 11)
+	ix, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.ApplyDelta(nil, 0); err == nil {
+		t.Error("nil graph: want error")
+	}
+	other := gen.Random(49, 4, 11)
+	if _, err := ix.ApplyDelta(other, 0); err == nil {
+		t.Error("vertex-count mismatch: want error")
+	}
+	if _, err := ix.ApplyDelta(g, -1); err == nil {
+		t.Error("negative cut: want error")
+	}
+	if _, err := ix.ApplyDelta(g, g.NumVertices()+1); err == nil {
+		t.Error("oversized cut: want error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.ApplyDeltaContext(ctx, g, 0, 2); err == nil {
+		t.Error("cancelled context: want error")
+	}
+}

@@ -80,6 +80,32 @@ type ApplyStats struct {
 	Epoch uint64
 }
 
+// UpdateEvent describes one published snapshot transition to an OnApply
+// observer: the epoch of the snapshot just published and the delta's cut
+// — the smallest weight rank whose adjacency row changed (see
+// graph.ApplyEdgeDeltaCut). Every prefix subgraph below the cut is
+// identical across the transition, which is what incremental index
+// maintenance keys on.
+type UpdateEvent struct {
+	// Epoch is the snapshot epoch published by the batch.
+	Epoch uint64
+	// Cut is the smallest rank with a changed adjacency row.
+	Cut int
+}
+
+// OnApply registers fn to run after every effectively applied batch
+// (no-op batches fire nothing), synchronously under the writer lock and
+// after the new snapshot is published: when fn runs, Snapshot() already
+// returns the epoch it was handed, and no further batch can land until
+// fn returns. Replay during Open happens before any observer can
+// register, so a reopened store fires no replay events. At most one
+// observer is supported; registering nil removes it.
+func (s *Store) OnApply(fn func(UpdateEvent)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onApply = fn
+}
+
 // snapshot is one immutable published state: a graph and the engine pool
 // bound to it. Neither is modified after publication.
 type snapshot struct {
@@ -113,6 +139,9 @@ type Store struct {
 	// dirty marks snapshot state that is ahead of the edge file, so Close
 	// knows whether compaction has anything to write.
 	dirty bool
+
+	// onApply, when set, observes every effective batch; see OnApply.
+	onApply func(UpdateEvent)
 
 	applied atomic.Int64
 	closed  atomic.Bool
@@ -357,7 +386,7 @@ func (s *Store) applyRanked(ranked []semiext.LogUpdate, logIt bool) (ApplyStats,
 			return ApplyStats{}, err
 		}
 	}
-	ng, err := graph.ApplyEdgeDelta(sn.g, ins, del)
+	ng, cut, err := graph.ApplyEdgeDeltaCut(sn.g, ins, del)
 	if err != nil {
 		return ApplyStats{}, err
 	}
@@ -366,6 +395,9 @@ func (s *Store) applyRanked(ranked []semiext.LogUpdate, logIt bool) (ApplyStats,
 	s.dirty = true
 	st.Epoch = next.epoch
 	s.applied.Add(int64(st.Inserted + st.Deleted))
+	if s.onApply != nil {
+		s.onApply(UpdateEvent{Epoch: next.epoch, Cut: cut})
+	}
 	return st, nil
 }
 

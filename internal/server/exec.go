@@ -79,10 +79,7 @@ type execResult struct {
 // Serving-path metrics are counted here, shared by every entry point.
 func (s *Server) executeTopK(ctx context.Context, ds *dataset, p queryParams, epoch uint64) (*execResult, error) {
 	out := &execResult{}
-	ix := ds.index.Load()
-	if ix != nil && epoch != ds.indexEpoch {
-		ix = nil
-	}
+	ix := ds.indexAt(epoch)
 	switch {
 	case p.Mode == cluster.ModeTruss:
 		// Graph and epoch must be one coherent read for mutable datasets,
@@ -203,7 +200,7 @@ func (s *Server) executeStream(ctx context.Context, ds *dataset, p queryParams, 
 		return sr, nil
 	}
 
-	if ix := ds.index.Load(); ix != nil && epoch == ds.indexEpoch && p.Mode == cluster.ModeCore {
+	if ix := ds.indexAt(epoch); ix != nil && p.Mode == cluster.ModeCore {
 		comms, err := ix.TopK(limit, p.Gamma)
 		if err != nil {
 			return sr, queryError(err)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"influcomm/internal/graph"
 	"influcomm/internal/index"
@@ -38,19 +39,25 @@ type dataset struct {
 	gen  uint64
 	st   store.Store
 
-	// index, when non-nil, answers default-semantics queries in
-	// output-proportional time; only backends with whole-graph access can
-	// carry one. It is an atomic pointer because applying edge updates to
-	// a mutable dataset invalidates the index: the update handler stores
-	// nil and queries fall back to pooled LocalSearch until an operator
-	// rebuilds and reloads one (icindex + admin reload). indexEpoch is the
-	// snapshot epoch the index was attached at; queries honor the index
-	// only while the epoch they key their result by still equals it, so a
+	// attached, when non-nil, holds the prebuilt index answering
+	// default-semantics queries in output-proportional time, paired with
+	// the snapshot epoch it describes; only backends with whole-graph
+	// access can carry one. Queries honor the index only while the epoch
+	// they key their result by equals the attached epoch (indexAt), so a
 	// query racing an update can never cache a pre-update index answer
-	// under the post-update epoch — the handler's nil swap is then just
-	// bookkeeping, not the correctness fence.
-	index      atomic.Pointer[index.Index]
-	indexEpoch uint64
+	// under the post-update epoch. On datasets with maintenance (maint)
+	// the pipeline repairs or rebuilds and re-attaches after every
+	// effective update; without it, the update handler drops the index
+	// (dropIndex) and queries fall back to pooled LocalSearch until an
+	// operator rebuilds and reloads one (icindex + admin reload).
+	attached atomic.Pointer[attachedIndex]
+	// maint, when non-nil, is the dataset's index-maintenance pipeline
+	// (see maintenance.go); set at registration, stopped on unload.
+	maint *maintainer
+	// indexDropped latches the first index drop so every later update
+	// batch can still report the "dropped" outcome, not only the one that
+	// performed the swap.
+	indexDropped atomic.Bool
 
 	// trussIndex is built lazily on the first truss query and rebuilt only
 	// when the store's snapshot epoch moves: the graph is immutable
@@ -83,6 +90,47 @@ func (d *dataset) epoch() uint64 {
 		return ms.SnapshotEpoch()
 	}
 	return 0
+}
+
+// indexAt returns the prebuilt index valid at the given snapshot epoch,
+// or nil when none is attached or the attached one describes a different
+// epoch — one atomic load decides both, so there is no window in which a
+// stale index can serve a newer snapshot.
+func (d *dataset) indexAt(epoch uint64) *index.Index {
+	at := d.attached.Load()
+	if at == nil || at.epoch != epoch {
+		return nil
+	}
+	return at.ix
+}
+
+// dropIndex detaches the index (datasets without maintenance lose it on
+// the first effective update), reporting whether this call performed the
+// drop; the latch keeps later batches reporting the dropped state.
+func (d *dataset) dropIndex() bool {
+	if d.attached.Swap(nil) != nil {
+		d.indexDropped.Store(true)
+		return true
+	}
+	return false
+}
+
+// indexState summarizes the dataset's index for operators: "attached"
+// (serving index-first at the current epoch), "rebuilding" (maintenance
+// is catching up; queries on LocalSearch meanwhile), "dropped" (no
+// maintenance and an update invalidated the index), or "" (the dataset
+// never had an index).
+func (d *dataset) indexState() string {
+	if d.indexAt(d.epoch()) != nil {
+		return "attached"
+	}
+	if d.maint != nil {
+		return "rebuilding"
+	}
+	if d.indexDropped.Load() {
+		return "dropped"
+	}
+	return ""
 }
 
 // snapshotOf returns a store's whole graph together with the epoch it
@@ -161,6 +209,13 @@ type DatasetInfo struct {
 	Mutable        bool   `json:"mutable,omitempty"`
 	SnapshotEpoch  uint64 `json:"snapshot_epoch,omitempty"`
 	UpdatesApplied int64  `json:"updates_applied,omitempty"`
+	// IndexState reports the index-maintenance state ("attached",
+	// "rebuilding", "dropped"); empty for datasets that never carried an
+	// index. IndexRebuilds and IndexDeltaRepairs count background rebuilds
+	// and synchronous delta repairs attached since load.
+	IndexState        string `json:"index_state,omitempty"`
+	IndexRebuilds     int64  `json:"index_rebuilds,omitempty"`
+	IndexDeltaRepairs int64  `json:"index_delta_repairs,omitempty"`
 }
 
 func (d *dataset) info() DatasetInfo {
@@ -169,10 +224,15 @@ func (d *dataset) info() DatasetInfo {
 		Backend:      d.st.Backend(),
 		Vertices:     d.st.NumVertices(),
 		Edges:        d.st.NumEdges(),
-		IndexLoaded:  d.index.Load() != nil,
+		IndexLoaded:  d.indexAt(d.epoch()) != nil,
+		IndexState:   d.indexState(),
 		Queries:      d.queries.Load(),
 		IndexQueries: d.indexServed.Load(),
 		LocalQueries: d.localServed.Load(),
+	}
+	if d.maint != nil {
+		info.IndexRebuilds = d.maint.rebuilds.Load()
+		info.IndexDeltaRepairs = d.maint.deltaRepairs.Load()
 	}
 	if se, ok := d.st.(*store.SemiExt); ok {
 		info.Mode = se.Mode()
@@ -216,6 +276,24 @@ type DatasetConfig struct {
 	Graph *graph.Graph // in-memory backend over this graph
 	Store store.Store  // explicit backend (e.g. store.OpenEdgeFile)
 	Index *index.Index
+
+	// Reindex selects index maintenance under online updates for mutable
+	// whole-graph datasets: "auto" keeps the index current across updates
+	// (synchronous delta repair for small deltas, epoch-tagged background
+	// rebuild otherwise), "off" drops the index on the first effective
+	// update (the pre-maintenance behavior), and "" inherits the server
+	// default (WithAutoReindex). "auto" on an ineligible backend is a
+	// registration error; the inherited default silently skips ineligible
+	// datasets.
+	Reindex string
+	// ReindexWorkers bounds the maintenance build/repair parallelism
+	// (index.BuildContext semantics; 0 = GOMAXPROCS with the small-work
+	// sequential escape).
+	ReindexWorkers int
+	// ReindexDebounce is how long the background worker waits after an
+	// invalidating update before rebuilding, so an update burst costs one
+	// rebuild; 0 uses the 100ms default.
+	ReindexDebounce time.Duration
 }
 
 // errAlreadyLoaded distinguishes a name conflict (409) from other
@@ -260,6 +338,20 @@ func (s *Server) addDataset(name string, cfg DatasetConfig) (*dataset, error) {
 				name, cfg.Index.Graph().NumVertices(), g.NumVertices())
 		}
 	}
+	switch cfg.Reindex {
+	case "", "auto", "off":
+	default:
+		return nil, fmt.Errorf("server: dataset %q: bad reindex value %q (want \"auto\" or \"off\")", name, cfg.Reindex)
+	}
+	reindex := cfg.Reindex == "auto" || (cfg.Reindex == "" && s.autoReindex)
+	ms := store.AsMutable(st)
+	if reindex && (ms == nil || st.Graph() == nil) {
+		if cfg.Reindex == "auto" {
+			return nil, fmt.Errorf("server: dataset %q: reindex=auto needs a mutable whole-graph backend, not %s", name, st.Backend())
+		}
+		// The server-wide default applies only where maintenance can work.
+		reindex = false
+	}
 	s.registry.mu.Lock()
 	defer s.registry.mu.Unlock()
 	if _, ok := s.registry.datasets[name]; ok {
@@ -268,8 +360,14 @@ func (s *Server) addDataset(name string, cfg DatasetConfig) (*dataset, error) {
 	s.registry.gen++
 	ds := &dataset{name: name, gen: s.registry.gen, st: st}
 	if cfg.Index != nil {
-		ds.index.Store(cfg.Index)
-		ds.indexEpoch = ds.epoch()
+		ds.attached.Store(&attachedIndex{ix: cfg.Index, epoch: ds.epoch()})
+	}
+	if reindex {
+		ds.maint = newMaintainer(ds, ms, maintainerConfig{
+			workers:  cfg.ReindexWorkers,
+			debounce: cfg.ReindexDebounce,
+		})
+		ds.maint.start()
 	}
 	s.registry.datasets[name] = ds
 	return ds, nil
@@ -290,6 +388,12 @@ func (s *Server) RemoveDataset(name string) error {
 	}
 	if s.cache != nil {
 		s.cache.invalidateDataset(name)
+	}
+	if ds.maint != nil {
+		// Drain the maintenance pipeline before the backend can close: an
+		// in-flight rebuild aborts through its context, and the update
+		// hook is unregistered so nothing kicks it again.
+		ds.maint.stop()
 	}
 	ds.markUnloaded()
 	return nil
@@ -313,6 +417,9 @@ func (s *Server) Close() error {
 	s.registry.mu.Unlock()
 	var errs []error
 	for _, ds := range dss {
+		if ds.maint != nil {
+			ds.maint.stop()
+		}
 		ds.markUnloaded()
 		if ds.refs.Load() == 0 {
 			// Synchronize with whichever goroutine ran the close, then
@@ -363,8 +470,17 @@ type loadRequest struct {
 	Mode string `json:"mode,omitempty"`
 	// Workers enables intra-query parallelism on the semi-external backend:
 	// each query's candidate prefixes decode and evaluate on up to this many
-	// goroutines (see store.WithWorkers). 0 or 1 serves sequentially.
+	// goroutines (see store.WithWorkers). On the mutable backend it instead
+	// bounds the index-maintenance build/repair parallelism (0 =
+	// GOMAXPROCS). 0 or 1 serves sequentially.
 	Workers int `json:"workers,omitempty"`
+	// Reindex selects index maintenance for mutable datasets: "auto"
+	// keeps the index current across updates, "off" drops it on the first
+	// effective update; empty inherits the server default.
+	Reindex string `json:"reindex,omitempty"`
+	// ReindexDebounce overrides the background-rebuild debounce as a Go
+	// duration string (e.g. "250ms"); empty uses the 100ms default.
+	ReindexDebounce string `json:"reindex_debounce,omitempty"`
 }
 
 // adminAllowed enforces the optional bearer token on admin endpoints.
@@ -413,12 +529,23 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 		}
 		backend = "mutable"
 	}
+	var debounce time.Duration
+	if req.ReindexDebounce != "" {
+		var err error
+		if debounce, err = time.ParseDuration(req.ReindexDebounce); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad reindex_debounce: " + err.Error()})
+			return
+		}
+	}
 	st, err := store.Open(req.Path, backend, opts...)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	cfg := DatasetConfig{Store: st}
+	cfg := DatasetConfig{Store: st, Reindex: req.Reindex, ReindexDebounce: debounce}
+	if backend == "mutable" {
+		cfg.ReindexWorkers = req.Workers
+	}
 	if req.Index != "" {
 		g := st.Graph()
 		if g == nil {

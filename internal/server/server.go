@@ -70,6 +70,10 @@ type Server struct {
 	// bearer token; queries stay open.
 	adminToken string
 
+	// autoReindex makes index maintenance the default for every eligible
+	// (mutable, whole-graph) dataset; see WithAutoReindex.
+	autoReindex bool
+
 	// maxK bounds per-request work; requests beyond it are rejected.
 	maxK int
 	// queryTimeout is the per-request search deadline; 0 disables it.
@@ -126,6 +130,21 @@ func WithQueryTimeout(d time.Duration) Option {
 // rejects any other index.
 func WithIndex(ix *index.Index) Option {
 	return func(s *Server) { s.registry.defaultIndex = ix }
+}
+
+// WithAutoReindex keeps prebuilt indexes current under online updates for
+// every eligible dataset — mutable backends with whole-graph access —
+// registered on this server: small deltas are repaired synchronously
+// (per-γ recompute above the delta cut, splice below it), larger ones
+// trigger an epoch-tagged background rebuild that attaches only if the
+// store has not moved on, and queries fall back to LocalSearch while no
+// current index is attached. A dataset loaded without an index gets one
+// built in the background. Per-dataset DatasetConfig.Reindex ("auto" /
+// "off") overrides this default. Without this option — and without a
+// per-dataset "auto" — an effective update drops the dataset's index
+// until an operator reloads one.
+func WithAutoReindex() Option {
+	return func(s *Server) { s.autoReindex = true }
 }
 
 // WithDataset registers an additional named dataset at construction; the
@@ -241,6 +260,14 @@ type statsResponse struct {
 	IndexQueries  int64 `json:"index_queries"`
 	LocalQueries  int64 `json:"local_queries"`
 
+	// Index-maintenance state of the default dataset: IndexState is
+	// "attached", "rebuilding", or "dropped" (empty when it never had an
+	// index); IndexRebuilds and IndexDeltaRepairs count background
+	// rebuilds and synchronous delta repairs attached since load.
+	IndexState        string `json:"index_state,omitempty"`
+	IndexRebuilds     int64  `json:"index_rebuilds,omitempty"`
+	IndexDeltaRepairs int64  `json:"index_delta_repairs,omitempty"`
+
 	// ShardStreams counts /v1/shard/stream requests served to cluster
 	// coordinators.
 	ShardStreams int64 `json:"shard_streams"`
@@ -280,9 +307,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Vertices = ds.st.NumVertices()
 		resp.Edges = ds.st.NumEdges()
-		if ix := ds.index.Load(); ix != nil {
+		if ix := ds.indexAt(ds.epoch()); ix != nil {
 			resp.IndexLoaded = true
 			resp.IndexGammaMax = ix.GammaMax()
+		}
+		resp.IndexState = ds.indexState()
+		if ds.maint != nil {
+			resp.IndexRebuilds = ds.maint.rebuilds.Load()
+			resp.IndexDeltaRepairs = ds.maint.deltaRepairs.Load()
 		}
 		if ms := store.AsMutable(ds.st); ms != nil {
 			resp.SnapshotEpoch = ms.SnapshotEpoch()

@@ -31,9 +31,18 @@ type updatesResponse struct {
 	Skipped  int    `json:"skipped"`
 	// SnapshotEpoch is the epoch queries see from now on.
 	SnapshotEpoch uint64 `json:"snapshot_epoch"`
-	// IndexInvalidated reports that a prebuilt index was dropped by this
-	// batch: queries fall back to online LocalSearch until a rebuilt index
-	// is loaded again.
+	// Index reports what happened to the dataset's prebuilt index:
+	// "repaired" (delta repair attached a current index before this
+	// response), "rebuilding" (a background rebuild is pending or running;
+	// queries use LocalSearch meanwhile), or "dropped" (no maintenance on
+	// this dataset: the index is gone until an operator reloads one).
+	// Empty when the dataset has neither an index nor maintenance.
+	Index string `json:"index,omitempty"`
+	// IndexInvalidated reports that this batch was the one that dropped a
+	// prebuilt index. Unlike Index — which keeps reporting the maintenance
+	// state on every effective batch — it fires only on the drop
+	// transition, so batches after the first report false even though the
+	// index is still gone; prefer Index.
 	IndexInvalidated bool `json:"index_invalidated,omitempty"`
 }
 
@@ -111,14 +120,27 @@ func (s *Server) handleApplyUpdates(w http.ResponseWriter, r *http.Request) {
 		SnapshotEpoch: stats.Epoch,
 	}
 	if stats.Inserted+stats.Deleted > 0 {
-		// The graph moved: a prebuilt index no longer describes it. Drop it
-		// so default-semantics queries fall back to pooled LocalSearch
-		// (which needs no maintenance — the paper's core asymmetry), and
-		// purge the dataset's cached results; the epoch in the cache key
-		// already fences them off, the purge just frees the memory early.
-		if ds.index.Swap(nil) != nil {
-			resp.IndexInvalidated = true
+		if m := ds.maint; m != nil {
+			// Maintained dataset: the store's OnApply hook already ran
+			// (synchronously, inside ApplyUpdates), so the outcome for this
+			// batch's epoch is decided — either a delta repair attached a
+			// current index before we got here, or the background rebuild
+			// worker has been kicked.
+			resp.Index = m.outcomeFor(stats.Epoch)
+		} else {
+			// No maintenance: the graph moved and the prebuilt index no
+			// longer describes it. Drop it so default-semantics queries fall
+			// back to pooled LocalSearch (which needs no maintenance — the
+			// paper's core asymmetry) until an operator reloads an index.
+			if ds.dropIndex() {
+				resp.IndexInvalidated = true
+			}
+			if ds.indexDropped.Load() {
+				resp.Index = outcomeDropped
+			}
 		}
+		// Purge the dataset's cached results; the epoch in the cache key
+		// already fences them off, the purge just frees the memory early.
 		if s.cache != nil {
 			s.cache.invalidateDataset(name)
 		}

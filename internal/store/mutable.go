@@ -19,6 +19,11 @@ var ErrInvalidBatch = mutable.ErrInvalidBatch
 // UpdateStats reports what one ApplyUpdates batch did.
 type UpdateStats = mutable.ApplyStats
 
+// UpdateEvent describes one published snapshot transition to an OnApply
+// observer: the new epoch and the delta cut (smallest weight rank whose
+// adjacency changed); see mutable.UpdateEvent.
+type UpdateEvent = mutable.UpdateEvent
+
 // MutableStore is a Store whose graph accepts online edge updates while
 // serving: readers pin immutable copy-on-write snapshots, so queries in
 // flight during an update complete on the graph they started on and
@@ -43,6 +48,11 @@ type MutableStore interface {
 	// UpdatesApplied returns the total effective edge mutations applied
 	// since open.
 	UpdatesApplied() int64
+
+	// OnApply registers an observer of effectively applied batches,
+	// called synchronously after each snapshot publish; nil removes it.
+	// Incremental index maintenance hangs off this hook.
+	OnApply(fn func(UpdateEvent))
 }
 
 // OpenMutable opens the edge file at path as a durable mutable store: the

@@ -89,6 +89,14 @@ type EdgeUpdate = store.EdgeUpdate
 // observe from now on.
 type UpdateStats = store.UpdateStats
 
+// UpdateEvent describes one published snapshot transition to a
+// MutableStore.OnApply observer: the epoch of the snapshot the batch just
+// published, and the delta cut — the smallest weight rank whose adjacency
+// changed, below which every prefix subgraph is identical across the
+// transition. The server's incremental index maintenance is built on this
+// hook.
+type UpdateEvent = store.UpdateEvent
+
 // MutableStore is a Store whose graph accepts online edge updates while
 // serving. Readers pin immutable copy-on-write snapshots with a single
 // atomic load, so queries in flight during an update complete on the graph
