@@ -50,7 +50,8 @@ func NewClusterCoordinator(shards []ClusterShard, opts ...ClusterOption) (*Clust
 }
 
 // WithClusterShardTimeout bounds each shard attempt; a replica exceeding it
-// is failed over like a dead one. Zero disables the per-shard bound.
+// is failed over like a dead one. A non-positive duration keeps the 30s
+// default — a shard attempt always has a bound.
 var WithClusterShardTimeout = cluster.WithShardTimeout
 
 // WithClusterPartialResults selects degraded serving: when a shard exhausts
@@ -58,8 +59,41 @@ var WithClusterShardTimeout = cluster.WithShardTimeout
 // marked partial. The default is strict — any shard failure fails the query.
 var WithClusterPartialResults = cluster.WithPartialResults
 
-// WithClusterHTTPClient substitutes the HTTP client used for shard streams.
+// WithClusterHTTPClient substitutes the HTTP client used for shard streams
+// and health probes.
 var WithClusterHTTPClient = cluster.WithHTTPClient
+
+// WithClusterHealthProbes enables active background health probing of every
+// replica's /healthz at the given interval, maintaining up/ready state and a
+// latency EWMA that drive health-aware replica selection. A non-positive
+// interval disables probing (the default); a non-positive timeout keeps the
+// 1s default.
+var WithClusterHealthProbes = cluster.WithHealthProbes
+
+// WithClusterBreaker configures the per-replica circuit breakers: threshold
+// consecutive failures open a breaker, and after cooldown it admits a
+// half-open trial. Zero threshold disables breakers; the defaults are 5
+// failures and a 5s cooldown.
+var WithClusterBreaker = cluster.WithBreaker
+
+// WithClusterHedge enables hedged stream opens: when a shard's header has
+// not arrived within delay, a second open races on the next admitted
+// replica and the first header wins. Zero (the default) disables hedging.
+var WithClusterHedge = cluster.WithHedge
+
+// WithClusterOpenRetries sets how many extra jittered-backoff passes over a
+// shard's replica list a query makes after the first, before the shard is
+// declared failed. The default is 1 extra pass.
+var WithClusterOpenRetries = cluster.WithOpenRetries
+
+// ClusterShardStatus reports one shard's per-replica resilience state, as
+// returned by ClusterCoordinator.Status and /v1/cluster.
+type ClusterShardStatus = cluster.ShardStatus
+
+// ClusterReplicaStatus is one replica's resilience state: breaker state,
+// probe results, and the latency EWMA (documented field-by-field in
+// docs/CLUSTER.md).
+type ClusterReplicaStatus = cluster.ReplicaStatus
 
 // PartitionGraph splits g into at most n shard graphs whose vertex sets are
 // unions of whole connected components, balanced by vertex count. Every

@@ -5,6 +5,9 @@
 //
 //	iccoord -shard name=url[,url2,...][,dataset=D]... [-addr :8090]
 //	        [-maxk 10000] [-shard-timeout 10s] [-partial]
+//	        [-probe-interval 2s] [-probe-timeout 1s]
+//	        [-breaker-threshold 5] [-breaker-cooldown 5s]
+//	        [-hedge 0] [-shard-retries 1]
 //	        [-read-timeout 10s] [-write-timeout 60s] [-idle-timeout 2m]
 //	        [-shutdown-timeout 15s]
 //
@@ -24,10 +27,21 @@
 // the unpartitioned graph on one node.
 //
 // A shard attempt that fails or exceeds -shard-timeout fails over to the
-// next replica. When a shard exhausts its replicas, the query fails (the
-// default, strict mode) or — with -partial — degrades: the answer covers the
-// surviving shards and is marked "partial": true with the dropped shards
-// listed in "failed_shards".
+// next replica. When a shard exhausts its replicas (after -shard-retries
+// extra backed-off passes), the query fails (the default, strict mode) or —
+// with -partial — degrades: the answer covers the surviving shards and is
+// marked "partial": true with the dropped shards listed in "failed_shards".
+//
+// Resilience: every -probe-interval each replica's /healthz is probed
+// (bounded by -probe-timeout) to maintain up/down state, readiness, and an
+// EWMA latency score; replica selection prefers healthy-lowest-latency
+// replicas over the configured order. A replica failing -breaker-threshold
+// consecutive attempts has its circuit breaker opened and is skipped until
+// -breaker-cooldown elapses (a successful probe re-admits it immediately).
+// With -hedge > 0, a shard open slower than the hedge delay races a second
+// replica and the first header wins. Per-replica state is visible on
+// /v1/cluster and /v1/stats. See the "replica is sick" runbook in
+// docs/OPERATIONS.md for tuning guidance.
 //
 // The coordinator drains in-flight requests on SIGINT/SIGTERM, waiting up
 // to -shutdown-timeout before closing remaining connections.
@@ -77,15 +91,47 @@ func parseShardSpec(spec string) (cluster.Shard, error) {
 
 // config collects the flag values; main parses, serve runs.
 type config struct {
-	addr            string
-	shards          []cluster.Shard
-	maxK            int
-	shardTimeout    time.Duration
-	partial         bool
-	readTimeout     time.Duration
-	writeTimeout    time.Duration
-	idleTimeout     time.Duration
-	shutdownTimeout time.Duration
+	addr             string
+	shards           []cluster.Shard
+	maxK             int
+	shardTimeout     time.Duration
+	partial          bool
+	probeInterval    time.Duration
+	probeTimeout     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	hedge            time.Duration
+	shardRetries     int
+	readTimeout      time.Duration
+	writeTimeout     time.Duration
+	idleTimeout      time.Duration
+	shutdownTimeout  time.Duration
+}
+
+// validate rejects nonsense knob values with a usage-style error before
+// the coordinator silently "corrects" them.
+func (cfg *config) validate() error {
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"-shard-timeout", cfg.shardTimeout},
+		{"-probe-interval", cfg.probeInterval},
+		{"-probe-timeout", cfg.probeTimeout},
+		{"-breaker-cooldown", cfg.breakerCooldown},
+		{"-hedge", cfg.hedge},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("%s must not be negative (got %s)", d.name, d.v)
+		}
+	}
+	if cfg.breakerThreshold < 0 {
+		return fmt.Errorf("-breaker-threshold must not be negative (got %d)", cfg.breakerThreshold)
+	}
+	if cfg.shardRetries < 0 {
+		return fmt.Errorf("-shard-retries must not be negative (got %d)", cfg.shardRetries)
+	}
+	return nil
 }
 
 func main() {
@@ -100,8 +146,14 @@ func main() {
 		return nil
 	})
 	flag.IntVar(&cfg.maxK, "maxk", 10000, "largest k a single request may ask for")
-	flag.DurationVar(&cfg.shardTimeout, "shard-timeout", 10*time.Second, "per-shard attempt deadline before failover (0 = none)")
+	flag.DurationVar(&cfg.shardTimeout, "shard-timeout", 10*time.Second, "per-shard attempt deadline before failover (0 = coordinator default, 30s)")
 	flag.BoolVar(&cfg.partial, "partial", false, "serve degraded results from surviving shards when a shard exhausts its replicas (default: fail the query)")
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", 2*time.Second, "replica health-probe period (0 = no active probing)")
+	flag.DurationVar(&cfg.probeTimeout, "probe-timeout", time.Second, "health-probe deadline (0 = coordinator default, 1s)")
+	flag.IntVar(&cfg.breakerThreshold, "breaker-threshold", 5, "consecutive failures that open a replica's circuit breaker (0 = breakers off)")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 5*time.Second, "how long an open breaker blocks a replica before the next trial (0 = coordinator default, 5s)")
+	flag.DurationVar(&cfg.hedge, "hedge", 0, "fire a hedged shard open at a second replica after this delay (0 = no hedging)")
+	flag.IntVar(&cfg.shardRetries, "shard-retries", 1, "extra backed-off passes over a shard's replicas before it counts as failed")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout")
 	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP write timeout")
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "HTTP idle connection timeout")
@@ -109,6 +161,11 @@ func main() {
 	flag.Parse()
 	if len(cfg.shards) == 0 {
 		fmt.Fprintln(os.Stderr, "iccoord: at least one -shard is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "iccoord: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -127,11 +184,16 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 	opts := []cluster.Option{
 		cluster.WithShardTimeout(cfg.shardTimeout),
 		cluster.WithPartialResults(cfg.partial),
+		cluster.WithHealthProbes(cfg.probeInterval, cfg.probeTimeout),
+		cluster.WithBreaker(cfg.breakerThreshold, cfg.breakerCooldown),
+		cluster.WithHedge(cfg.hedge),
+		cluster.WithOpenRetries(cfg.shardRetries),
 	}
 	coord, err := cluster.NewCoordinator(cfg.shards, opts...)
 	if err != nil {
 		return err
 	}
+	defer coord.Close()
 	srv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           cluster.NewHandler(coord, cfg.maxK),

@@ -119,3 +119,30 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("shutdown: %v", err)
 	}
 }
+
+func TestConfigValidate(t *testing.T) {
+	good := config{shardTimeout: time.Second, probeInterval: time.Second,
+		probeTimeout: time.Second, breakerCooldown: time.Second, breakerThreshold: 5, shardRetries: 1}
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*config)
+	}{
+		{"negative shard-timeout", func(c *config) { c.shardTimeout = -time.Second }},
+		{"negative probe-interval", func(c *config) { c.probeInterval = -1 }},
+		{"negative probe-timeout", func(c *config) { c.probeTimeout = -1 }},
+		{"negative breaker-cooldown", func(c *config) { c.breakerCooldown = -1 }},
+		{"negative hedge", func(c *config) { c.hedge = -1 }},
+		{"negative breaker-threshold", func(c *config) { c.breakerThreshold = -1 }},
+		{"negative shard-retries", func(c *config) { c.shardRetries = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := good
+		tc.mutate(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command iccoordfault is a fault-injecting reverse proxy for cluster
+// chaos drills: put it between an iccoord coordinator and an icserver
+// shard replica, script the faults, and watch the coordinator's
+// prober, circuit breakers, and failover react — reproducibly, because
+// fault schedules advance by request count and all randomness comes
+// from -seed.
+//
+// Usage:
+//
+//	iccoordfault -target http://localhost:8081 -script 'up,for=20;status=503,for=5;loop'
+//	             [-listen :9001] [-seed 1] [-upstream-timeout 0]
+//
+// The -script DSL is a ';'-separated list of phases, each a
+// ','-separated list of directives:
+//
+//	up                 no fault (explicit healthy phase)
+//	latency=DUR        add DUR before forwarding (Go duration syntax)
+//	ramp=DUR           add DUR×n extra latency to the n-th phase request
+//	jitter=DUR         add uniform [0,DUR) seeded-random latency
+//	status=N           answer with HTTP status N instead of forwarding
+//	blackhole          swallow the request until the client gives up
+//	truncate=Nl        cut the response after N body lines (mid-stream drop)
+//	truncate=Nb        cut the response after N body bytes
+//	for=N              the phase covers N requests (default: forever)
+//	loop               restart at the first phase after the last
+//
+// Examples:
+//
+//	-script 'blackhole'                          a dead replica
+//	-script 'latency=50ms,jitter=20ms'           a slow, wobbly replica
+//	-script 'up,for=50;blackhole,for=10;loop'    a flapping replica
+//	-script 'truncate=3l,for=1;up'               one mid-stream drop, then heal
+//
+// Point the corresponding iccoord -shard replica URL at the proxy's
+// -listen address. GET /faultz on the proxy reports request/fault
+// counts (every other path is forwarded, including /healthz — probes
+// are subject to faults too, exactly like production traffic).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"influcomm/internal/faultnet"
+)
+
+// config collects the flag values; main parses, serve runs.
+type config struct {
+	listen          string
+	target          string
+	script          string
+	seed            int64
+	upstreamTimeout time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", ":9001", "proxy listen address")
+	flag.StringVar(&cfg.target, "target", "", "upstream base URL to forward to (required)")
+	flag.StringVar(&cfg.script, "script", "up", "fault script (see package docs for the DSL)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for jitter — same seed, same faults")
+	flag.DurationVar(&cfg.upstreamTimeout, "upstream-timeout", 0, "upstream request deadline (0 = none; the client's own deadline still applies)")
+	flag.Parse()
+	if cfg.target == "" {
+		fmt.Fprintln(os.Stderr, "iccoordfault: -target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if cfg.upstreamTimeout < 0 {
+		fmt.Fprintln(os.Stderr, "iccoordfault: -upstream-timeout must not be negative")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, cfg, nil); err != nil {
+		log.Fatalf("iccoordfault: %v", err)
+	}
+}
+
+// serve runs the proxy until ctx is cancelled. When ready is non-nil the
+// bound listener address is sent on it once the proxy is accepting
+// connections (used by tests to serve on an ephemeral port).
+func serve(ctx context.Context, cfg config, ready chan<- string) error {
+	script, err := faultnet.ParseScript(cfg.script, cfg.seed)
+	if err != nil {
+		return err
+	}
+	proxy, err := faultnet.NewProxy(cfg.target, script, &http.Client{Timeout: cfg.upstreamTimeout})
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /faultz", func(w http.ResponseWriter, r *http.Request) {
+		st := proxy.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"requests\":%d,\"faulted\":%d}\n", st.Requests, st.Faulted)
+	})
+	mux.Handle("/", proxy)
+	srv := &http.Server{Addr: cfg.listen, Handler: mux}
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("iccoordfault: faulting %s on %s (script %q, seed %d)", cfg.target, ln.Addr(), cfg.script, cfg.seed)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Black-holed connections only release when their clients give up, so
+	// shut down abruptly: a chaos tool has no graceful-drain obligation.
+	srv.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startProxy boots serve on an ephemeral port and returns its base URL.
+func startProxy(t *testing.T, cfg config) string {
+	t.Helper()
+	cfg.listen = "127.0.0.1:0"
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	ready := make(chan string, 1)
+	go func() { done <- serve(ctx, cfg, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("proxy did not come up")
+	}
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("proxy did not shut down")
+		}
+	})
+	return "http://" + addr
+}
+
+func TestProxySmoke(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "hello %s", r.URL.Path)
+	}))
+	defer backend.Close()
+
+	base := startProxy(t, config{target: backend.URL, script: "status=503,for=1;up", seed: 1})
+
+	resp, err := http.Get(base + "/v1/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("first request: status %d, want injected 503", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/v1/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "hello /v1/topk" {
+		t.Fatalf("second request: status %d body %q, want forwarded answer", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/faultz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if want := "{\"requests\":2,\"faulted\":1}"; strings.TrimSpace(string(counts)) != want {
+		t.Fatalf("faultz = %q, want %q", counts, want)
+	}
+}
+
+func TestProxyRejectsBadFlags(t *testing.T) {
+	if err := serve(context.Background(), config{target: "http://x", script: "nonsense=1"}, nil); err == nil {
+		t.Fatal("bad script accepted")
+	}
+	if err := serve(context.Background(), config{target: "ftp://x", script: "up"}, nil); err == nil {
+		t.Fatal("bad target accepted")
+	}
+}

@@ -72,10 +72,13 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal("server never became ready")
 	}
 
-	var health map[string]string
+	var health struct {
+		Status string `json:"status"`
+		Ready  bool   `json:"ready"`
+	}
 	mustGet(t, base+"/healthz", &health)
-	if health["status"] != "ok" {
-		t.Errorf("healthz = %v", health)
+	if health.Status != "ok" || !health.Ready {
+		t.Errorf("healthz = %+v", health)
 	}
 
 	var topk struct {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -15,8 +16,10 @@ import (
 type Shard struct {
 	// Name identifies the shard in Result.Epochs and Result.FailedShards.
 	Name string `json:"name"`
-	// Replicas are base URLs ("http://host:port") tried in order: the first
-	// is primary, the rest are failover targets serving the same partition.
+	// Replicas are base URLs ("http://host:port") serving the same
+	// partition. With health probing off they are tried in order (the
+	// first is primary); with probing on the coordinator prefers
+	// healthy replicas with the lowest latency score.
 	Replicas []string `json:"replicas"`
 	// Dataset overrides the query's dataset name on this shard; empty means
 	// the query's name (or the shard server's default) is used.
@@ -47,10 +50,16 @@ type Option func(*Coordinator)
 // WithShardTimeout bounds each shard attempt (connect through trailer). A
 // replica that exceeds it is treated exactly like a failed one: the
 // coordinator fails over to the next replica, and past the last replica the
-// shard is dropped (partial mode) or the query errors (strict mode). Zero
-// means no per-shard bound; the request context still applies.
+// shard is dropped (partial mode) or the query errors (strict mode).
+// Non-positive values keep the default, DefaultShardTimeout — there is
+// deliberately no way to run unbounded, because a black-holed replica
+// would hang the gather until the client disconnects.
 func WithShardTimeout(d time.Duration) Option {
-	return func(c *Coordinator) { c.shardTimeout = d }
+	return func(c *Coordinator) {
+		if d > 0 {
+			c.shardTimeout = d
+		}
+	}
 }
 
 // WithPartialResults selects degraded serving: when a shard exhausts its
@@ -61,24 +70,100 @@ func WithPartialResults(allow bool) Option {
 	return func(c *Coordinator) { c.partial = allow }
 }
 
-// WithHTTPClient substitutes the HTTP client used for shard streams.
+// WithHTTPClient substitutes the HTTP client used for shard streams and
+// health probes.
 func WithHTTPClient(client *http.Client) Option {
 	return func(c *Coordinator) { c.client = client }
 }
 
+// WithBreaker configures the per-replica circuit breakers: a replica's
+// breaker opens after threshold consecutive failures and, while open,
+// rejects attempts until cooldown elapses (then the next attempt — or
+// health probe — is a trial). threshold 0 disables the breakers;
+// non-positive cooldown keeps DefaultBreakerCooldown. The default is
+// DefaultBreakerThreshold/DefaultBreakerCooldown.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Coordinator) {
+		if threshold < 0 {
+			threshold = 0
+		}
+		c.breakerThreshold = threshold
+		if cooldown > 0 {
+			c.breakerCooldown = cooldown
+		}
+	}
+}
+
+// WithHealthProbes enables background health probing: every interval each
+// replica's /healthz is probed (bounded by timeout, non-positive means
+// DefaultProbeTimeout), maintaining up/down state, readiness, and an EWMA
+// latency score that drives replica ordering. Non-positive interval
+// disables probing (the default). With probing enabled the caller must
+// Close the coordinator to stop the probers.
+func WithHealthProbes(interval, timeout time.Duration) Option {
+	return func(c *Coordinator) {
+		c.probeInterval = interval
+		if timeout > 0 {
+			c.probeTimeout = timeout
+		}
+	}
+}
+
+// WithHedge enables hedged shard opens: when opening a shard stream takes
+// longer than delay, a second open is fired at the next admitted replica
+// and the first header wins, the loser being cancelled. Hedging happens
+// only at open time — before any result bytes are consumed — so merged
+// answers stay byte-identical. Non-positive delay disables hedging (the
+// default).
+func WithHedge(delay time.Duration) Option {
+	return func(c *Coordinator) { c.hedgeDelay = delay }
+}
+
+// WithOpenRetries sets how many extra passes over a shard's (health-
+// ranked) replica list the coordinator makes at open time, each pass
+// preceded by a jittered exponential backoff, before declaring the shard
+// failed. Negative values clamp to zero; the default is
+// DefaultOpenRetries.
+func WithOpenRetries(n int) Option {
+	return func(c *Coordinator) {
+		if n < 0 {
+			n = 0
+		}
+		c.openRetries = n
+	}
+}
+
 // Coordinator scatters top-k queries across shards and gathers the global
 // answer by k-way merging the shards' decreasing-influence streams. It is
-// safe for concurrent use.
+// safe for concurrent use. A coordinator with health probing enabled owns
+// background goroutines; Close releases them.
 type Coordinator struct {
 	shards       []Shard
+	reps         [][]*replica // parallel to shards
 	client       *http.Client
 	shardTimeout time.Duration
 	partial      bool
 
-	queries   atomic.Int64
-	errors    atomic.Int64
-	partials  atomic.Int64
-	failovers atomic.Int64
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	probeInterval    time.Duration
+	probeTimeout     time.Duration
+	hedgeDelay       time.Duration
+	openRetries      int
+
+	stopProbes chan struct{}
+	probeWG    sync.WaitGroup
+	closeOnce  sync.Once
+
+	queries    atomic.Int64
+	errors     atomic.Int64
+	partials   atomic.Int64
+	failovers  atomic.Int64
+	probes     atomic.Int64
+	retries    atomic.Int64
+	hedges     atomic.Int64
+	hedgesWon  atomic.Int64
+	hedgesLost atomic.Int64
 }
 
 // NewCoordinator validates the topology and builds a coordinator.
@@ -99,11 +184,50 @@ func NewCoordinator(shards []Shard, opts ...Option) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: shard %q has no replicas", sh.Name)
 		}
 	}
-	c := &Coordinator{shards: shards, client: http.DefaultClient}
+	c := &Coordinator{
+		shards:           shards,
+		client:           http.DefaultClient,
+		shardTimeout:     DefaultShardTimeout,
+		breakerThreshold: DefaultBreakerThreshold,
+		breakerCooldown:  DefaultBreakerCooldown,
+		probeTimeout:     DefaultProbeTimeout,
+		openRetries:      DefaultOpenRetries,
+	}
 	for _, o := range opts {
 		o(c)
 	}
+	c.reps = make([][]*replica, len(shards))
+	for i, sh := range shards {
+		c.reps[i] = make([]*replica, len(sh.Replicas))
+		for j, u := range sh.Replicas {
+			c.reps[i][j] = &replica{
+				url:       u,
+				shardName: sh.Name,
+				br:        breaker{threshold: c.breakerThreshold, cooldown: c.breakerCooldown},
+			}
+		}
+	}
+	if c.probeInterval > 0 {
+		c.stopProbes = make(chan struct{})
+		for i := range c.reps {
+			for _, r := range c.reps[i] {
+				c.probeWG.Add(1)
+				go c.probeLoop(r)
+			}
+		}
+	}
 	return c, nil
+}
+
+// Close stops the background health probers (a no-op when probing is
+// off). Safe to call more than once; in-flight queries are unaffected.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		if c.stopProbes != nil {
+			close(c.stopProbes)
+			c.probeWG.Wait()
+		}
+	})
 }
 
 // Shards returns the configured topology.
@@ -120,18 +244,49 @@ type Stats struct {
 	// Failovers counts replica advances: every time a shard attempt failed
 	// and the coordinator moved to the next replica (or dropped the shard).
 	Failovers int64 `json:"failovers"`
+	// Probes counts health probes sent across all replicas.
+	Probes int64 `json:"probes"`
+	// BreakerTrips counts circuit-breaker closed-to-open transitions
+	// across all replicas since startup.
+	BreakerTrips int64 `json:"breaker_trips"`
+	// Retries counts backed-off open-time retry passes that ran.
+	Retries int64 `json:"retries"`
+	// Hedges counts hedged second opens fired.
+	Hedges int64 `json:"hedges"`
+	// HedgesWon counts hedged opens where the second replica's header
+	// arrived first.
+	HedgesWon int64 `json:"hedges_won"`
+	// HedgesLost counts hedged opens where the primary still won.
+	HedgesLost int64 `json:"hedges_lost"`
 	// Shards is the configured shard count.
 	Shards int `json:"shards"`
+	// ShardStatus is the per-replica resilience state (breaker, health,
+	// latency score) for every shard.
+	ShardStatus []ShardStatus `json:"shard_status"`
 }
 
 // Stats snapshots the serving counters.
 func (c *Coordinator) Stats() Stats {
+	status := c.Status()
+	var trips int64
+	for _, sh := range status {
+		for _, r := range sh.Replicas {
+			trips += r.Trips
+		}
+	}
 	return Stats{
 		Queries:        c.queries.Load(),
 		Errors:         c.errors.Load(),
 		PartialResults: c.partials.Load(),
 		Failovers:      c.failovers.Load(),
+		Probes:         c.probes.Load(),
+		BreakerTrips:   trips,
+		Retries:        c.retries.Load(),
+		Hedges:         c.hedges.Load(),
+		HedgesWon:      c.hedgesWon.Load(),
+		HedgesLost:     c.hedgesLost.Load(),
 		Shards:         len(c.shards),
+		ShardStatus:    status,
 	}
 }
 
@@ -170,11 +325,18 @@ func (c *Coordinator) topK(ctx context.Context, dataset string, k int, gamma int
 		return nil, fmt.Errorf("cluster: unknown mode %q", mode)
 	}
 
+	// The attempt plan — health-ranked replica order times retry passes —
+	// is fixed per shard before the first gather, so the restart loop
+	// below advances monotonically through it and terminates.
 	n := len(c.shards)
-	cursors := make([]int, n) // next replica to try, per shard
+	plans := make([][]attempt, n)
+	for i := range c.shards {
+		plans[i] = c.attemptPlan(i)
+	}
+	cursors := make([]int, n) // next plan position to try, per shard
 	dead := make([]bool, n)   // dropped shards (partial mode only)
 	for {
-		res, failIdx, failCursor, err := c.gather(ctx, dataset, k, gamma, mode, cursors, dead)
+		res, failIdx, failCursor, err := c.gather(ctx, dataset, k, gamma, mode, plans, cursors, dead)
 		if err != nil {
 			return nil, err
 		}
@@ -184,11 +346,11 @@ func (c *Coordinator) topK(ctx context.Context, dataset string, k int, gamma int
 		// A shard failed after the merge had already consumed some of its
 		// communities: those results are suspect (a replica restart may pin
 		// a different epoch), so the whole gather restarts with that shard's
-		// replica cursor advanced. Each restart either advances a cursor or
+		// plan cursor advanced. Each restart either advances a cursor or
 		// kills a shard, so the loop terminates.
 		c.failovers.Add(1)
 		cursors[failIdx] = failCursor
-		if failCursor >= len(c.shards[failIdx].Replicas) {
+		if failCursor >= len(plans[failIdx]) {
 			if !c.partial {
 				return nil, fmt.Errorf("cluster: shard %q failed on all replicas", c.shards[failIdx].Name)
 			}
@@ -207,13 +369,13 @@ func (c *Coordinator) topK(ctx context.Context, dataset string, k int, gamma int
 }
 
 // shardItem is one event from a shard reader: exactly one of header, comm,
-// trailer, or err is set. replica is the replica index that produced it.
+// trailer, or err is set. pos is the attempt-plan position that produced it.
 type shardItem struct {
 	header  *StreamHeader
 	comm    *Community
 	trailer *StreamTrailer
 	err     error
-	replica int
+	pos     int
 }
 
 // send delivers an item unless the gather has been canceled.
@@ -226,53 +388,176 @@ func send(ctx context.Context, out chan<- shardItem, it shardItem) bool {
 	}
 }
 
-// readShard streams one shard into out. Failures before the header are
-// retried on the next replica internally — nothing has been consumed, so
-// failover is invisible to the merge. Once a header is delivered the stream
-// is committed: a later failure is reported as an err item and the merge
-// decides whether a full restart is needed.
-func (c *Coordinator) readShard(ctx context.Context, sh Shard, dataset string, start, limit int, gamma int32, mode string, out chan<- shardItem) {
+// openResult is one resolved shard-open attempt: an open stream plus the
+// attempt context that bounds its whole life, or an error. pos is the plan
+// position that actually served (a winning hedge moves it forward).
+type openResult struct {
+	ss     *shardStream
+	sctx   context.Context
+	cancel context.CancelFunc
+	pos    int
+	err    error
+}
+
+// openAttempt opens the stream for plan[pos], feeding the replica's
+// breaker and latency score with the outcome.
+func (c *Coordinator) openAttempt(ctx context.Context, si int, dataset string, plan []attempt, pos, limit int, gamma int32, mode string) openResult {
+	rep := c.reps[si][plan[pos].rep]
+	sctx, cancel := context.WithTimeout(ctx, c.shardTimeout)
+	start := time.Now()
+	ss, err := openStream(sctx, c.client, rep.url, dataset, mode, gamma, limit)
+	if err != nil {
+		cancel()
+		rep.br.failure(time.Now())
+		return openResult{pos: pos, err: err}
+	}
+	rep.br.success()
+	rep.observe(time.Since(start))
+	return openResult{ss: ss, sctx: sctx, cancel: cancel, pos: pos}
+}
+
+// discardOpen drains a losing hedge attempt in the background, closing
+// its stream (which cancels the shard-side search) when it resolves.
+func discardOpen(ch <-chan openResult) {
+	go func() {
+		r := <-ch
+		if r.ss != nil {
+			r.ss.Close()
+		}
+		if r.cancel != nil {
+			r.cancel()
+		}
+	}()
+}
+
+// openWithHedge opens plan[pos], firing a second open at the next
+// admitted different replica if the first takes longer than the hedge
+// delay. The first successful open wins and the loser is cancelled;
+// hedging never races result consumption, only stream opening, so it
+// cannot change merged bytes.
+func (c *Coordinator) openWithHedge(ctx context.Context, si int, dataset string, plan []attempt, pos, limit int, gamma int32, mode string) openResult {
+	if c.hedgeDelay <= 0 {
+		return c.openAttempt(ctx, si, dataset, plan, pos, limit, gamma, mode)
+	}
+	hpos := -1
+	now := time.Now()
+	for p := pos + 1; p < len(plan); p++ {
+		if plan[p].rep != plan[pos].rep && c.reps[si][plan[p].rep].br.admit(now) {
+			hpos = p
+			break
+		}
+	}
+	primary := make(chan openResult, 1)
+	go func() { primary <- c.openAttempt(ctx, si, dataset, plan, pos, limit, gamma, mode) }()
+	if hpos < 0 {
+		return <-primary // nowhere to hedge to
+	}
+	timer := time.NewTimer(c.hedgeDelay)
+	defer timer.Stop()
+	select {
+	case r := <-primary:
+		return r // resolved (either way) before the hedge delay
+	case <-timer.C:
+	}
+	c.hedges.Add(1)
+	hedge := make(chan openResult, 1)
+	go func() { hedge <- c.openAttempt(ctx, si, dataset, plan, hpos, limit, gamma, mode) }()
+	var firstErr *openResult
+	pch, hch := primary, hedge
+	for pch != nil || hch != nil {
+		select {
+		case r := <-pch:
+			if r.err == nil {
+				c.hedgesLost.Add(1)
+				discardOpen(hedge)
+				return r
+			}
+			firstErr, pch = &r, nil
+		case r := <-hch:
+			if r.err == nil {
+				c.hedgesWon.Add(1)
+				discardOpen(primary)
+				return r
+			}
+			if firstErr == nil {
+				firstErr = &r
+			}
+			hch = nil
+		}
+	}
+	// Both opens failed; report the primary's error at the primary's
+	// position so the caller advances normally.
+	if firstErr.pos != pos {
+		return openResult{pos: pos, err: firstErr.err}
+	}
+	return *firstErr
+}
+
+// readShard streams one shard into out, walking its attempt plan from
+// start. Failures before the header are retried on later plan entries
+// internally — nothing has been consumed, so failover is invisible to the
+// merge. Once a header is delivered the stream is committed: a later
+// failure is reported as an err item and the merge decides whether a full
+// restart is needed. Replicas whose breaker is open (and not yet due a
+// trial) are skipped without costing a timeout.
+func (c *Coordinator) readShard(ctx context.Context, si int, dataset string, plan []attempt, start, limit int, gamma int32, mode string, out chan<- shardItem) {
+	sh := c.shards[si]
 	if sh.Dataset != "" {
 		dataset = sh.Dataset
 	}
 	var lastErr error
-	for r := start; r < len(sh.Replicas); r++ {
-		if r > start {
-			c.failovers.Add(1)
-		}
-		sctx, cancel := ctx, context.CancelFunc(func() {})
-		if c.shardTimeout > 0 {
-			sctx, cancel = context.WithTimeout(ctx, c.shardTimeout)
-		}
-		ss, err := openStream(sctx, c.client, sh.Replicas[r], dataset, mode, gamma, limit)
-		if err != nil {
-			cancel()
-			lastErr = err
+	attempted := false
+	for pos := start; pos < len(plan); pos++ {
+		rep := c.reps[si][plan[pos].rep]
+		if !rep.br.admit(time.Now()) {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("replica %s: circuit breaker open", rep.url)
+			}
 			continue
 		}
-		if !send(ctx, out, shardItem{header: &ss.header, replica: r}) {
-			ss.Close()
-			cancel()
+		if attempted {
+			c.failovers.Add(1)
+		}
+		if w := plan[pos].wait; w > 0 {
+			c.retries.Add(1)
+			select {
+			case <-time.After(w):
+			case <-ctx.Done():
+				return
+			}
+		}
+		attempted = true
+		r := c.openWithHedge(ctx, si, dataset, plan, pos, limit, gamma, mode)
+		if r.err != nil {
+			lastErr = r.err
+			continue
+		}
+		pos = r.pos // a winning hedge may have advanced the plan position
+		rep = c.reps[si][plan[pos].rep]
+		if !send(ctx, out, shardItem{header: &r.ss.header, pos: pos}) {
+			r.ss.Close()
+			r.cancel()
 			return
 		}
 		for {
-			comm, trailer, err := ss.Next()
+			comm, trailer, err := r.ss.Next()
 			var it shardItem
 			switch {
 			case err != nil:
-				if sctx.Err() != nil {
-					err = fmt.Errorf("shard %q replica %s: %w", sh.Name, sh.Replicas[r], sctx.Err())
+				if r.sctx.Err() != nil {
+					err = fmt.Errorf("shard %q replica %s: %w", sh.Name, rep.url, r.sctx.Err())
 				}
-				it = shardItem{err: err, replica: r}
+				rep.br.failure(time.Now())
+				it = shardItem{err: err, pos: pos}
 			case trailer != nil:
-				it = shardItem{trailer: trailer, replica: r}
+				it = shardItem{trailer: trailer, pos: pos}
 			default:
-				it = shardItem{comm: comm, replica: r}
+				it = shardItem{comm: comm, pos: pos}
 			}
 			ok := send(ctx, out, it)
 			if !ok || it.comm == nil {
-				ss.Close()
-				cancel()
+				r.ss.Close()
+				r.cancel()
 				return
 			}
 		}
@@ -281,17 +566,17 @@ func (c *Coordinator) readShard(ctx context.Context, sh Shard, dataset string, s
 		lastErr = fmt.Errorf("no replicas configured")
 	}
 	send(ctx, out, shardItem{
-		err:     fmt.Errorf("shard %q: all replicas failed: %w", sh.Name, lastErr),
-		replica: len(sh.Replicas),
+		err: fmt.Errorf("shard %q: all replicas failed: %w", sh.Name, lastErr),
+		pos: len(plan),
 	})
 }
 
 // gather runs one merge attempt. It returns either a finished Result
 // (failIdx == -1), or a restart request: failIdx names a shard that failed
-// after some of its communities were merged, failCursor the replica index to
-// resume from. Terminal errors (bad context, strict-mode failure discovered
-// before any consumption) come back as err.
-func (c *Coordinator) gather(ctx context.Context, dataset string, k int, gamma int32, mode string, cursors []int, dead []bool) (res *Result, failIdx, failCursor int, err error) {
+// after some of its communities were merged, failCursor the plan position
+// to resume from. Terminal errors (bad context, strict-mode failure
+// discovered before any consumption) come back as err.
+func (c *Coordinator) gather(ctx context.Context, dataset string, k int, gamma int32, mode string, plans [][]attempt, cursors []int, dead []bool) (res *Result, failIdx, failCursor int, err error) {
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel() // closes surviving streams -> shards cancel their searches
 
@@ -302,7 +587,7 @@ func (c *Coordinator) gather(ctx context.Context, dataset string, k int, gamma i
 			continue
 		}
 		chans[i] = make(chan shardItem)
-		go c.readShard(gctx, c.shards[i], dataset, cursors[i], k, gamma, mode, chans[i])
+		go c.readShard(gctx, i, dataset, plans[i], cursors[i], k, gamma, mode, chans[i])
 	}
 
 	// Per-shard merge state. A shard is "live" while it might still produce
@@ -321,11 +606,11 @@ func (c *Coordinator) gather(ctx context.Context, dataset string, k int, gamma i
 
 	// fail records a shard failure discovered at item it. If the merge has
 	// already consumed communities from that shard the attempt must restart
-	// from the next replica; otherwise the shard can be dropped (or the
-	// query failed) in place without disturbing the merge.
+	// from the next plan position; otherwise the shard can be dropped (or
+	// the query failed) in place without disturbing the merge.
 	fail := func(i int, it shardItem) (restartAt int, err error) {
 		if consumed[i] > 0 {
-			return it.replica + 1, nil
+			return it.pos + 1, nil
 		}
 		if !c.partial {
 			return -1, fmt.Errorf("cluster: shard %q failed: %w", c.shards[i].Name, it.err)
@@ -334,7 +619,7 @@ func (c *Coordinator) gather(ctx context.Context, dataset string, k int, gamma i
 		// shard does not resurrect this one.
 		c.failovers.Add(1)
 		dead[i] = true
-		cursors[i] = len(c.shards[i].Replicas)
+		cursors[i] = len(plans[i])
 		done[i] = true
 		heads[i] = nil
 		delete(epochs, c.shards[i].Name)
@@ -343,7 +628,7 @@ func (c *Coordinator) gather(ctx context.Context, dataset string, k int, gamma i
 	}
 
 	// pull advances shard i to its next head (or marks it done). A restart
-	// request surfaces as restartAt >= 0: the replica cursor to resume from.
+	// request surfaces as restartAt >= 0: the plan position to resume from.
 	pull := func(i int) (restartAt int, err error) {
 		for {
 			select {

@@ -70,6 +70,24 @@ func TestCoordinatorStatsDocumented(t *testing.T) {
 	}
 }
 
+// TestReplicaStatusFieldsDocumented pins the per-replica resilience
+// status (Stats.ShardStatus[].Replicas[] and /v1/cluster "status") to the
+// replica-status table in docs/CLUSTER.md.
+func TestReplicaStatusFieldsDocumented(t *testing.T) {
+	code := jsonFields(t, ReplicaStatus{})
+	doc := docFields(t, "../../docs/CLUSTER.md", "coordinator-replica")
+	for f := range code {
+		if !doc[f] {
+			t.Errorf("coordinator replica-status field %q is not documented", f)
+		}
+	}
+	for f := range doc {
+		if !code[f] {
+			t.Errorf("documented replica-status field %q is no longer emitted", f)
+		}
+	}
+}
+
 // TestTopKResponseFieldsDocumented pins the iccoord /v1/topk envelope to the
 // response-shape table in docs/CLUSTER.md.
 func TestTopKResponseFieldsDocumented(t *testing.T) {

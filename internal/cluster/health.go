@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Resilience defaults. They apply when the corresponding option is not
+// given (breaker, shard timeout) or given a non-positive knob that has
+// a documented fallback.
+const (
+	// DefaultShardTimeout bounds a shard attempt when WithShardTimeout
+	// is not used: a black-holed replica costs at most this long before
+	// failover, instead of hanging the gather until client disconnect.
+	DefaultShardTimeout = 30 * time.Second
+	// DefaultBreakerThreshold is the consecutive-failure count that
+	// opens a replica's circuit breaker.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long an open breaker blocks
+	// attempts before the next trial is admitted.
+	DefaultBreakerCooldown = 5 * time.Second
+	// DefaultProbeTimeout bounds one health probe.
+	DefaultProbeTimeout = time.Second
+	// DefaultOpenRetries is how many extra jittered-backoff passes over
+	// a shard's replica list the coordinator makes at open time before
+	// declaring the shard failed.
+	DefaultOpenRetries = 1
+	// retryBackoff is the base delay before an open-time retry pass;
+	// pass p waits retryBackoff×2^(p-1) ± 50% jitter.
+	retryBackoff = 50 * time.Millisecond
+)
+
+// Breaker states as reported in ReplicaStatus.Breaker.
+const (
+	breakerDisabled = "disabled"
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	// breakerHalfOpen is derived, not stored: the breaker is open and
+	// the cooldown has elapsed, so the next attempt is a trial.
+	breakerHalfOpen = "half-open"
+)
+
+// breaker is a per-replica circuit breaker. It opens after threshold
+// consecutive failures; while open and within cooldown all attempts
+// are rejected. Once the cooldown elapses the breaker is half-open:
+// attempts are admitted as trials — a success closes it, a failure
+// re-arms the cooldown. Health probes act as out-of-band trials: a
+// probe success always closes the breaker (probe re-admission), so a
+// recovering replica is re-admitted within one probe interval without
+// risking a live query. A zero threshold disables the breaker.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	open     bool
+	fails    int
+	openedAt time.Time
+	trips    int64
+}
+
+// admit reports whether an attempt may proceed. While open it admits
+// only once the cooldown has elapsed (the half-open trial).
+func (b *breaker) admit(now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open || now.Sub(b.openedAt) >= b.cooldown
+}
+
+// success records a successful attempt (or probe) and closes the
+// breaker unconditionally.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.open = false
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed attempt. Closed: count toward the
+// threshold and trip when reached. Open: re-arm the cooldown, so a
+// failing replica is never hammered more than once per cooldown.
+func (b *breaker) failure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open {
+		b.openedAt = now
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.open = true
+		b.openedAt = now
+		b.trips++
+	}
+}
+
+// snapshot returns the display state, consecutive failures, and trips.
+func (b *breaker) snapshot(now time.Time) (state string, fails int, trips int64) {
+	if b.threshold <= 0 {
+		return breakerDisabled, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		state = breakerClosed
+	case now.Sub(b.openedAt) >= b.cooldown:
+		state = breakerHalfOpen
+	default:
+		state = breakerOpen
+	}
+	return state, b.fails, b.trips
+}
+
+// replica is the coordinator's view of one shard replica: its breaker
+// plus the latest probe verdict and an EWMA of observed latency
+// (probe round-trips and query time-to-header).
+type replica struct {
+	url       string
+	shardName string
+	br        breaker
+
+	probes atomic.Int64
+
+	mu     sync.Mutex
+	ewmaMS float64
+	scored bool
+	probed bool
+	up     bool
+	ready  bool
+}
+
+// ewmaAlpha weights new latency observations; ~0.3 follows shifts
+// within a few observations without tracking single outliers.
+const ewmaAlpha = 0.3
+
+// observe folds one latency sample into the replica's EWMA score.
+func (r *replica) observe(d time.Duration) {
+	ms := float64(d.Microseconds()) / 1000.0
+	r.mu.Lock()
+	if !r.scored {
+		r.ewmaMS, r.scored = ms, true
+	} else {
+		r.ewmaMS = ewmaAlpha*ms + (1-ewmaAlpha)*r.ewmaMS
+	}
+	r.mu.Unlock()
+}
+
+// setProbe records a probe verdict (and its latency when successful).
+func (r *replica) setProbe(up, ready bool, d time.Duration) {
+	r.mu.Lock()
+	r.probed, r.up, r.ready = true, up, ready
+	r.mu.Unlock()
+	if up {
+		r.observe(d)
+	}
+}
+
+// health returns the probe-derived view: whether any probe has run,
+// the latest up/ready verdict, and the current EWMA score.
+func (r *replica) health() (probed, up, ready bool, ewmaMS float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.probed, r.up, r.ready, r.ewmaMS
+}
+
+// ShardStatus is one shard's per-replica resilience state, surfaced
+// in Stats and on /v1/cluster.
+type ShardStatus struct {
+	// Name is the shard's configured name.
+	Name string `json:"name"`
+	// Replicas reports each replica in configured order.
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// ReplicaStatus is the resilience view of a single replica.
+type ReplicaStatus struct {
+	// URL is the replica's base URL.
+	URL string `json:"url"`
+	// Breaker is the circuit state: disabled, closed, open, or
+	// half-open (open with the cooldown elapsed; the next attempt is a
+	// trial).
+	Breaker string `json:"breaker"`
+	// ConsecutiveFails is the current run of failures counting toward
+	// the breaker threshold.
+	ConsecutiveFails int `json:"consecutive_fails"`
+	// Trips counts closed-to-open transitions since startup.
+	Trips int64 `json:"trips"`
+	// Probed reports whether at least one health probe has completed.
+	Probed bool `json:"probed"`
+	// Up is the latest probe verdict (meaningless until Probed).
+	Up bool `json:"up"`
+	// Ready is the replica's readiness from its last successful probe:
+	// up but warming (datasets loading, index rebuilding) means false.
+	Ready bool `json:"ready"`
+	// EWMAMs is the replica's latency score in milliseconds — an
+	// exponentially weighted moving average over probe round-trips and
+	// query time-to-header. Zero until the first observation.
+	EWMAMs float64 `json:"ewma_ms"`
+	// Probes counts health probes sent to this replica.
+	Probes int64 `json:"probes"`
+}
+
+// Status snapshots per-replica resilience state for every shard.
+func (c *Coordinator) Status() []ShardStatus {
+	now := time.Now()
+	out := make([]ShardStatus, len(c.shards))
+	for i, sh := range c.shards {
+		st := ShardStatus{Name: sh.Name, Replicas: make([]ReplicaStatus, len(c.reps[i]))}
+		for j, r := range c.reps[i] {
+			state, fails, trips := r.br.snapshot(now)
+			probed, up, ready, ewma := r.health()
+			st.Replicas[j] = ReplicaStatus{
+				URL:              r.url,
+				Breaker:          state,
+				ConsecutiveFails: fails,
+				Trips:            trips,
+				Probed:           probed,
+				Up:               up,
+				Ready:            ready,
+				EWMAMs:           ewma,
+				Probes:           r.probes.Load(),
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Replica ordering classes: lower is tried earlier. Within a class
+// replicas order by EWMA ascending, then configured index — so with
+// probing off and no scores, the order is exactly the configured
+// slice order, preserving pre-resilience behavior.
+const (
+	classHealthy  = iota // probed, up, and ready
+	classUnknown         // never probed (prober off or not yet run)
+	classDegraded        // probed but down or warming
+	classOpen            // breaker open, cooldown not yet elapsed
+)
+
+// replicaOrder ranks shard si's replicas for one query.
+func (c *Coordinator) replicaOrder(si int) []int {
+	reps := c.reps[si]
+	if len(reps) == 1 {
+		return []int{0}
+	}
+	now := time.Now()
+	type ranked struct {
+		idx   int
+		class int
+		ewma  float64
+	}
+	rs := make([]ranked, len(reps))
+	for i, r := range reps {
+		probed, up, ready, ewma := r.health()
+		class := classUnknown
+		switch {
+		case !r.br.admit(now):
+			class = classOpen
+		case probed && up && ready:
+			class = classHealthy
+		case probed:
+			class = classDegraded
+		}
+		rs[i] = ranked{idx: i, class: class, ewma: ewma}
+	}
+	sort.SliceStable(rs, func(a, b int) bool {
+		if rs[a].class != rs[b].class {
+			return rs[a].class < rs[b].class
+		}
+		if rs[a].ewma != rs[b].ewma {
+			return rs[a].ewma < rs[b].ewma
+		}
+		return rs[a].idx < rs[b].idx
+	})
+	order := make([]int, len(rs))
+	for i, r := range rs {
+		order[i] = r.idx
+	}
+	return order
+}
+
+// attempt is one slot in a shard's per-query attempt plan: a replica
+// index plus the jittered backoff to sleep before opening it.
+type attempt struct {
+	rep  int
+	wait time.Duration
+}
+
+// attemptPlan builds shard si's attempt sequence for one query: the
+// health-ranked replica order, repeated once per retry pass, with a
+// jittered exponential backoff ahead of each extra pass. The plan is
+// fixed before the gather starts, so cursor advancement through it is
+// monotone and the restart loop in topK terminates exactly as it did
+// with bare replica slices.
+func (c *Coordinator) attemptPlan(si int) []attempt {
+	order := c.replicaOrder(si)
+	plan := make([]attempt, 0, len(order)*(1+c.openRetries))
+	for pass := 0; pass <= c.openRetries; pass++ {
+		for j, ri := range order {
+			var wait time.Duration
+			if pass > 0 && j == 0 {
+				base := retryBackoff << (pass - 1)
+				// ±50% jitter de-synchronizes retry storms.
+				wait = base/2 + rand.N(base)
+			}
+			plan = append(plan, attempt{rep: ri, wait: wait})
+		}
+	}
+	return plan
+}
+
+// probeLoop probes one replica every probeInterval until Close.
+func (c *Coordinator) probeLoop(r *replica) {
+	defer c.probeWG.Done()
+	// A random initial offset spreads probes across the interval so
+	// replicas are not hit in lockstep.
+	timer := time.NewTimer(rand.N(c.probeInterval))
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.stopProbes:
+			return
+		case <-timer.C:
+		}
+		c.probeOnce(r)
+		timer.Reset(c.probeInterval)
+	}
+}
+
+// healthzBody is the subset of a replica's /healthz answer the prober
+// reads. Ready is optional: servers predating the readiness dimension
+// answer 200 without it and count as ready.
+type healthzBody struct {
+	Ready *bool `json:"ready"`
+}
+
+// probeOnce sends one /healthz probe and folds the verdict into the
+// replica's state and breaker. A probe success closes the breaker
+// (probe re-admission); a failure counts toward — or re-arms — it.
+func (c *Coordinator) probeOnce(r *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout)
+	defer cancel()
+	r.probes.Add(1)
+	c.probes.Add(1)
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(r.url, "/")+"/healthz", nil)
+	if err != nil {
+		r.setProbe(false, false, 0)
+		r.br.failure(time.Now())
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		r.setProbe(false, false, 0)
+		r.br.failure(time.Now())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		r.setProbe(false, false, 0)
+		r.br.failure(time.Now())
+		return
+	}
+	var body healthzBody
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
+	ready := body.Ready == nil || *body.Ready
+	r.setProbe(true, ready, time.Since(start))
+	r.br.success()
+}

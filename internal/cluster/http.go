@@ -63,7 +63,10 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) cluster(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"shards": h.c.Shards()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards": h.c.Shards(),
+		"status": h.c.Status(),
+	})
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {

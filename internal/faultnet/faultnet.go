@@ -1,0 +1,283 @@
+// Package faultnet injects deterministic network faults into HTTP
+// traffic so cluster resilience can be tested reproducibly.
+//
+// Faults are described by a Script: an ordered list of phases, each
+// applying one Behavior (added latency, 5xx bursts, black holes,
+// mid-stream truncation) for a fixed number of requests. Phase
+// progression is driven by per-target request counts — never by wall
+// clock — and the only randomness (latency jitter) comes from a
+// seeded PRNG, so a given (script, seed, request sequence) always
+// produces the same faults.
+//
+// Two entry points share the same script engine:
+//
+//   - Transport wraps an http.RoundTripper and applies scripts to
+//     requests by target host. Use it as an http.Client transport in
+//     tests to fault in-process traffic.
+//   - Proxy is a reverse-proxy http.Handler for the iccoordfault
+//     command, faulting traffic between a real coordinator and a real
+//     shard server.
+package faultnet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Behavior is the fault applied to a single request. The zero value
+// passes the request through untouched.
+type Behavior struct {
+	// Latency is added before the request is forwarded (or answered).
+	Latency time.Duration
+	// Ramp adds Ramp×n extra latency to the n-th request of the phase,
+	// modelling a target that degrades under sustained load.
+	Ramp time.Duration
+	// Jitter adds a uniform random duration in [0, Jitter) drawn from
+	// the script's seeded PRNG.
+	Jitter time.Duration
+	// Status, when non-zero, answers the request locally with this
+	// HTTP status instead of forwarding it (5xx burst injection).
+	Status int
+	// BlackHole swallows the request: no response, no error, until the
+	// request context is cancelled (client timeout or disconnect).
+	BlackHole bool
+	// TruncateLines cuts the response body after this many
+	// newline-terminated lines, simulating a mid-stream connection
+	// drop inside an NDJSON stream. Zero means no line truncation.
+	TruncateLines int
+	// TruncateBytes cuts the response body after this many bytes.
+	// Zero means no byte truncation.
+	TruncateBytes int64
+}
+
+// Phase applies one Behavior for a fixed number of requests.
+type Phase struct {
+	// Requests is how many requests this phase covers; 0 means the
+	// phase never ends.
+	Requests int
+	// Behavior is the fault applied to every request in the phase.
+	Behavior Behavior
+}
+
+// Script is a per-target fault schedule: phases applied in order,
+// optionally looping, with all randomness derived from Seed.
+type Script struct {
+	Phases []Phase
+	// Loop restarts at the first phase after the last one completes;
+	// otherwise requests beyond the script pass through untouched.
+	Loop bool
+	// Seed seeds the PRNG used for Jitter. Two targets with the same
+	// script and seed see identical jitter sequences.
+	Seed int64
+}
+
+// target is the per-host script interpreter state.
+type target struct {
+	mu      sync.Mutex
+	script  Script
+	rng     *rand.Rand
+	phase   int // index into script.Phases
+	served  int // requests served within the current phase
+	done    bool
+	total   int64
+	faulted int64
+}
+
+func newTarget(s Script) *target {
+	return &target{script: s, rng: rand.New(rand.NewSource(s.Seed))}
+}
+
+// step consumes one request slot and returns the behavior plus the
+// request's index within its phase (for Ramp) — the only mutating
+// entry point, so counting stays deterministic under concurrency.
+func (tg *target) step() (Behavior, int) {
+	tg.mu.Lock()
+	defer tg.mu.Unlock()
+	tg.total++
+	for !tg.done {
+		if tg.phase >= len(tg.script.Phases) {
+			if !tg.script.Loop || len(tg.script.Phases) == 0 {
+				tg.done = true
+				break
+			}
+			tg.phase, tg.served = 0, 0
+		}
+		ph := tg.script.Phases[tg.phase]
+		if ph.Requests > 0 && tg.served >= ph.Requests {
+			tg.phase++
+			tg.served = 0
+			continue
+		}
+		n := tg.served
+		tg.served++
+		b := ph.Behavior
+		if b.Jitter > 0 {
+			b.Latency += time.Duration(tg.rng.Int63n(int64(b.Jitter)))
+		}
+		if b != (Behavior{}) {
+			tg.faulted++
+		}
+		return b, n
+	}
+	return Behavior{}, 0
+}
+
+// delay returns the total pre-forward latency for the n-th request of
+// a phase under behavior b (jitter already folded into b.Latency).
+func delay(b Behavior, n int) time.Duration {
+	return b.Latency + time.Duration(n)*b.Ramp
+}
+
+// Stats reports how many requests a target has seen and how many had
+// a fault applied.
+type Stats struct {
+	Requests int64 `json:"requests"`
+	Faulted  int64 `json:"faulted"`
+}
+
+// Transport is an http.RoundTripper that applies per-host fault
+// scripts before delegating to an underlying transport. Hosts without
+// a script pass through untouched.
+type Transport struct {
+	next http.RoundTripper
+
+	mu      sync.Mutex
+	targets map[string]*target
+}
+
+// NewTransport wraps next (nil means http.DefaultTransport).
+func NewTransport(next http.RoundTripper) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{next: next, targets: make(map[string]*target)}
+}
+
+// Set installs (or replaces) the fault script for a host:port target,
+// resetting its phase and request counters.
+func (t *Transport) Set(host string, s Script) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.targets[host] = newTarget(s)
+}
+
+// Clear removes the script for host; its traffic passes through.
+func (t *Transport) Clear(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.targets, host)
+}
+
+// Stats returns request/fault counts for host (zero if unknown).
+func (t *Transport) Stats(host string) Stats {
+	t.mu.Lock()
+	tg := t.targets[host]
+	t.mu.Unlock()
+	if tg == nil {
+		return Stats{}
+	}
+	tg.mu.Lock()
+	defer tg.mu.Unlock()
+	return Stats{Requests: tg.total, Faulted: tg.faulted}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	tg := t.targets[req.URL.Host]
+	t.mu.Unlock()
+	if tg == nil {
+		return t.next.RoundTrip(req)
+	}
+	b, n := tg.step()
+	if d := delay(b, n); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if b.BlackHole {
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	if b.Status > 0 {
+		body := fmt.Sprintf("faultnet: injected %d\n", b.Status)
+		return &http.Response{
+			StatusCode:    b.Status,
+			Status:        fmt.Sprintf("%d %s", b.Status, http.StatusText(b.Status)),
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if b.TruncateLines > 0 || b.TruncateBytes > 0 {
+		resp.Body = &truncatedBody{rc: resp.Body, lines: b.TruncateLines, bytes: b.TruncateBytes}
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// truncatedBody passes bytes through until a line or byte budget is
+// exhausted, then reports a clean EOF — the reader sees a stream that
+// ends mid-flight, exactly like a dropped connection.
+type truncatedBody struct {
+	rc    io.ReadCloser
+	lines int   // remaining newline budget; 0 means unlimited
+	bytes int64 // remaining byte budget; 0 means unlimited
+	done  bool
+}
+
+func (tb *truncatedBody) Read(p []byte) (int, error) {
+	if tb.done {
+		return 0, io.EOF
+	}
+	if tb.bytes > 0 && int64(len(p)) > tb.bytes {
+		p = p[:tb.bytes]
+	}
+	n, err := tb.rc.Read(p)
+	if tb.bytes > 0 {
+		tb.bytes -= int64(n)
+		if tb.bytes <= 0 {
+			tb.done = true
+			return n, io.EOF
+		}
+	}
+	if tb.lines > 0 {
+		for i := 0; i < n; i++ {
+			if p[i] == '\n' {
+				tb.lines--
+				if tb.lines == 0 {
+					tb.done = true
+					return i + 1, io.EOF
+				}
+			}
+		}
+	}
+	return n, err
+}
+
+func (tb *truncatedBody) Close() error { return tb.rc.Close() }
+
+// parseInt is a strict strconv.Atoi with a contextual error.
+func parseInt(key, v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("faultnet: %s wants a non-negative integer, got %q", key, v)
+	}
+	return n, nil
+}

@@ -1,0 +1,292 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScript(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Script
+		wantErr bool
+	}{
+		{in: "up,for=20;status=503,for=5;loop", want: Script{
+			Phases: []Phase{{Requests: 20}, {Requests: 5, Behavior: Behavior{Status: 503}}},
+			Loop:   true,
+		}},
+		{in: "latency=100ms,jitter=50ms", want: Script{
+			Phases: []Phase{{Behavior: Behavior{Latency: 100 * time.Millisecond, Jitter: 50 * time.Millisecond}}},
+		}},
+		{in: "blackhole", want: Script{Phases: []Phase{{Behavior: Behavior{BlackHole: true}}}}},
+		{in: "truncate=2l,for=1;up", want: Script{
+			Phases: []Phase{{Requests: 1, Behavior: Behavior{TruncateLines: 2}}, {}},
+		}},
+		{in: "truncate=512b", want: Script{Phases: []Phase{{Behavior: Behavior{TruncateBytes: 512}}}}},
+		{in: "ramp=1ms,for=10", want: Script{Phases: []Phase{{Requests: 10, Behavior: Behavior{Ramp: time.Millisecond}}}}},
+		{in: "", wantErr: true},
+		{in: "latency=oops", wantErr: true},
+		{in: "status=42", wantErr: true},
+		{in: "truncate=5x", wantErr: true},
+		{in: "bogus=1", wantErr: true},
+		{in: "for=-1", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseScript(tc.in, 1)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseScript(%q): want error, got %+v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseScript(%q): %v", tc.in, err)
+			continue
+		}
+		tc.want.Seed = 1
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("ParseScript(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestScriptPhaseProgressionDeterministic(t *testing.T) {
+	s, err := ParseScript("up,for=2;status=503,for=3;loop", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []int {
+		tg := newTarget(s)
+		var seq []int
+		for i := 0; i < 12; i++ {
+			b, _ := tg.step()
+			seq = append(seq, b.Status)
+		}
+		return seq
+	}
+	want := []int{0, 0, 503, 503, 503, 0, 0, 503, 503, 503, 0, 0}
+	got := run()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phase sequence = %v, want %v", got, want)
+		}
+	}
+	// Same script, same seed: identical sequence on every run.
+	again := run()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("script not deterministic: %v vs %v", got, again)
+		}
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	s := Script{Phases: []Phase{{Behavior: Behavior{Jitter: time.Second}}}, Seed: 42}
+	draw := func() []time.Duration {
+		tg := newTarget(s)
+		var ds []time.Duration
+		for i := 0; i < 8; i++ {
+			b, _ := tg.step()
+			ds = append(ds, b.Latency)
+		}
+		return ds
+	}
+	a, b := draw(), draw()
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not deterministic for fixed seed: %v vs %v", a, b)
+		}
+		if i > 0 && a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatalf("jitter produced a constant sequence: %v", a)
+	}
+}
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(w, "{\"line\":%d}\n", i)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func hostOf(t *testing.T, rawurl string) string {
+	t.Helper()
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+func TestTransportStatusAndPassthrough(t *testing.T) {
+	backend := newBackend(t)
+	tr := NewTransport(nil)
+	s, err := ParseScript("status=503,for=2;up", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Set(hostOf(t, backend.URL), s)
+	client := &http.Client{Transport: tr}
+
+	for i, wantStatus := range []int{503, 503, 200, 200} {
+		resp, err := client.Get(backend.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("request %d: status = %d, want %d", i, resp.StatusCode, wantStatus)
+		}
+	}
+	st := tr.Stats(hostOf(t, backend.URL))
+	if st.Requests != 4 || st.Faulted != 2 {
+		t.Fatalf("stats = %+v, want 4 requests / 2 faulted", st)
+	}
+}
+
+func TestTransportBlackHoleRespectsContext(t *testing.T) {
+	backend := newBackend(t)
+	tr := NewTransport(nil)
+	tr.Set(hostOf(t, backend.URL), Script{Phases: []Phase{{Behavior: Behavior{BlackHole: true}}}})
+	client := &http.Client{Transport: tr}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, backend.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("black hole produced a response")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("black hole returned after %v, before the context deadline", elapsed)
+	}
+}
+
+func TestTransportTruncatesLines(t *testing.T) {
+	backend := newBackend(t)
+	tr := NewTransport(nil)
+	tr.Set(hostOf(t, backend.URL), Script{Phases: []Phase{{Behavior: Behavior{TruncateLines: 2}}}})
+	client := &http.Client{Transport: tr}
+
+	resp, err := client.Get(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got, want := string(body), "{\"line\":0}\n{\"line\":1}\n"; got != want {
+		t.Fatalf("truncated body = %q, want %q", got, want)
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	backend := newBackend(t)
+	tr := NewTransport(nil)
+	tr.Set(hostOf(t, backend.URL), Script{Phases: []Phase{{Behavior: Behavior{Latency: 60 * time.Millisecond}}}})
+	client := &http.Client{Transport: tr}
+
+	start := time.Now()
+	resp, err := client.Get(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("request finished in %v despite 60ms injected latency", elapsed)
+	}
+}
+
+func TestProxyForwardsAndInjects(t *testing.T) {
+	backend := newBackend(t)
+	s, err := ParseScript("status=502,for=1;up", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy(backend.URL, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/anything?x=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 502 {
+		t.Fatalf("first request: status = %d, want injected 502", resp.StatusCode)
+	}
+
+	resp, err = http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "{\"line\":4}") {
+		t.Fatalf("second request: status=%d body=%q, want passthrough", resp.StatusCode, body)
+	}
+	if st := p.Stats(); st.Requests != 2 || st.Faulted != 1 {
+		t.Fatalf("proxy stats = %+v, want 2 requests / 1 faulted", st)
+	}
+}
+
+func TestProxyTruncationAbortsMidStream(t *testing.T) {
+	backend := newBackend(t)
+	p, err := NewProxy(backend.URL, Script{Phases: []Phase{{Behavior: Behavior{TruncateLines: 2}}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	if readErr == nil {
+		t.Fatalf("expected a mid-stream read error, got clean body %q", body)
+	}
+	if !strings.HasPrefix(string(body), "{\"line\":0}\n{\"line\":1}\n") && len(body) > 0 {
+		t.Fatalf("body before abort = %q", body)
+	}
+}
+
+func TestProxyBadUpstream(t *testing.T) {
+	if _, err := NewProxy("ftp://nope", Script{Phases: []Phase{{}}}, nil); err == nil {
+		t.Fatal("ftp upstream accepted")
+	}
+	if _, err := NewProxy("://", Script{Phases: []Phase{{}}}, nil); err == nil {
+		t.Fatal("garbage upstream accepted")
+	}
+}

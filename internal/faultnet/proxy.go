@@ -1,0 +1,133 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Proxy is a fault-injecting reverse proxy: it forwards requests to a
+// single upstream target, applying a Script along the way. Unlike
+// Transport it operates at the connection level — black holes hold
+// the client connection open and truncation aborts the response
+// mid-stream — so it exercises a coordinator over real sockets.
+// It backs the iccoordfault command.
+type Proxy struct {
+	upstream *url.URL
+	client   *http.Client
+	tg       *target
+}
+
+// NewProxy builds a proxy forwarding to upstream (for example
+// "http://localhost:8081") and faulting per script. client may be nil
+// for http.DefaultClient semantics without timeouts.
+func NewProxy(upstream string, script Script, client *http.Client) (*Proxy, error) {
+	u, err := url.Parse(upstream)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: bad upstream %q: %w", upstream, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("faultnet: upstream %q must be http or https", upstream)
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Proxy{upstream: u, client: client, tg: newTarget(script)}, nil
+}
+
+// Stats reports request/fault counts for the proxy's upstream.
+func (p *Proxy) Stats() Stats {
+	p.tg.mu.Lock()
+	defer p.tg.mu.Unlock()
+	return Stats{Requests: p.tg.total, Faulted: p.tg.faulted}
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b, n := p.tg.step()
+	if d := delay(b, n); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if b.BlackHole {
+		// Hold the connection without a byte of response until the
+		// client disconnects or times out.
+		<-r.Context().Done()
+		panic(http.ErrAbortHandler)
+	}
+	if b.Status > 0 {
+		http.Error(w, fmt.Sprintf("faultnet: injected %d", b.Status), b.Status)
+		return
+	}
+
+	out := *p.upstream
+	out.Path = singleJoin(p.upstream.Path, r.URL.Path)
+	out.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, out.String(), r.Body)
+	if err != nil {
+		http.Error(w, "faultnet: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, "faultnet: upstream: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	// Content-Length no longer holds if we may cut the body short.
+	if b.TruncateLines > 0 || b.TruncateBytes > 0 {
+		w.Header().Del("Content-Length")
+	}
+	w.WriteHeader(resp.StatusCode)
+
+	var body io.Reader = resp.Body
+	var tb *truncatedBody
+	if b.TruncateLines > 0 || b.TruncateBytes > 0 {
+		tb = &truncatedBody{rc: resp.Body, lines: b.TruncateLines, bytes: b.TruncateBytes}
+		body = tb
+	}
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		m, rerr := body.Read(buf)
+		if m > 0 {
+			if _, werr := w.Write(buf[:m]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	if tb != nil && tb.done {
+		// Abort the connection so the client sees a mid-stream drop,
+		// not a clean end of a shorter-than-promised body.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// singleJoin joins two URL path segments with exactly one slash.
+func singleJoin(a, b string) string {
+	switch {
+	case b == "":
+		return a
+	case a == "", a == "/":
+		return b
+	}
+	return strings.TrimSuffix(a, "/") + "/" + strings.TrimPrefix(b, "/")
+}

@@ -1,0 +1,122 @@
+package faultnet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ParseScript parses the compact fault-script DSL used by
+// iccoordfault and chaos tests into a Script seeded with seed.
+//
+// Phases are separated by ';'. Each phase is a comma-separated list
+// of directives:
+//
+//	up                 no fault (explicit healthy phase)
+//	latency=DUR        add DUR before forwarding (Go duration syntax)
+//	ramp=DUR           add DUR×n extra latency to the n-th phase request
+//	jitter=DUR         add uniform [0,DUR) seeded-random latency
+//	status=N           answer with HTTP status N instead of forwarding
+//	blackhole          swallow the request until the client gives up
+//	truncate=Nl        cut the response after N body lines
+//	truncate=Nb        cut the response after N body bytes
+//	for=N              the phase covers N requests (default: forever)
+//	loop               restart at the first phase after the last
+//
+// Example — healthy for 20 requests, then reject 5, forever:
+//
+//	up,for=20;status=503,for=5;loop
+func ParseScript(s string, seed int64) (Script, error) {
+	out := Script{Seed: seed}
+	for _, phaseSpec := range strings.Split(s, ";") {
+		phaseSpec = strings.TrimSpace(phaseSpec)
+		if phaseSpec == "" {
+			continue
+		}
+		var ph Phase
+		explicit := false
+		for _, tok := range strings.Split(phaseSpec, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			key, val, hasVal := strings.Cut(tok, "=")
+			switch key {
+			case "up":
+				explicit = true
+			case "loop":
+				out.Loop = true
+				explicit = true
+			case "latency", "ramp", "jitter":
+				if !hasVal {
+					return Script{}, fmt.Errorf("faultnet: %s wants a duration value", key)
+				}
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return Script{}, fmt.Errorf("faultnet: bad %s duration %q", key, val)
+				}
+				switch key {
+				case "latency":
+					ph.Behavior.Latency = d
+				case "ramp":
+					ph.Behavior.Ramp = d
+				case "jitter":
+					ph.Behavior.Jitter = d
+				}
+				explicit = true
+			case "status":
+				n, err := parseInt(key, val)
+				if err != nil {
+					return Script{}, err
+				}
+				if n < 100 || n > 599 {
+					return Script{}, fmt.Errorf("faultnet: status %d out of range", n)
+				}
+				ph.Behavior.Status = n
+				explicit = true
+			case "blackhole":
+				ph.Behavior.BlackHole = true
+				explicit = true
+			case "truncate":
+				if !hasVal || len(val) < 2 {
+					return Script{}, fmt.Errorf("faultnet: truncate wants Nl (lines) or Nb (bytes)")
+				}
+				unit := val[len(val)-1]
+				n, err := parseInt(key, val[:len(val)-1])
+				if err != nil {
+					return Script{}, err
+				}
+				switch unit {
+				case 'l':
+					ph.Behavior.TruncateLines = n
+				case 'b':
+					ph.Behavior.TruncateBytes = int64(n)
+				default:
+					return Script{}, fmt.Errorf("faultnet: truncate unit %q is not l or b", string(unit))
+				}
+				explicit = true
+			case "for":
+				n, err := parseInt(key, val)
+				if err != nil {
+					return Script{}, err
+				}
+				ph.Requests = n
+				explicit = true
+			default:
+				return Script{}, fmt.Errorf("faultnet: unknown directive %q", tok)
+			}
+		}
+		if !explicit {
+			continue
+		}
+		// A bare "loop" marker phase carries no behavior of its own.
+		if ph == (Phase{}) && out.Loop && phaseSpec == "loop" {
+			continue
+		}
+		out.Phases = append(out.Phases, ph)
+	}
+	if len(out.Phases) == 0 {
+		return Script{}, fmt.Errorf("faultnet: script %q has no phases", s)
+	}
+	return out, nil
+}

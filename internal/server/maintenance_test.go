@@ -616,3 +616,32 @@ func TestReindexConfigValidation(t *testing.T) {
 		t.Fatalf("maintained default: outcome %q", ur.Index)
 	}
 }
+
+// TestHealthzReportsWarmingDuringRebuild pins the readiness dimension: a
+// dataset whose index is still being (re)built is "up but warming" —
+// /healthz stays 200 (liveness) but ready flips false and names the
+// dataset, and DatasetInfo mirrors it via ready=false — so a cluster
+// prober can deprioritize the replica without evicting it.
+func TestHealthzReportsWarmingDuringRebuild(t *testing.T) {
+	// A debounce far beyond the test's lifetime freezes the dataset in
+	// the "rebuilding" state: no index attached, maintainer pending.
+	_, ts, _ := reindexServer(t, rankGraph(t), false,
+		DatasetConfig{Reindex: "auto", ReindexDebounce: time.Hour})
+	var got struct {
+		Status  string   `json:"status"`
+		Ready   bool     `json:"ready"`
+		Warming []string `json:"warming"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.Status != "ok" {
+		t.Fatalf("warming must not fail liveness: %+v", got)
+	}
+	if got.Ready || len(got.Warming) != 1 || got.Warming[0] != "dyn" {
+		t.Fatalf("healthz = %+v, want ready=false warming=[dyn]", got)
+	}
+	if info := dynInfo(t, ts); info.Ready {
+		t.Fatalf("dataset info = %+v, want ready=false mid-rebuild", info)
+	}
+}

@@ -133,6 +133,13 @@ func (d *dataset) indexState() string {
 	return ""
 }
 
+// ready reports whether the dataset is serving at full capability: a
+// dataset mid-rebuild ("rebuilding") is up but warming — answers come
+// from the LocalSearch fallback until the index catches up.
+func (d *dataset) ready() bool {
+	return d.indexState() != "rebuilding"
+}
+
 // snapshotOf returns a store's whole graph together with the epoch it
 // belongs to, in one coherent read for mutable backends; immutable
 // backends are eternally at epoch 0 (and semi-external ones return nil).
@@ -200,6 +207,11 @@ type DatasetInfo struct {
 	Vertices     int   `json:"vertices"`
 	Edges        int64 `json:"edges"`
 	IndexLoaded  bool  `json:"index_loaded"`
+	// Ready distinguishes "up" from "warming": false while index
+	// maintenance is rebuilding (queries fall back to LocalSearch
+	// meanwhile), so cluster health probes can deprioritize the replica
+	// without taking it out of rotation.
+	Ready        bool  `json:"ready"`
 	Queries      int64 `json:"queries"`
 	IndexQueries int64 `json:"index_queries"`
 	LocalQueries int64 `json:"local_queries"`
@@ -226,6 +238,7 @@ func (d *dataset) info() DatasetInfo {
 		Edges:        d.st.NumEdges(),
 		IndexLoaded:  d.indexAt(d.epoch()) != nil,
 		IndexState:   d.indexState(),
+		Ready:        d.ready(),
 		Queries:      d.queries.Load(),
 		IndexQueries: d.indexServed.Load(),
 		LocalQueries: d.localServed.Load(),

@@ -15,7 +15,7 @@
 //
 // Endpoints:
 //
-//	GET    /healthz                        liveness probe
+//	GET    /healthz                        liveness + readiness (warming datasets)
 //	GET    /v1/stats                       statistics and serving counters
 //	GET    /v1/datasets                    list loaded datasets
 //	GET    /v1/topk?k=10&gamma=5           top-k influential γ-communities
@@ -231,8 +231,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// handleHealthz answers liveness (status, always "ok" when the process
+// can serve HTTP) plus a readiness dimension: ready is false while any
+// dataset is warming (index maintenance mid-rebuild), letting a cluster
+// prober distinguish "up" from "up but degraded" without a separate
+// endpoint. Warming dataset names are listed so operators can see what
+// the replica is waiting on.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	infos := s.Datasets()
+	var warming []string
+	for _, info := range infos {
+		if !info.Ready {
+			warming = append(warming, info.Name)
+		}
+	}
+	resp := map[string]any{
+		"status":   "ok",
+		"ready":    len(infos) > 0 && len(warming) == 0,
+		"datasets": len(infos),
+	}
+	if len(warming) > 0 {
+		resp["warming"] = warming
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statsResponse is the /v1/stats payload: the default dataset's shape (for

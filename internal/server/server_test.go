@@ -179,12 +179,20 @@ func TestNewValidation(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t)
-	var got map[string]string
+	var got struct {
+		Status   string   `json:"status"`
+		Ready    bool     `json:"ready"`
+		Datasets int      `json:"datasets"`
+		Warming  []string `json:"warming"`
+	}
 	if code := getJSON(t, ts.URL+"/healthz", &got); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	if got["status"] != "ok" {
-		t.Errorf("healthz = %v", got)
+	if got.Status != "ok" {
+		t.Errorf("healthz status = %+v", got)
+	}
+	if !got.Ready || got.Datasets < 1 || len(got.Warming) != 0 {
+		t.Errorf("a steady server must be ready: %+v", got)
 	}
 }
 
