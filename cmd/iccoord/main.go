@@ -17,6 +17,13 @@
 //	GET /v1/cluster
 //	GET /v1/stats
 //	GET /v1/topk?k=10&gamma=5[&noncontainment=1|&truss=1][&dataset=name]
+//	POST /v1/query                 {"query": "DSL batch"[, "dataset": name]}
+//
+// POST /v1/query executes a composable-DSL batch (grammar in
+// docs/ARCHITECTURE.md): every fixed-shape plan fragment is one ordinary
+// scatter-gather, deduplicated across the batch's statements, so its
+// merged answer is byte-identical to /v1/topk with the same shape;
+// seed-scoped near(...) statements are rejected as not shard-safe.
 //
 // Each -shard flag (repeatable, at least one required) names one partition
 // of the graph and lists its replica base URLs in failover order; dataset=D

@@ -6,7 +6,7 @@
 //	         [-dataset name=path[,backend=semiext][,index=p.icx]
 //	                  [,prefix-cache=SIZE][,mode=auto|mmap|stream]
 //	                  [,workers=N][,mutable=true]
-//	                  [,reindex=auto|off][,debounce=DUR]]...
+//	                  [,reindex=auto|off][,debounce=DUR][,repair-frac=F]]...
 //	         [-cache 256] [-maxk 10000] [-query-timeout 30s]
 //	         [-max-inflight 64] [-read-timeout 10s] [-write-timeout 60s]
 //	         [-idle-timeout 2m] [-shutdown-timeout 15s] [-pprof addr]
@@ -17,6 +17,7 @@
 //	GET    /v1/stats
 //	GET    /v1/datasets
 //	GET    /v1/topk?k=10&gamma=5[&noncontainment=1|&truss=1][&dataset=name]
+//	POST   /v1/query                 {"query": "DSL batch"[, "dataset": name]}
 //	POST   /v1/admin/datasets
 //	DELETE /v1/admin/datasets/{name}
 //	POST   /v1/admin/datasets/{name}/updates
@@ -41,8 +42,11 @@
 // on a mutable dataset keeps its prebuilt index current across updates:
 // small deltas are repaired synchronously before the update response,
 // larger ones trigger an epoch-tagged background rebuild (queries fall
-// back to LocalSearch until it attaches), and debounce=DUR (e.g. 250ms)
-// sets how long the rebuild worker coalesces an update burst; without
+// back to LocalSearch until it attaches), debounce=DUR (e.g. 250ms)
+// sets how long the rebuild worker coalesces an update burst, and
+// repair-frac=F in (0, 1] overrides the synchronous-repair gate (default
+// 0.25: a delta touching at most a quarter of the weight ranking repairs
+// in place); without
 // reindex=auto, the first effective update drops the index for good. On
 // mutable datasets workers=N bounds the rebuild/repair parallelism
 // instead of query parallelism. Datasets can
@@ -97,6 +101,7 @@ type datasetSpec struct {
 	mutable     bool
 	reindex     string
 	debounce    time.Duration
+	repairFrac  float64
 }
 
 // parseByteSize parses a byte count with an optional K/M/G suffix (base
@@ -130,12 +135,12 @@ func parseByteSize(s string) (int64, error) {
 }
 
 // parseDatasetSpec parses
-// "name=path[,backend=semiext][,index=p.icx][,prefix-cache=SIZE][,mode=m][,workers=N][,mutable=true][,reindex=auto|off][,debounce=DUR]".
+// "name=path[,backend=semiext][,index=p.icx][,prefix-cache=SIZE][,mode=m][,workers=N][,mutable=true][,reindex=auto|off][,debounce=DUR][,repair-frac=F]".
 func parseDatasetSpec(spec string) (datasetSpec, error) {
 	var d datasetSpec
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok || name == "" || rest == "" {
-		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true][,reindex=auto|off][,debounce=DUR]", spec)
+		return d, fmt.Errorf("bad -dataset %q: want name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true][,reindex=auto|off][,debounce=DUR][,repair-frac=F]", spec)
 	}
 	d.name = name
 	parts := strings.Split(rest, ",")
@@ -185,6 +190,12 @@ func parseDatasetSpec(spec string) (datasetSpec, error) {
 				return d, fmt.Errorf("bad -dataset option debounce=%q in %q (want a non-negative Go duration, e.g. 250ms)", v, spec)
 			}
 			d.debounce = dur
+		case "repair-frac":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return d, fmt.Errorf("bad -dataset option repair-frac=%q in %q (want a fraction in (0, 1], e.g. 0.25)", v, spec)
+			}
+			d.repairFrac = f
 		default:
 			return d, fmt.Errorf("unknown -dataset option %q in %q", k, spec)
 		}
@@ -224,7 +235,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (empty = off; keep it private)")
 	flag.BoolVar(&cfg.usePagerank, "pagerank", false, "replace vertex weights with PageRank scores")
-	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true][,reindex=auto|off][,debounce=DUR] (repeatable)", func(spec string) error {
+	flag.Func("dataset", "additional dataset: name=path[,backend=semiext][,index=file][,prefix-cache=SIZE][,mode=auto|mmap|stream][,workers=N][,mutable=true][,reindex=auto|off][,debounce=DUR][,repair-frac=F] (repeatable)", func(spec string) error {
 		d, err := parseDatasetSpec(spec)
 		if err != nil {
 			return err
@@ -328,7 +339,7 @@ func serve(ctx context.Context, cfg config, ready chan<- string) error {
 		if err != nil {
 			return fmt.Errorf("dataset %s: %w", d.name, err)
 		}
-		cfgDS := server.DatasetConfig{Store: st, Reindex: d.reindex, ReindexDebounce: d.debounce}
+		cfgDS := server.DatasetConfig{Store: st, Reindex: d.reindex, ReindexDebounce: d.debounce, RepairFraction: d.repairFrac}
 		if backend == "mutable" {
 			// On the mutable backend workers=N routes to the maintenance
 			// pipeline (the store itself ignores it).

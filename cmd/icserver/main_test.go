@@ -186,10 +186,26 @@ func TestParseDatasetSpec(t *testing.T) {
 	if d.reindex != "off" {
 		t.Errorf("parsed %+v, want reindex=off", d)
 	}
+	d, err = parseDatasetSpec("live=/d/g.edges,mutable=true,reindex=auto,repair-frac=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.repairFrac != 0.4 {
+		t.Errorf("parsed %+v, want repairFrac=0.4", d)
+	}
+	d, err = parseDatasetSpec("live=/d/g.edges,mutable=true,reindex=auto,repair-frac=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.repairFrac != 1 {
+		t.Errorf("parsed %+v, want repairFrac=1", d)
+	}
 	for _, bad := range []string{"", "noequals", "name=", "n=p,bogus", "n=p,k=v", "n=p,prefix-cache=lots", "n=p,prefix-cache=-1",
 		"n=p,mutable=yes", "n=p,backend=semiext,mutable=true", "n=p,workers=-2", "n=p,workers=lots",
 		"n=p,reindex=always", "n=p,reindex=auto", "n=p,backend=semiext,reindex=auto",
-		"n=p,mutable=true,debounce=soon", "n=p,mutable=true,debounce=-1s"} {
+		"n=p,mutable=true,debounce=soon", "n=p,mutable=true,debounce=-1s",
+		"n=p,mutable=true,repair-frac=0", "n=p,mutable=true,repair-frac=1.5",
+		"n=p,mutable=true,repair-frac=-0.1", "n=p,mutable=true,repair-frac=some"} {
 		if _, err := parseDatasetSpec(bad); err == nil {
 			t.Errorf("%q: want parse error", bad)
 		}

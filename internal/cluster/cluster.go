@@ -156,6 +156,8 @@ type Coordinator struct {
 	closeOnce  sync.Once
 
 	queries    atomic.Int64
+	planNodes  atomic.Int64
+	cseHits    atomic.Int64
 	errors     atomic.Int64
 	partials   atomic.Int64
 	failovers  atomic.Int64
@@ -235,8 +237,16 @@ func (c *Coordinator) Shards() []Shard { return c.shards }
 
 // Stats is a snapshot of the coordinator's serving counters.
 type Stats struct {
-	// Queries is the number of TopK calls started.
+	// Queries is the number of TopK calls started (DSL plan fragments
+	// included — each distinct fragment scatters as one TopK).
 	Queries int64 `json:"queries"`
+	// PlanNodes is the number of DSL plan nodes expanded by /v1/query
+	// batches.
+	PlanNodes int64 `json:"plan_nodes"`
+	// CSEHits is the number of DSL plan nodes served from a fragment
+	// already computed for an earlier node of the same batch, instead of
+	// a fresh scatter.
+	CSEHits int64 `json:"cse_hits"`
 	// Errors is the number that returned an error.
 	Errors int64 `json:"errors"`
 	// PartialResults is the number answered with at least one shard dropped.
@@ -276,6 +286,8 @@ func (c *Coordinator) Stats() Stats {
 	}
 	return Stats{
 		Queries:        c.queries.Load(),
+		PlanNodes:      c.planNodes.Load(),
+		CSEHits:        c.cseHits.Load(),
 		Errors:         c.errors.Load(),
 		PartialResults: c.partials.Load(),
 		Failovers:      c.failovers.Load(),

@@ -104,3 +104,27 @@ func TestTopKResponseFieldsDocumented(t *testing.T) {
 		}
 	}
 }
+
+// TestQueryEnvelopeDocumented pins the iccoord /v1/query envelope — the
+// top-level payload, the per-statement objects, and the per-node
+// fragment results — to the coordinator-query table in docs/CLUSTER.md.
+func TestQueryEnvelopeDocumented(t *testing.T) {
+	code := jsonFields(t, queryResponse{})
+	for f := range jsonFields(t, QueryStatementResult{}) {
+		code[f] = true
+	}
+	for f := range jsonFields(t, QueryNodeResult{}) {
+		code[f] = true
+	}
+	doc := docFields(t, "../../docs/CLUSTER.md", "coordinator-query")
+	for f := range code {
+		if !doc[f] {
+			t.Errorf("coordinator /v1/query field %q is not documented", f)
+		}
+	}
+	for f := range doc {
+		if !code[f] {
+			t.Errorf("documented coordinator query field %q is no longer emitted", f)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -19,6 +20,8 @@ import (
 //	GET /v1/topk?k=10&gamma=5             merged global top-k
 //	    [&dataset=D][&mode=core|noncontainment|truss]
 //	    [&truss=1][&noncontainment=1]     single-node flag spelling, same meaning
+//	POST /v1/query                        DSL batch, fragments deduplicated
+//	    {"query": "...", "dataset": "D"}  then scattered down the shard streams
 //
 // maxK bounds k exactly like icserver's -maxk.
 func NewHandler(c *Coordinator, maxK int) http.Handler {
@@ -28,6 +31,7 @@ func NewHandler(c *Coordinator, maxK int) http.Handler {
 	mux.HandleFunc("GET /v1/cluster", h.cluster)
 	mux.HandleFunc("GET /v1/stats", h.stats)
 	mux.HandleFunc("GET /v1/topk", h.topK)
+	mux.HandleFunc("POST /v1/query", h.query)
 	return mux
 }
 
@@ -49,6 +53,30 @@ type topKResponse struct {
 	FailedShards []string          `json:"failed_shards,omitempty"`
 	ElapsedMS    float64           `json:"elapsed_ms"`
 }
+
+// queryRequest is the body of a coordinator POST /v1/query.
+type queryRequest struct {
+	// Query is the DSL batch source text.
+	Query string `json:"query"`
+	// Dataset optionally names the dataset on every shard (a shard's
+	// configured dataset override still wins).
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// queryResponse is the coordinator's /v1/query envelope. Each node carries
+// the same Community JSON as every other surface plus its fragment's
+// cluster markers (epoch vector, partial, failed shards).
+type queryResponse struct {
+	Query     string                 `json:"query"`
+	Dataset   string                 `json:"dataset,omitempty"`
+	Results   []QueryStatementResult `json:"results"`
+	PlanNodes int                    `json:"plan_nodes"`
+	CSEHits   int                    `json:"cse_hits"`
+	ElapsedMS float64                `json:"elapsed_ms"`
+}
+
+// maxQueryBody bounds a /v1/query request body.
+const maxQueryBody = 1 << 20
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -137,5 +165,37 @@ func (h *handler) topK(w http.ResponseWriter, r *http.Request) {
 		Partial:      res.Partial,
 		FailedShards: res.FailedShards,
 		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000.0,
+	})
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	start := time.Now()
+	res, err := h.c.Query(r.Context(), req.Dataset, req.Query, h.maxK)
+	if err != nil {
+		status := http.StatusBadGateway
+		// Parse/plan/shape errors are the client's; shard failures are not.
+		if strings.HasPrefix(err.Error(), "query:") ||
+			strings.HasPrefix(err.Error(), "cluster: near(") ||
+			strings.HasPrefix(err.Error(), "cluster: k must") {
+			status = http.StatusBadRequest
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, &queryResponse{
+		Query:     res.Canonical,
+		Dataset:   req.Dataset,
+		Results:   res.Results,
+		PlanNodes: res.PlanNodes,
+		CSEHits:   res.CSEHits,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000.0,
 	})
 }

@@ -1,0 +1,196 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"influcomm/internal/cluster"
+	"influcomm/internal/graph"
+	"influcomm/internal/server"
+)
+
+// countingShardServers is shardServers with a scatter counter: every open
+// of a shard stream, across all shards, bumps scatters once.
+func countingShardServers(t *testing.T, g *graph.Graph, n int, scatters *atomic.Int64) []cluster.Shard {
+	t.Helper()
+	parts, err := cluster.Partition(g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]cluster.Shard, len(parts))
+	for i, pg := range parts {
+		s, err := server.New(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == cluster.StreamPath {
+				scatters.Add(1)
+			}
+			s.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		shards[i] = cluster.Shard{Name: fmt.Sprintf("shard%d", i), Replicas: []string{ts.URL}}
+	}
+	return shards
+}
+
+// postClusterQuery POSTs a DSL batch to a coordinator front end.
+func postClusterQuery(t *testing.T, front *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(front.URL+"/v1/query", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestPlanClusterQueryMatchesTopK is the distributed half of the DSL's
+// byte-identity property: through the coordinator HTTP front end, every
+// fixed-shape plan node of a batch answers byte-identically to the
+// coordinator's own /v1/topk for the same (k, γ, mode).
+func TestPlanClusterQueryMatchesTopK(t *testing.T) {
+	g := clusterTestGraph(t)
+	var scatters atomic.Int64
+	coord, err := cluster.NewCoordinator(countingShardServers(t, g, 3, &scatters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(cluster.NewHandler(coord, 1000))
+	defer front.Close()
+
+	code, body := postClusterQuery(t, front,
+		`{"query":"topk(k=5, gamma=2..3, semantics=core+noncontainment); topk(k=2, gamma=3, semantics=truss) | size(>=3)"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var qr struct {
+		Query     string `json:"query"`
+		PlanNodes int    `json:"plan_nodes"`
+		CSEHits   int    `json:"cse_hits"`
+		Results   []struct {
+			Statement string `json:"statement"`
+			Nodes     []struct {
+				K           int             `json:"k"`
+				Gamma       int             `json:"gamma"`
+				Mode        string          `json:"mode"`
+				Path        string          `json:"path"`
+				Communities json.RawMessage `json:"communities"`
+			} `json:"nodes"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	if qr.PlanNodes != 5 {
+		t.Errorf("plan_nodes = %d, want 5", qr.PlanNodes)
+	}
+	for si, st := range qr.Results {
+		for ni, n := range st.Nodes {
+			if n.Path != "scatter" {
+				t.Errorf("stmt %d node %d: path %q, want scatter", si, ni, n.Path)
+			}
+			if si == 1 {
+				continue // filtered; identity is asserted on unfiltered nodes
+			}
+			url := fmt.Sprintf("%s/v1/topk?k=%d&gamma=%d%s", front.URL, n.K, n.Gamma, modeFlag(n.Mode))
+			want := singleCommunities(t, url)
+			if string(n.Communities) != string(want) {
+				t.Errorf("stmt %d node %d (γ=%d %s):\ndsl  %s\ntopk %s", si, ni, n.Gamma, n.Mode, n.Communities, want)
+			}
+		}
+	}
+}
+
+// TestCSEClusterFragmentDedupe pins the coordinator's sharing property: a
+// batch of N overlapping statements scatters once per distinct fragment —
+// strictly fewer scatters than N independent queries — and reports the
+// reuse in cse_hits on the response and /v1/stats.
+func TestCSEClusterFragmentDedupe(t *testing.T) {
+	g := clusterTestGraph(t)
+	var scatters atomic.Int64
+	const nShards = 3
+	coord, err := cluster.NewCoordinator(countingShardServers(t, g, nShards, &scatters))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 plan nodes, 2 distinct fragments (γ=2 three times, γ=3 once).
+	res, err := coord.Query(context.Background(),
+		"", "topk(k=3, gamma=2); topk(k=3, gamma=2..3) | limit(1); topk(k=3, gamma=2)", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanNodes != 4 || res.CSEHits != 2 {
+		t.Errorf("plan_nodes=%d cse_hits=%d, want 4 and 2", res.PlanNodes, res.CSEHits)
+	}
+	if got := scatters.Load(); got != 2*nShards {
+		t.Errorf("shard stream opens = %d, want %d (2 fragments x %d shards)", got, 2*nShards, nShards)
+	}
+	// The acceptance bound: strictly fewer scatters than one per node.
+	if got := scatters.Load(); got >= int64(res.PlanNodes*nShards) {
+		t.Errorf("dedupe saved nothing: %d opens for %d nodes", got, res.PlanNodes)
+	}
+	// Shared nodes carry the same merged answer as their fragment leader.
+	lead, err := json.Marshal(res.Results[0].Nodes[0].Communities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := json.Marshal(res.Results[2].Nodes[0].Communities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Results[2].Nodes[0].Shared || string(lead) != string(dup) {
+		t.Errorf("duplicate fragment: shared=%v\nlead %s\ndup  %s", res.Results[2].Nodes[0].Shared, lead, dup)
+	}
+
+	stats := coord.Stats()
+	if stats.PlanNodes != 4 || stats.CSEHits != 2 {
+		t.Errorf("stats plan_nodes=%d cse_hits=%d, want 4 and 2", stats.PlanNodes, stats.CSEHits)
+	}
+}
+
+// TestPlanClusterQueryRejections covers the coordinator's refusal surface:
+// near is not shard-safe, parse errors and oversized k are client errors.
+func TestPlanClusterQueryRejections(t *testing.T) {
+	g := clusterTestGraph(t)
+	coord, err := cluster.NewCoordinator(shardServers(t, g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Query(context.Background(), "", "near(seeds=[1], k=2)", 1000); err == nil || !strings.Contains(err.Error(), "shard-safe") {
+		t.Errorf("near: err = %v, want shard-safe rejection", err)
+	}
+
+	front := httptest.NewServer(cluster.NewHandler(coord, 10))
+	defer front.Close()
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"near", `{"query":"near(seeds=[1], k=2)"}`, http.StatusBadRequest},
+		{"parse error", `{"query":"topk(k=)"}`, http.StatusBadRequest},
+		{"k over maxK", `{"query":"topk(k=11)"}`, http.StatusBadRequest},
+		{"bad json", `{"query":`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, body := postClusterQuery(t, front, tc.body)
+		if code != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.code, body)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package query
+
+import "testing"
+
+// FuzzParseQuery asserts the two parser invariants the serving tier relies
+// on: Parse never panics on any input, and for every accepted input the
+// canonical print is a fixpoint — Parse(q.String()) succeeds and prints
+// the same string, so canonical node keys are stable identities.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"topk()",
+		"topk(k=3, gamma=2..4, semantics=core+truss)",
+		"near(seeds=[1,2,3], k=5, gamma=3, semantics=noncontainment)",
+		`topk(k=5) | label("db*") | influence(>=1.5) | size(<10) | limit(2)`,
+		"topk(gamma=2); topk(gamma=3); near(seeds=[0])",
+		"topk() | influence(!=1e-3)",
+		"topk(k=1,gamma=1..64)",
+		"topk( ; near(seeds=[",
+		`topk() | label("")`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical print %q of accepted input %q does not reparse: %v", printed, src, err)
+		}
+		if got := q2.String(); got != printed {
+			t.Fatalf("print not a fixpoint: %q -> %q -> %q", src, printed, got)
+		}
+		// Accepted queries must also plan without panicking.
+		if nodes, err := PlanQuery(q, nil); err == nil {
+			for _, n := range nodes {
+				if n.Key == "" || n.K < 1 || n.Gamma < 1 {
+					t.Fatalf("malformed node %+v from %q", n, src)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,401 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parser limits. They bound work per request, not expressiveness: a batch
+// wanting more statements can be split; a plan wanting more nodes is almost
+// certainly a runaway γ range.
+const (
+	// MaxStatements caps statements per batch.
+	MaxStatements = 32
+	// MaxSeeds caps the seed set of one near source.
+	MaxSeeds = 4096
+	// MaxFilters caps the filter pipeline of one statement.
+	MaxFilters = 16
+)
+
+// Parse parses one batch of the query DSL (see the package documentation
+// for the grammar) and returns it in canonical form: seeds and semantics
+// sorted and deduplicated, defaults filled in. Parsing never panics on any
+// input; the returned query always round-trips through String.
+func Parse(src string) (*Query, error) {
+	p := &parser{s: src}
+	q := &Query{}
+	for {
+		p.ws()
+		if p.pos >= len(p.s) {
+			break
+		}
+		if len(q.Statements) >= MaxStatements {
+			return nil, fmt.Errorf("query: more than %d statements in one batch", MaxStatements)
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		q.Statements = append(q.Statements, st)
+		p.ws()
+		if p.pos >= len(p.s) {
+			break
+		}
+		if !p.eat(";") {
+			return nil, p.errf("expected ';' between statements")
+		}
+	}
+	if len(q.Statements) == 0 {
+		return nil, fmt.Errorf("query: empty query")
+	}
+	return q, nil
+}
+
+type parser struct {
+	s   string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: %s at offset %d", fmt.Sprintf(format, args...), p.pos)
+}
+
+// ws skips whitespace.
+func (p *parser) ws() {
+	for p.pos < len(p.s) {
+		switch p.s[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// eat consumes lit if it is next (after whitespace) and reports whether it did.
+func (p *parser) eat(lit string) bool {
+	p.ws()
+	if strings.HasPrefix(p.s[p.pos:], lit) {
+		p.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(lit string) error {
+	if !p.eat(lit) {
+		return p.errf("expected %q", lit)
+	}
+	return nil
+}
+
+// ident scans a lowercase identifier; empty if none is next.
+func (p *parser) ident() string {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if c < 'a' || c > 'z' {
+			break
+		}
+		p.pos++
+	}
+	return p.s[start:p.pos]
+}
+
+// integer scans a decimal integer with an optional sign.
+func (p *parser) integer() (int64, error) {
+	p.ws()
+	start := p.pos
+	if p.pos < len(p.s) && p.s[p.pos] == '-' {
+		p.pos++
+	}
+	digits := p.pos
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == digits {
+		return 0, p.errf("expected integer")
+	}
+	v, err := strconv.ParseInt(p.s[start:p.pos], 10, 64)
+	if err != nil {
+		return 0, p.errf("integer out of range")
+	}
+	return v, nil
+}
+
+// number scans a decimal float (optional sign, optional fraction, optional
+// exponent) — the forms strconv.FormatFloat(_, 'g', -1, 64) emits for every
+// finite value.
+func (p *parser) number() (float64, error) {
+	p.ws()
+	start := p.pos
+	if p.pos < len(p.s) && p.s[p.pos] == '-' {
+		p.pos++
+	}
+	intDigits := p.digits()
+	fracDigits := 0
+	if p.pos < len(p.s) && p.s[p.pos] == '.' {
+		p.pos++
+		fracDigits = p.digits()
+	}
+	if intDigits+fracDigits == 0 {
+		p.pos = start
+		return 0, p.errf("expected number")
+	}
+	if p.pos < len(p.s) && (p.s[p.pos] == 'e' || p.s[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.s) && (p.s[p.pos] == '+' || p.s[p.pos] == '-') {
+			p.pos++
+		}
+		if p.digits() == 0 {
+			return 0, p.errf("expected exponent digits")
+		}
+	}
+	v, err := strconv.ParseFloat(p.s[start:p.pos], 64)
+	if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, p.errf("number out of range")
+	}
+	return v, nil
+}
+
+func (p *parser) digits() int {
+	n := 0
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		p.pos++
+		n++
+	}
+	return n
+}
+
+// compareOp scans a comparison operator (longest match first).
+func (p *parser) compareOp() (string, error) {
+	p.ws()
+	for _, op := range []string{">=", "<=", "!=", ">", "<", "="} {
+		if strings.HasPrefix(p.s[p.pos:], op) {
+			p.pos += len(op)
+			return op, nil
+		}
+	}
+	return "", p.errf("expected comparison operator (>=, >, <=, <, =, !=)")
+}
+
+func (p *parser) statement() (*Statement, error) {
+	st := &Statement{}
+	if err := p.source(&st.Source); err != nil {
+		return nil, err
+	}
+	for p.eat("|") {
+		if len(st.Filters) >= MaxFilters {
+			return nil, p.errf("more than %d filters in one statement", MaxFilters)
+		}
+		f, err := p.filter()
+		if err != nil {
+			return nil, err
+		}
+		st.Filters = append(st.Filters, f)
+	}
+	return st, nil
+}
+
+func (p *parser) source(s *Source) error {
+	name := p.ident()
+	switch name {
+	case "topk", "near":
+	default:
+		return p.errf("expected source 'topk' or 'near', got %q", name)
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	if !p.eat(")") {
+		for {
+			if err := p.sourceArg(s, seen); err != nil {
+				return err
+			}
+			if p.eat(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+	}
+	if name == "near" && !seen["seeds"] {
+		return p.errf("near requires seeds=[...]")
+	}
+	if name == "topk" && seen["seeds"] {
+		return p.errf("seeds is only valid in near(...)")
+	}
+	return s.normalize()
+}
+
+func (p *parser) sourceArg(s *Source, seen map[string]bool) error {
+	key := p.ident()
+	if key == "" {
+		return p.errf("expected argument name")
+	}
+	if seen[key] {
+		return p.errf("duplicate argument %q", key)
+	}
+	seen[key] = true
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	switch key {
+	case "k":
+		v, err := p.integer()
+		if err != nil {
+			return err
+		}
+		if v < 1 || v > math.MaxInt32 {
+			return p.errf("k must be in [1, %d]", math.MaxInt32)
+		}
+		s.K = int(v)
+	case "gamma":
+		lo, err := p.integer()
+		if err != nil {
+			return err
+		}
+		if lo < 1 || lo > math.MaxInt32 {
+			return p.errf("gamma must be in [1, %d]", math.MaxInt32)
+		}
+		s.GammaLo, s.GammaHi = int32(lo), int32(lo)
+		if p.eat("..") {
+			hi, err := p.integer()
+			if err != nil {
+				return err
+			}
+			if hi < 1 || hi > math.MaxInt32 {
+				return p.errf("gamma must be in [1, %d]", math.MaxInt32)
+			}
+			s.GammaHi = int32(hi)
+		}
+	case "semantics":
+		for {
+			sem := p.ident()
+			switch sem {
+			case SemCore, SemNonContainment, SemTruss:
+			default:
+				return p.errf("unknown semantics %q (want core, noncontainment, or truss)", sem)
+			}
+			s.Semantics = append(s.Semantics, sem)
+			if !p.eat("+") {
+				break
+			}
+		}
+	case "seeds":
+		if err := p.expect("["); err != nil {
+			return err
+		}
+		for {
+			v, err := p.integer()
+			if err != nil {
+				return err
+			}
+			if v < 0 || v > math.MaxInt32 {
+				return p.errf("seed must be in [0, %d]", math.MaxInt32)
+			}
+			if len(s.Seeds) >= MaxSeeds {
+				return p.errf("more than %d seeds", MaxSeeds)
+			}
+			s.Seeds = append(s.Seeds, int32(v))
+			if p.eat("]") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		if len(s.Seeds) == 0 {
+			return p.errf("seeds must not be empty")
+		}
+	default:
+		return p.errf("unknown argument %q (want k, gamma, semantics, or seeds)", key)
+	}
+	return nil
+}
+
+func (p *parser) filter() (Filter, error) {
+	name := p.ident()
+	var f Filter
+	switch name {
+	case FilterLabel, FilterInfluence, FilterSize, FilterLimit:
+		f.Name = name
+	default:
+		return f, p.errf("unknown filter %q (want label, influence, size, or limit)", name)
+	}
+	if err := p.expect("("); err != nil {
+		return f, err
+	}
+	switch name {
+	case FilterLabel:
+		pat, err := p.quoted()
+		if err != nil {
+			return f, err
+		}
+		f.Pattern = pat
+	case FilterInfluence:
+		op, err := p.compareOp()
+		if err != nil {
+			return f, err
+		}
+		v, err := p.number()
+		if err != nil {
+			return f, err
+		}
+		f.Op, f.Num = op, v
+	case FilterSize:
+		op, err := p.compareOp()
+		if err != nil {
+			return f, err
+		}
+		v, err := p.integer()
+		if err != nil {
+			return f, err
+		}
+		if v < 0 || v > math.MaxInt32 {
+			return f, p.errf("size threshold must be in [0, %d]", math.MaxInt32)
+		}
+		f.Op, f.Int = op, int(v)
+	case FilterLimit:
+		v, err := p.integer()
+		if err != nil {
+			return f, err
+		}
+		if v < 0 || v > math.MaxInt32 {
+			return f, p.errf("limit must be in [0, %d]", math.MaxInt32)
+		}
+		f.Int = int(v)
+	}
+	if err := p.expect(")"); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// quoted scans a double-quoted string. To keep canonical printing a
+// fixpoint without an escape syntax, quotes, backslashes, and control
+// characters are rejected inside the literal.
+func (p *parser) quoted() (string, error) {
+	if err := p.expect(`"`); err != nil {
+		return "", err
+	}
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if c == '"' {
+			lit := p.s[start:p.pos]
+			p.pos++
+			return lit, nil
+		}
+		if c == '\\' || c < 0x20 || c == 0x7f {
+			return "", p.errf("unsupported character in string literal")
+		}
+		p.pos++
+	}
+	return "", p.errf("unterminated string literal")
+}

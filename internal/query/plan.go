@@ -1,0 +1,109 @@
+package query
+
+import "fmt"
+
+// Access paths a plan node can be assigned. They are the planner's greedy,
+// statistics-free choice; executors treat them as advisory and stay free to
+// fall back (e.g. index → LocalSearch while a rebuild is in flight).
+const (
+	// PathIndex serves the node from the dataset's prebuilt influence index.
+	PathIndex = "index"
+	// PathLocal runs the paper's online LocalSearch.
+	PathLocal = "localsearch"
+	// PathTruss serves the node from the γ-truss index.
+	PathTruss = "truss"
+	// PathScatter scatter-gathers the node across cluster shards.
+	PathScatter = "scatter"
+)
+
+// MaxPlanNodes caps the nodes one batch may expand to — a wide γ range
+// times a semantics combinator multiplies, and the cap keeps one request
+// from monopolizing a server.
+const MaxPlanNodes = 64
+
+// Node is one fixed-shape unit of work: a single (k, γ, semantics) search,
+// optionally seed-scoped. Nodes are what executors run, cache, and share:
+// two nodes with equal Key over the same snapshot epoch are the same
+// computation regardless of which statements or queries produced them.
+type Node struct {
+	// Stmt is the index of the originating statement in the query.
+	Stmt int
+	// K is the result bound.
+	K int
+	// Gamma is the minimum-degree (or truss) threshold.
+	Gamma int32
+	// Mode is the node's semantics: SemCore, SemNonContainment, or SemTruss.
+	Mode string
+	// Seeds is the near scope (nil for fixed-shape nodes). Aliases the
+	// source's canonicalized slice; treat as read-only.
+	Seeds []int32
+	// Path is the access path the planner picked.
+	Path string
+	// Key is the canonical identity of the computation — the canonical
+	// print of a single-(γ, semantics) source. Filters and statement
+	// position do not contribute, so overlapping queries that differ only
+	// in their pipelines share nodes.
+	Key string
+}
+
+// FixedShape reports whether the node is exactly one of the serving tier's
+// classic (k, γ, semantics) queries — the shapes /v1/topk answers and the
+// byte-identity property tests compare against.
+func (n *Node) FixedShape() bool { return n.Seeds == nil }
+
+// PickPath decides a node's access path. Executors pass one reflecting the
+// dataset's capabilities; nil means no prebuilt indexes (always LocalSearch
+// or the truss fallback).
+type PickPath func(mode string, near bool) string
+
+// PlanQuery expands a parsed batch into its plan nodes: one node per
+// (statement, γ, semantics) combination, in statement order, with access
+// paths chosen by pick. The expansion is bounded by MaxPlanNodes.
+func PlanQuery(q *Query, pick PickPath) ([]Node, error) {
+	if pick == nil {
+		pick = func(mode string, near bool) string {
+			if mode == SemTruss {
+				return PathTruss
+			}
+			return PathLocal
+		}
+	}
+	var nodes []Node
+	total := 0
+	for si, st := range q.Statements {
+		src := &st.Source
+		span := int(src.GammaHi-src.GammaLo) + 1
+		total += span * len(src.Semantics)
+		if total > MaxPlanNodes {
+			return nil, fmt.Errorf("query: plan expands to more than %d nodes (narrow the gamma range or split the batch)", MaxPlanNodes)
+		}
+		for g := src.GammaLo; g <= src.GammaHi; g++ {
+			for _, sem := range src.Semantics {
+				n := Node{
+					Stmt:  si,
+					K:     src.K,
+					Gamma: g,
+					Mode:  sem,
+					Seeds: src.Seeds,
+					Path:  pick(sem, src.Near()),
+				}
+				n.Key = nodeKey(src, n.Gamma, n.Mode)
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	return nodes, nil
+}
+
+// nodeKey renders the canonical single-(γ, semantics) source print that
+// identifies a node's computation.
+func nodeKey(src *Source, gamma int32, mode string) string {
+	single := Source{
+		Seeds:     src.Seeds,
+		K:         src.K,
+		GammaLo:   gamma,
+		GammaHi:   gamma,
+		Semantics: []string{mode},
+	}
+	return single.String()
+}

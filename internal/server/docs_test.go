@@ -90,3 +90,17 @@ func TestDatasetFieldsDocumented(t *testing.T) {
 		jsonFields(t, DatasetInfo{}),
 		docFields(t, operationsDoc, "server-datasets"))
 }
+
+// TestQueryEnvelopeDocumented pins the /v1/query response envelope — the
+// top-level payload, the per-statement objects, and the per-node objects —
+// to the OPERATIONS.md server-query table.
+func TestQueryEnvelopeDocumented(t *testing.T) {
+	code := jsonFields(t, queryResponse{})
+	for f := range jsonFields(t, statementResult{}) {
+		code[f] = true
+	}
+	for f := range jsonFields(t, nodeResult{}) {
+		code[f] = true
+	}
+	checkFieldDrift(t, "/v1/query", code, docFields(t, operationsDoc, "server-query"))
+}

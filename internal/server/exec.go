@@ -97,7 +97,7 @@ func (s *Server) executeTopK(ctx context.Context, ds *dataset, p queryParams, ep
 		s.metrics.localServed.Add(1)
 		ds.localServed.Add(1)
 		for _, c := range res.Communities {
-			out.Communities = append(out.Communities, render(g, c.Influence(), c.Keynode(), c.Vertices()))
+			out.Communities = append(out.Communities, cluster.Render(g, c.Influence(), c.Keynode(), c.Vertices()))
 		}
 		out.Accessed = res.Stats.FinalPrefix
 	case ix != nil && p.Mode == cluster.ModeCore:
@@ -112,7 +112,7 @@ func (s *Server) executeTopK(ctx context.Context, ds *dataset, p queryParams, ep
 		s.metrics.indexServed.Add(1)
 		ds.indexServed.Add(1)
 		for _, c := range comms {
-			out.Communities = append(out.Communities, render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices()))
+			out.Communities = append(out.Communities, cluster.Render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices()))
 		}
 	default:
 		res, err := ds.st.TopK(ctx, p.K, p.Gamma, core.Options{NonContainment: p.Mode == cluster.ModeNonContainment})
@@ -122,7 +122,7 @@ func (s *Server) executeTopK(ctx context.Context, ds *dataset, p queryParams, ep
 		s.metrics.localServed.Add(1)
 		ds.localServed.Add(1)
 		for _, c := range res.Communities {
-			out.Communities = append(out.Communities, render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices()))
+			out.Communities = append(out.Communities, cluster.Render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices()))
 		}
 		out.Accessed = res.Stats.FinalPrefix
 	}
@@ -188,7 +188,7 @@ func (s *Server) executeStream(ctx context.Context, ds *dataset, p queryParams, 
 			return sr, err
 		}
 		prefix, err := truss.StreamCtx(ctx, ds.truss(g, epoch), p.Gamma, func(c *truss.Community) bool {
-			return yield(render(g, c.Influence(), c.Keynode(), c.Vertices()))
+			return yield(cluster.Render(g, c.Influence(), c.Keynode(), c.Vertices()))
 		})
 		if err != nil {
 			return sr, queryError(err)
@@ -208,7 +208,7 @@ func (s *Server) executeStream(ctx context.Context, ds *dataset, p queryParams, 
 		s.metrics.indexServed.Add(1)
 		ds.indexServed.Add(1)
 		for _, c := range comms {
-			if !yield(render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices())) {
+			if !yield(cluster.Render(ds.st.Graph(), c.Influence(), c.Keynode(), c.Vertices())) {
 				break
 			}
 		}
@@ -240,13 +240,13 @@ func (s *Server) executeStream(ctx context.Context, ds *dataset, p queryParams, 
 	if mem, ok := ds.st.(*store.Mem); ok && mem.Graph() == g {
 		// The in-memory backend streams on pooled engines.
 		st, err = mem.Stream(ctx, p.Gamma, opts, func(c *core.Community) bool {
-			return yield(render(g, c.Influence(), c.Keynode(), c.Vertices()))
+			return yield(cluster.Render(g, c.Influence(), c.Keynode(), c.Vertices()))
 		})
 	} else {
 		// Mutable backends: stream over the pinned snapshot, which stays
 		// valid (and immutable) however many update batches land meanwhile.
 		st, err = core.StreamCtx(ctx, g, p.Gamma, opts, func(c *core.Community) bool {
-			return yield(render(g, c.Influence(), c.Keynode(), c.Vertices()))
+			return yield(cluster.Render(g, c.Influence(), c.Keynode(), c.Vertices()))
 		})
 	}
 	if err != nil {

@@ -59,6 +59,9 @@ type maintainerConfig struct {
 	// debounce is how long the rebuild worker waits after a kick before
 	// building, so a burst of updates costs one rebuild, not one each.
 	debounce time.Duration
+	// repairFraction overrides the synchronous-repair gate (0 keeps
+	// defaultRepairFraction); see maintainer.repairFraction.
+	repairFraction float64
 }
 
 const (
@@ -119,8 +122,11 @@ func newMaintainer(ds *dataset, ms store.MutableStore, cfg maintainerConfig) *ma
 	if cfg.debounce <= 0 {
 		cfg.debounce = defaultReindexDebounce
 	}
+	if cfg.repairFraction <= 0 {
+		cfg.repairFraction = defaultRepairFraction
+	}
 	m := &maintainer{ds: ds, ms: ms, cfg: cfg, kick: make(chan struct{}, 1)}
-	m.repairFraction.Store(math.Float64bits(defaultRepairFraction))
+	m.repairFraction.Store(math.Float64bits(cfg.repairFraction))
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 	m.minCut = ms.NumVertices()
 	return m
@@ -170,7 +176,7 @@ func (m *maintainer) onUpdate(ev store.UpdateEvent) {
 	if at := m.ds.attached.Load(); at != nil {
 		g, epoch := m.ms.Snapshot()
 		n := g.NumVertices()
-		if float64(n-m.minCut) <= math.Float64frombits(m.repairFraction.Load())*float64(n) {
+		if repairEligible(n, m.minCut, math.Float64frombits(m.repairFraction.Load())) {
 			// The attached index may be several epochs behind (a stale
 			// build can attach under its own older epoch tag); minCut
 			// accumulates across exactly those epochs, so the repair below
@@ -190,6 +196,16 @@ func (m *maintainer) onUpdate(ev store.UpdateEvent) {
 	}
 	m.lastOutcome, m.lastEpoch = outcomeRebuilding, ev.Epoch
 	m.kickWorker()
+}
+
+// repairEligible is the synchronous fast-path gate: a combined delta
+// touching only the rank suffix at or above minCut qualifies when that
+// suffix, n-minCut vertices, is at most frac of the graph. Above it a
+// repair recomputes most of every decomposition anyway, so the work moves
+// to the background rebuild and queries stay on the LocalSearch fallback
+// meanwhile.
+func repairEligible(n, minCut int, frac float64) bool {
+	return float64(n-minCut) <= frac*float64(n)
 }
 
 // outcomeFor reports what maintenance did about the batch that published

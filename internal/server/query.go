@@ -1,0 +1,267 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"influcomm/internal/cluster"
+	"influcomm/internal/core"
+	"influcomm/internal/graph"
+	"influcomm/internal/query"
+	"influcomm/internal/queryweight"
+)
+
+// This file is the single-node side of the query DSL (internal/query):
+// POST /v1/query parses a batch, plans it into fixed-shape nodes, and
+// executes the nodes through the same engine boundary as /v1/topk
+// (executeTopK), with cross-query sharing — identical canonical nodes at
+// the same snapshot epoch are computed once across all concurrent batches
+// via the dataset's Sharer, and seed-scoped (near) statements additionally
+// share the reweighted graph across their γ expansion.
+
+// maxQueryBody bounds a /v1/query request body.
+const maxQueryBody = 1 << 20
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	// Query is the DSL batch source text (see docs/ARCHITECTURE.md for
+	// the grammar).
+	Query string `json:"query"`
+	// Dataset routes the batch; empty means the default dataset.
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// queryResponse is the /v1/query payload.
+type queryResponse struct {
+	// Query echoes the batch in canonical form.
+	Query string `json:"query"`
+	// Dataset is the dataset the batch ran against.
+	Dataset string `json:"dataset"`
+	// Results holds one entry per statement, in input order.
+	Results []statementResult `json:"results"`
+	// PlanNodes is how many plan nodes the batch expanded to.
+	PlanNodes int `json:"plan_nodes"`
+	// CSEHits is how many of those nodes were served by work shared with
+	// another node (of this batch or a concurrent one) instead of a fresh
+	// decomposition.
+	CSEHits int `json:"cse_hits"`
+	// SnapshotEpoch is the snapshot epoch the batch pinned (mutable
+	// datasets; 0 otherwise).
+	SnapshotEpoch uint64  `json:"snapshot_epoch,omitempty"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
+// statementResult is one statement's executed plan nodes, in plan order,
+// under the statement's canonical form.
+type statementResult struct {
+	Statement string       `json:"statement"`
+	Nodes     []nodeResult `json:"nodes"`
+}
+
+// nodeResult is one executed plan node: its fixed shape, the access path
+// the planner picked, and the communities after the statement's filters.
+type nodeResult struct {
+	K     int    `json:"k"`
+	Gamma int    `json:"gamma"`
+	Mode  string `json:"mode"`
+	Path  string `json:"path"`
+	// Shared marks nodes served by shared work (a memo hit or a join on an
+	// in-flight identical node) rather than a fresh execution.
+	Shared      bool            `json:"shared,omitempty"`
+	Communities []communityJSON `json:"communities"`
+	// AccessedVertices reports the LocalSearch prefix the node's execution
+	// touched; 0 on the index path.
+	AccessedVertices int `json:"accessed_vertices,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Same admission control as /v1/topk: one slot per batch, shed when
+	// saturated. DSL batches are counted separately (dsl_queries) so the
+	// classic per-query latency average stays comparable.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server saturated, retry later"})
+			return
+		}
+	}
+	s.metrics.dslQueries.Add(1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	resp, err := s.runQueryBatch(ctx, w, r)
+	if err != nil {
+		writeJSON(w, s.classify(err), map[string]string{"error": err.Error()})
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) runQueryBatch(ctx context.Context, w http.ResponseWriter, r *http.Request) (*queryResponse, error) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
+		return nil, &httpError{http.StatusBadRequest, "bad request body: " + err.Error()}
+	}
+	q, err := query.Parse(req.Query)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+
+	name := req.Dataset
+	if name == "" {
+		name = DefaultDataset
+	}
+	ds := s.registry.acquireLookup(name)
+	if ds == nil {
+		return nil, &httpError{http.StatusNotFound, "dataset " + strconv.Quote(name) + " is not loaded"}
+	}
+	defer ds.release()
+	ds.queries.Add(1)
+
+	// One epoch pins the whole batch: every fixed-shape node executes and
+	// shares against it, exactly like a /v1/topk cache key. (As everywhere
+	// else, a concurrent update can at worst make an execution see a newer
+	// snapshot than the epoch it is keyed under — never an older one.)
+	epoch := ds.epoch()
+	hasIndex := ds.indexAt(epoch) != nil
+	nodes, err := query.PlanQuery(q, func(mode string, near bool) string {
+		switch {
+		case mode == query.SemTruss:
+			return query.PathTruss
+		case !near && mode == query.SemCore && hasIndex:
+			return query.PathIndex
+		default:
+			return query.PathLocal
+		}
+	})
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	for _, n := range nodes {
+		if n.K > s.maxK {
+			return nil, &httpError{http.StatusBadRequest, "k must be in [1, " + strconv.Itoa(s.maxK) + "]"}
+		}
+	}
+	s.metrics.planNodes.Add(int64(len(nodes)))
+
+	resp := &queryResponse{
+		Query:         q.String(),
+		Dataset:       name,
+		PlanNodes:     len(nodes),
+		SnapshotEpoch: epoch,
+	}
+	for _, st := range q.Statements {
+		resp.Results = append(resp.Results, statementResult{Statement: st.String()})
+	}
+	for _, n := range nodes {
+		er, shared, err := s.executeNode(ctx, ds, n, epoch)
+		if err != nil {
+			return nil, err
+		}
+		if shared {
+			s.metrics.cseHits.Add(1)
+			resp.CSEHits++
+		}
+		resp.Results[n.Stmt].Nodes = append(resp.Results[n.Stmt].Nodes, nodeResult{
+			K:                n.K,
+			Gamma:            int(n.Gamma),
+			Mode:             n.Mode,
+			Path:             n.Path,
+			Shared:           shared,
+			Communities:      cluster.ApplyDSLFilters(q.Statements[n.Stmt].Filters, er.Communities),
+			AccessedVertices: er.Accessed,
+		})
+	}
+	return resp, nil
+}
+
+// executeNode runs one plan node with cross-query sharing: the node's
+// canonical key plus the snapshot epoch identify the computation, so any
+// concurrent or recent identical node — same batch, another batch, another
+// client — yields one execution. Fixed-shape nodes run through executeTopK,
+// the same engine boundary as /v1/topk, which is what makes a DSL node's
+// communities byte-identical to its fixed-shape equivalent.
+func (s *Server) executeNode(ctx context.Context, ds *dataset, n query.Node, epoch uint64) (*execResult, bool, error) {
+	if n.FixedShape() {
+		val, shared, err := ds.sharer.Do(ctx, epoch, n.Key, func() (any, error) {
+			return s.executeTopK(ctx, ds, queryParams{K: n.K, Gamma: n.Gamma, Mode: n.Mode}, epoch)
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return val.(*execResult), shared, nil
+	}
+
+	// near: reweight by seed distance, then search the reweighted graph.
+	// The reweighting is itself a shareable prefix — every γ and semantics
+	// expansion of one seed set, across all concurrent batches, uses one
+	// BFS + rebuild. Keyed by the snapshot epoch actually read, which can
+	// be newer than the batch epoch (the harmless direction).
+	g, gepoch := snapshotOf(ds.st)
+	if g == nil {
+		return nil, false, &httpError{http.StatusBadRequest,
+			"near queries need whole-graph access; dataset " + strconv.Quote(ds.name) + " uses the " + ds.st.Backend() + " backend"}
+	}
+	rwVal, _, err := ds.sharer.Do(ctx, gepoch, reweightKey(n.Seeds), func() (any, error) {
+		rw, err := queryweight.Reweight(g, n.Seeds)
+		if err != nil {
+			return nil, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		return rw, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	rw := rwVal.(*graph.Graph)
+	val, shared, err := ds.sharer.Do(ctx, gepoch, n.Key, func() (any, error) {
+		res, err := core.TopKCtx(ctx, rw, n.K, n.Gamma, core.Options{
+			NonContainment: n.Mode == cluster.ModeNonContainment,
+		})
+		if err != nil {
+			return nil, queryError(err)
+		}
+		s.metrics.localServed.Add(1)
+		ds.localServed.Add(1)
+		out := &execResult{Accessed: res.Stats.FinalPrefix}
+		for _, c := range res.Communities {
+			out.Communities = append(out.Communities, cluster.Render(rw, c.Influence(), c.Keynode(), c.Vertices()))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val.(*execResult), shared, nil
+}
+
+// reweightKey names the shared seed-reweighting computation for a
+// canonical (sorted, deduplicated) seed set.
+func reweightKey(seeds []int32) string {
+	var b strings.Builder
+	b.WriteString("reweight|seeds=[")
+	for i, sd := range seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(sd)))
+	}
+	b.WriteByte(']')
+	return b.String()
+}

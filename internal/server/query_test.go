@@ -1,0 +1,476 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"influcomm/internal/store"
+)
+
+// postQuery POSTs a DSL batch to ts and returns the status and raw body.
+func postQuery(t *testing.T, ts *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// rawQueryResponse mirrors queryResponse but keeps each node's communities
+// as raw JSON, so byte-identity against /v1/topk can be asserted on the
+// serialized form rather than a re-marshaled decode.
+type rawQueryResponse struct {
+	Query     string `json:"query"`
+	Dataset   string `json:"dataset"`
+	PlanNodes int    `json:"plan_nodes"`
+	CSEHits   int    `json:"cse_hits"`
+	Results   []struct {
+		Statement string `json:"statement"`
+		Nodes     []struct {
+			K           int             `json:"k"`
+			Gamma       int             `json:"gamma"`
+			Mode        string          `json:"mode"`
+			Path        string          `json:"path"`
+			Shared      bool            `json:"shared"`
+			Communities json.RawMessage `json:"communities"`
+		} `json:"nodes"`
+	} `json:"results"`
+	Error string `json:"error"`
+}
+
+// topKCommunities fetches a /v1/topk answer's communities as raw JSON.
+func topKCommunities(t *testing.T, ts *httptest.Server, params string) json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/topk?" + params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Communities json.RawMessage `json:"communities"`
+		Error       string          `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topk %s: status %d: %s", params, resp.StatusCode, body.Error)
+	}
+	return body.Communities
+}
+
+// dslBackendsServer serves the same graph from all three backends: the
+// default in-memory dataset, a semi-external "se" dataset, and a mutable
+// "dyn" dataset. rankGraph keeps their answers byte-comparable.
+func dslBackendsServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	ms, err := store.OpenMutableGraph(rankGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(rankGraph(t),
+		WithDataset("se", DatasetConfig{Store: edgeFileStore(t, rankGraph(t))}),
+		WithDataset("dyn", DatasetConfig{Store: ms}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestPlanFixedShapeByteIdentity is the DSL's core property: a query whose
+// plan reduces to a fixed (k, γ, semantics) shape returns communities
+// byte-identical to /v1/topk with the same shape, on every backend.
+func TestPlanFixedShapeByteIdentity(t *testing.T) {
+	_, ts := dslBackendsServer(t)
+	shapes := []struct {
+		k     int
+		gamma int
+		sem   string
+		flag  string
+	}{
+		{3, 2, "core", ""},
+		{5, 3, "core", ""},
+		{2, 3, "noncontainment", "&noncontainment=1"},
+		{3, 3, "truss", "&truss=1"},
+	}
+	for _, dataset := range []string{"default", "se", "dyn"} {
+		for _, sh := range shapes {
+			if dataset == "se" && sh.sem == "truss" {
+				continue // truss needs whole-graph access
+			}
+			src := fmt.Sprintf("topk(k=%d, gamma=%d, semantics=%s)", sh.k, sh.gamma, sh.sem)
+			code, body := postQuery(t, ts, fmt.Sprintf(`{"query":%q,"dataset":%q}`, src, dataset))
+			var qr rawQueryResponse
+			if err := json.Unmarshal(body, &qr); err != nil {
+				t.Fatalf("%s on %s: unmarshal %s: %v", src, dataset, body, err)
+			}
+			if code != http.StatusOK {
+				t.Fatalf("%s on %s: status %d: %s", src, dataset, code, qr.Error)
+			}
+			if len(qr.Results) != 1 || len(qr.Results[0].Nodes) != 1 {
+				t.Fatalf("%s on %s: unexpected result shape: %s", src, dataset, body)
+			}
+			got := qr.Results[0].Nodes[0].Communities
+			want := topKCommunities(t, ts, fmt.Sprintf("k=%d&gamma=%d&dataset=%s%s", sh.k, sh.gamma, dataset, sh.flag))
+			if string(got) != string(want) {
+				t.Errorf("%s on %s:\ndsl  %s\ntopk %s", src, dataset, got, want)
+			}
+		}
+	}
+}
+
+// TestPlanBatchExpansionAndFilters covers the composite surface: γ ranges
+// and semantics sets expand to one node each, filters apply per statement,
+// and the echoed batch is canonical.
+func TestPlanBatchExpansionAndFilters(t *testing.T) {
+	_, ts := dslBackendsServer(t)
+	code, body := postQuery(t, ts,
+		`{"query":"topk(gamma=2..3, k=5, semantics=noncontainment+core) | influence(>=15) | limit(1); topk(k=2, gamma=2)"}`)
+	var qr rawQueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, qr.Error)
+	}
+	wantCanon := "topk(k=5, gamma=2..3, semantics=core+noncontainment) | influence(>=15) | limit(1); topk(k=2, gamma=2, semantics=core)"
+	if qr.Query != wantCanon {
+		t.Errorf("canonical echo = %q, want %q", qr.Query, wantCanon)
+	}
+	if qr.PlanNodes != 5 {
+		t.Errorf("plan_nodes = %d, want 5 (2 gammas x 2 semantics + 1)", qr.PlanNodes)
+	}
+	if len(qr.Results) != 2 || len(qr.Results[0].Nodes) != 4 || len(qr.Results[1].Nodes) != 1 {
+		t.Fatalf("result shape: %s", body)
+	}
+	for _, n := range qr.Results[0].Nodes {
+		var comms []communityJSON
+		if err := json.Unmarshal(n.Communities, &comms); err != nil {
+			t.Fatal(err)
+		}
+		if len(comms) > 1 {
+			t.Errorf("limit(1) violated: %d communities", len(comms))
+		}
+		for _, c := range comms {
+			if c.Influence < 15 {
+				t.Errorf("influence(>=15) violated: %v", c.Influence)
+			}
+		}
+	}
+}
+
+// TestCSESharedDecompositionComputedOnce is the sharing property: across N
+// concurrent overlapping batches, each distinct plan node is decomposed
+// exactly once — strictly fewer decompositions than the same statements
+// run independently — while every answer stays byte-identical to its
+// fixed-shape equivalent.
+func TestCSESharedDecompositionComputedOnce(t *testing.T) {
+	s, ts := dslBackendsServer(t)
+	ds := s.registry.acquireLookup(DefaultDataset)
+	if ds == nil {
+		t.Fatal("default dataset missing")
+	}
+	defer ds.release()
+
+	var mu sync.Mutex
+	execs := make(map[string]int)
+	ds.sharer.SetExecHook(func(key string) {
+		mu.Lock()
+		execs[key]++
+		mu.Unlock()
+	})
+	defer ds.sharer.SetExecHook(nil)
+
+	// 3 plan nodes per batch (γ2 twice, γ3 once), 2 distinct keys.
+	const batches = 4
+	src := `{"query":"topk(k=3, gamma=2); topk(k=3, gamma=2..3) | limit(2)"}`
+	bodies := make([][]byte, batches)
+	var wg sync.WaitGroup
+	for i := 0; i < batches; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := postQuery(t, ts, src)
+			if code != http.StatusOK {
+				t.Errorf("batch %d: status %d: %s", i, code, body)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	total := 0
+	for key, n := range execs {
+		total += n
+		if n != 1 {
+			t.Errorf("node %q decomposed %d times, want exactly 1", key, n)
+		}
+	}
+	mu.Unlock()
+	if want := 2; total != want {
+		t.Errorf("%d decompositions for %d submitted nodes, want %d", total, 3*batches, want)
+	}
+	// The acceptance bound: strictly fewer decompositions than independent
+	// execution of every submitted node.
+	if total >= 3*batches {
+		t.Errorf("sharing saved nothing: %d decompositions for %d nodes", total, 3*batches)
+	}
+
+	// Every batch's communities match the fixed-shape answer, and the
+	// per-batch counters add up: all but the first-executed instance of
+	// each key is a CSE hit.
+	hits := 0
+	for i, body := range bodies {
+		var qr rawQueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		hits += qr.CSEHits
+		for si, st := range qr.Results {
+			for ni, n := range st.Nodes {
+				want := topKCommunities(t, ts, fmt.Sprintf("k=3&gamma=%d", n.Gamma))
+				got := n.Communities
+				if si == 1 {
+					// limit(2) truncates; compare the prefix via decode.
+					var w, g []communityJSON
+					if err := json.Unmarshal(want, &w); err != nil {
+						t.Fatal(err)
+					}
+					if err := json.Unmarshal(got, &g); err != nil {
+						t.Fatal(err)
+					}
+					if len(g) > 2 {
+						t.Errorf("batch %d stmt %d node %d: limit(2) violated", i, si, ni)
+					}
+					continue
+				}
+				if string(got) != string(want) {
+					t.Errorf("batch %d stmt %d node %d:\ndsl  %s\ntopk %s", i, si, ni, got, want)
+				}
+			}
+		}
+	}
+	if want := 3*batches - 2; hits != want {
+		t.Errorf("summed cse_hits = %d, want %d", hits, want)
+	}
+	if ds.sharer.Execs() != 2 {
+		t.Errorf("sharer execs = %d, want 2", ds.sharer.Execs())
+	}
+	if ds.sharer.Hits() != int64(3*batches-2) {
+		t.Errorf("sharer hits = %d, want %d", ds.sharer.Hits(), 3*batches-2)
+	}
+}
+
+// TestCSESharingNeverCrossesEpochs pins the safety side of sharing: an
+// update that publishes a new snapshot epoch invalidates every shared
+// result, so the same batch decomposes afresh rather than serving the
+// pre-update answer.
+func TestCSESharingNeverCrossesEpochs(t *testing.T) {
+	s, ts := dslBackendsServer(t)
+	ds := s.registry.acquireLookup("dyn")
+	if ds == nil {
+		t.Fatal("dyn dataset missing")
+	}
+	defer ds.release()
+
+	var mu sync.Mutex
+	execs := make(map[string]int)
+	ds.sharer.SetExecHook(func(key string) {
+		mu.Lock()
+		execs[key]++
+		mu.Unlock()
+	})
+	defer ds.sharer.SetExecHook(nil)
+
+	const src = `{"query":"topk(k=2, gamma=2)","dataset":"dyn"}`
+	if code, body := postQuery(t, ts, src); code != http.StatusOK {
+		t.Fatalf("first batch: status %d: %s", code, body)
+	}
+	// Re-running at the same epoch is served from the memo: no new exec.
+	if code, body := postQuery(t, ts, src); code != http.StatusOK {
+		t.Fatalf("repeat batch: status %d: %s", code, body)
+	}
+	mu.Lock()
+	if n := len(execs); n != 1 {
+		t.Fatalf("distinct keys before update = %d, want 1", n)
+	}
+	for key, n := range execs {
+		if n != 1 {
+			t.Fatalf("node %q decomposed %d times before update, want 1", key, n)
+		}
+	}
+	mu.Unlock()
+
+	// An effective update moves the epoch; the identical batch must not
+	// reuse the pre-update decomposition.
+	resp, body := postUpdates(t, ts, "dyn",
+		`{"updates":[{"op":"insert","u":0,"v":9}]}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: status %d: %s", resp.StatusCode, body)
+	}
+	if code, qbody := postQuery(t, ts, src); code != http.StatusOK {
+		t.Fatalf("post-update batch: status %d: %s", code, qbody)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, n := range execs {
+		total += n
+	}
+	if total != 2 {
+		t.Errorf("decompositions across the epoch change = %d, want 2 (one per epoch)", total)
+	}
+}
+
+// TestCSENearSharesReweight covers the seed-scoped path: one near seed set
+// expanded over a γ range reweights the graph once, each γ node searches
+// the shared reweighted graph, and the answer matches the public facade's
+// TopKNearQuery semantics.
+func TestCSENearSharesReweight(t *testing.T) {
+	s, ts := dslBackendsServer(t)
+	ds := s.registry.acquireLookup(DefaultDataset)
+	if ds == nil {
+		t.Fatal("default dataset missing")
+	}
+	defer ds.release()
+
+	var mu sync.Mutex
+	execs := make(map[string]int)
+	ds.sharer.SetExecHook(func(key string) {
+		mu.Lock()
+		execs[key]++
+		mu.Unlock()
+	})
+	defer ds.sharer.SetExecHook(nil)
+
+	code, body := postQuery(t, ts, `{"query":"near(seeds=[0,1], k=2, gamma=2..3)"}`)
+	var qr rawQueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, qr.Error)
+	}
+	if len(qr.Results) != 1 || len(qr.Results[0].Nodes) != 2 {
+		t.Fatalf("result shape: %s", body)
+	}
+	for _, n := range qr.Results[0].Nodes {
+		var comms []communityJSON
+		if err := json.Unmarshal(n.Communities, &comms); err != nil {
+			t.Fatal(err)
+		}
+		if len(comms) == 0 {
+			t.Errorf("near γ=%d: no communities", n.Gamma)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	reweights := 0
+	for key, n := range execs {
+		if strings.HasPrefix(key, "reweight|") {
+			reweights += n
+		}
+	}
+	if reweights != 1 {
+		t.Errorf("reweight executed %d times for a 2-node γ range, want 1", reweights)
+	}
+}
+
+// TestPlanQueryErrors covers the handler's failure surface.
+func TestPlanQueryErrors(t *testing.T) {
+	_, ts := dslBackendsServer(t)
+	cases := []struct {
+		name string
+		body string
+		code int
+		frag string
+	}{
+		{"parse error", `{"query":"topk(k=0)"}`, http.StatusBadRequest, "k"},
+		{"syntax error", `{"query":"frobnicate()"}`, http.StatusBadRequest, "query:"},
+		{"bad json", `{"query": `, http.StatusBadRequest, "bad request body"},
+		{"unknown dataset", `{"query":"topk(k=1)","dataset":"nope"}`, http.StatusNotFound, "not loaded"},
+		{"k too large", `{"query":"topk(k=99999999)"}`, http.StatusBadRequest, "k must be in"},
+		{"near on semiext", `{"query":"near(seeds=[1], k=2)","dataset":"se"}`, http.StatusBadRequest, "whole-graph"},
+		{"truss on semiext", `{"query":"topk(k=2, gamma=3, semantics=truss)","dataset":"se"}`, http.StatusBadRequest, "whole-graph"},
+		{"near rejects truss", `{"query":"near(seeds=[1], semantics=truss)"}`, http.StatusBadRequest, "truss"},
+	}
+	for _, tc := range cases {
+		code, body := postQuery(t, ts, tc.body)
+		if code != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.code, body)
+		}
+		if !strings.Contains(string(body), tc.frag) {
+			t.Errorf("%s: body %s does not mention %q", tc.name, body, tc.frag)
+		}
+	}
+}
+
+// BenchmarkBatchCSE measures a DSL batch whose statements overlap: after
+// the first request warms the sharer's memo, every plan node is a CSE hit,
+// so the number is dominated by parse + plan + filter + render — the
+// fixed overhead sharing cannot remove. Gated in CI against
+// BENCH_baseline.json.
+func BenchmarkBatchCSE(b *testing.B) {
+	s, err := New(rankGraph(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := `{"query":"topk(k=5, gamma=2..4); topk(k=5, gamma=2..3) | limit(2); topk(k=5, gamma=4, semantics=noncontainment)"}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestPlanQueryStatsCounters pins the new /v1/stats rows: DSL batches
+// count under dsl_queries, their expansion under plan_nodes, and shared
+// nodes under cse_hits.
+func TestPlanQueryStatsCounters(t *testing.T) {
+	_, ts := dslBackendsServer(t)
+	if code, body := postQuery(t, ts, `{"query":"topk(k=2, gamma=2); topk(k=2, gamma=2)"}`); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var stats statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.DSLQueries != 1 {
+		t.Errorf("dsl_queries = %d, want 1", stats.DSLQueries)
+	}
+	if stats.PlanNodes != 2 {
+		t.Errorf("plan_nodes = %d, want 2", stats.PlanNodes)
+	}
+	if stats.CSEHits != 1 {
+		t.Errorf("cse_hits = %d, want 1", stats.CSEHits)
+	}
+}

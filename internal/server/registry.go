@@ -12,6 +12,7 @@ import (
 
 	"influcomm/internal/graph"
 	"influcomm/internal/index"
+	"influcomm/internal/query"
 	"influcomm/internal/store"
 	"influcomm/internal/truss"
 )
@@ -72,6 +73,13 @@ type dataset struct {
 	queries     atomic.Int64
 	indexServed atomic.Int64
 	localServed atomic.Int64
+
+	// sharer deduplicates DSL plan-node executions across concurrent
+	// /v1/query batches: identical canonical nodes at the same snapshot
+	// epoch are computed once (singleflight + bounded memo). Per dataset,
+	// because node keys do not name the dataset and epochs of different
+	// datasets are unrelated counters.
+	sharer *query.Sharer
 
 	// refs counts in-flight queries; unloaded marks removal from the
 	// registry. The last releasing query (or the unload itself, when the
@@ -307,6 +315,12 @@ type DatasetConfig struct {
 	// invalidating update before rebuilding, so an update burst costs one
 	// rebuild; 0 uses the 100ms default.
 	ReindexDebounce time.Duration
+	// RepairFraction is the largest touched-suffix fraction (as a share of
+	// the vertex count, in (0, 1]) an update delta may reach and still be
+	// repaired synchronously in the index-maintenance fast path; larger
+	// deltas go to the background rebuild. 0 keeps the 0.25 default;
+	// anything else outside (0, 1] is a registration error.
+	RepairFraction float64
 }
 
 // errAlreadyLoaded distinguishes a name conflict (409) from other
@@ -356,6 +370,9 @@ func (s *Server) addDataset(name string, cfg DatasetConfig) (*dataset, error) {
 	default:
 		return nil, fmt.Errorf("server: dataset %q: bad reindex value %q (want \"auto\" or \"off\")", name, cfg.Reindex)
 	}
+	if cfg.RepairFraction < 0 || cfg.RepairFraction > 1 {
+		return nil, fmt.Errorf("server: dataset %q: repair fraction %v out of (0, 1]", name, cfg.RepairFraction)
+	}
 	reindex := cfg.Reindex == "auto" || (cfg.Reindex == "" && s.autoReindex)
 	ms := store.AsMutable(st)
 	if reindex && (ms == nil || st.Graph() == nil) {
@@ -371,14 +388,15 @@ func (s *Server) addDataset(name string, cfg DatasetConfig) (*dataset, error) {
 		return nil, fmt.Errorf("server: dataset %q is %w", name, errAlreadyLoaded)
 	}
 	s.registry.gen++
-	ds := &dataset{name: name, gen: s.registry.gen, st: st}
+	ds := &dataset{name: name, gen: s.registry.gen, st: st, sharer: query.NewSharer(0)}
 	if cfg.Index != nil {
 		ds.attached.Store(&attachedIndex{ix: cfg.Index, epoch: ds.epoch()})
 	}
 	if reindex {
 		ds.maint = newMaintainer(ds, ms, maintainerConfig{
-			workers:  cfg.ReindexWorkers,
-			debounce: cfg.ReindexDebounce,
+			workers:        cfg.ReindexWorkers,
+			debounce:       cfg.ReindexDebounce,
+			repairFraction: cfg.RepairFraction,
 		})
 		ds.maint.start()
 	}
@@ -494,6 +512,9 @@ type loadRequest struct {
 	// ReindexDebounce overrides the background-rebuild debounce as a Go
 	// duration string (e.g. "250ms"); empty uses the 100ms default.
 	ReindexDebounce string `json:"reindex_debounce,omitempty"`
+	// RepairFrac overrides the synchronous delta-repair gate (see
+	// DatasetConfig.RepairFraction); 0 keeps the 0.25 default.
+	RepairFrac float64 `json:"repair_frac,omitempty"`
 }
 
 // adminAllowed enforces the optional bearer token on admin endpoints.
@@ -555,7 +576,7 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	cfg := DatasetConfig{Store: st, Reindex: req.Reindex, ReindexDebounce: debounce}
+	cfg := DatasetConfig{Store: st, Reindex: req.Reindex, ReindexDebounce: debounce, RepairFraction: req.RepairFrac}
 	if backend == "mutable" {
 		cfg.ReindexWorkers = req.Workers
 	}

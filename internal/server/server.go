@@ -22,6 +22,9 @@
 //	GET    /v1/topk?...&dataset=name       ... against a named dataset
 //	GET    /v1/topk?...&noncontainment=1   non-containment variant (§5.1)
 //	GET    /v1/topk?...&truss=1            γ-truss variant (§5.2, in-memory datasets)
+//	POST   /v1/query                       composable DSL batch: {"query": "...",
+//	                                       "dataset": "name"}; plan nodes shared
+//	                                       across concurrent batches (CSE)
 //	GET    /v1/shard/stream?gamma=5&limit=10  progressive NDJSON community stream
 //	                                       (the shard side of the cluster protocol)
 //	POST   /v1/admin/datasets              load a dataset from disk
@@ -106,6 +109,10 @@ type metrics struct {
 	localServed atomic.Int64 // queries answered by online LocalSearch/truss
 
 	shardStreams atomic.Int64 // /v1/shard/stream requests admitted
+
+	dslQueries atomic.Int64 // admitted /v1/query batches
+	planNodes  atomic.Int64 // plan nodes expanded by those batches
+	cseHits    atomic.Int64 // plan nodes served by shared work, not fresh execution
 }
 
 // Option configures a Server.
@@ -218,6 +225,7 @@ func New(g *graph.Graph, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET "+cluster.StreamPath, s.handleShardStream)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/admin/datasets", s.handleLoadDataset)
@@ -293,6 +301,14 @@ type statsResponse struct {
 	// coordinators.
 	ShardStreams int64 `json:"shard_streams"`
 
+	// DSL batch counters: DSLQueries admitted /v1/query batches, PlanNodes
+	// the plan nodes those batches expanded to, CSEHits the nodes served
+	// by work shared with another node (same batch or a concurrent one)
+	// instead of a fresh decomposition.
+	DSLQueries int64 `json:"dsl_queries"`
+	PlanNodes  int64 `json:"plan_nodes"`
+	CSEHits    int64 `json:"cse_hits"`
+
 	// Mutable-dataset counters for the default dataset: the snapshot epoch
 	// and the total effective edge mutations applied since load (per-
 	// dataset figures live in Datasets).
@@ -319,6 +335,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IndexQueries: s.metrics.indexServed.Load(),
 		LocalQueries: s.metrics.localServed.Load(),
 		ShardStreams: s.metrics.shardStreams.Load(),
+		DSLQueries:   s.metrics.dslQueries.Load(),
+		PlanNodes:    s.metrics.planNodes.Load(),
+		CSEHits:      s.metrics.cseHits.Load(),
 	}
 	if ds := s.registry.lookup(DefaultDataset); ds != nil {
 		if g := ds.st.Graph(); g != nil {
@@ -498,30 +517,6 @@ func queryError(err error) error {
 		return err
 	}
 	return &httpError{http.StatusBadRequest, err.Error()}
-}
-
-// render maps a community to its JSON shape. With a resident graph the
-// members are reported as original vertex IDs plus labels; semi-external
-// datasets (g == nil) identify vertices by weight rank, which is what the
-// edge-file layout stores.
-func render(g *graph.Graph, influence float64, keynode int32, members []int32) communityJSON {
-	c := communityJSON{
-		Influence: influence,
-		Size:      len(members),
-		Keynode:   keynode,
-	}
-	if g == nil {
-		c.Members = append(c.Members, members...)
-		return c
-	}
-	c.Keynode = g.OrigID(keynode)
-	for _, v := range members {
-		c.Members = append(c.Members, g.OrigID(v))
-		if g.HasLabels() {
-			c.Labels = append(c.Labels, g.Label(v))
-		}
-	}
-	return c
 }
 
 // Datasets returns a snapshot of the loaded datasets, sorted by name.

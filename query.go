@@ -1,0 +1,164 @@
+package influcomm
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+
+	"influcomm/internal/cluster"
+	"influcomm/internal/core"
+	"influcomm/internal/query"
+	"influcomm/internal/queryweight"
+	"influcomm/internal/truss"
+)
+
+// This file is the embedded face of the query DSL (internal/query): parse
+// a batch of composable statements and run it against an in-memory graph,
+// with the same within-batch work sharing the server applies across
+// concurrent HTTP batches — identical (k, γ, semantics) plan nodes are
+// computed once however many statements expand to them.
+
+// ParsedQuery is a parsed DSL batch: one or more statements, each a
+// source (topk or near) behind an optional filter pipeline. Its String
+// method prints the canonical form, a fixpoint of ParseQuery. The grammar
+// is documented in docs/ARCHITECTURE.md.
+type ParsedQuery = query.Query
+
+// ParseQuery parses a DSL batch such as
+//
+//	"topk(k=5, gamma=2..4) | influence(>=10) | limit(3); near(seeds=[7], k=3)"
+//
+// without executing it. Use RunQuery to parse and execute in one step, or
+// POST the source text to a server's /v1/query.
+func ParseQuery(src string) (*ParsedQuery, error) {
+	return query.Parse(src)
+}
+
+// QueryNode is one executed plan node of a RunQuery statement: a single
+// (k, γ, semantics) shape, with the communities that survived the
+// statement's filter pipeline.
+type QueryNode struct {
+	// K and Gamma are the node's fixed shape.
+	K     int
+	Gamma int
+	// Mode is the node's semantics: "core", "noncontainment", or "truss".
+	Mode string
+	// Shared marks nodes answered by a computation shared with an earlier
+	// identical node of the batch instead of a fresh search.
+	Shared bool
+	// Communities is the node's answer, decreasing influence, after the
+	// statement's filters; elements are byte-identical (in JSON form) to
+	// the server's /v1/topk communities for the same shape.
+	Communities []ClusterCommunity
+}
+
+// QueryStatement is one RunQuery statement's results: the statement in
+// canonical form and its plan nodes in (γ, semantics) expansion order.
+type QueryStatement struct {
+	Statement string
+	Nodes     []QueryNode
+}
+
+// RunQuery parses and executes a DSL batch against g. Every statement is
+// planned into fixed-shape nodes (one per γ × semantics combination);
+// identical nodes across the batch are computed once, and seed-scoped
+// near statements additionally share one distance reweighting per seed
+// set. Results come back per statement, in input order.
+func RunQuery(ctx context.Context, g *Graph, src string) ([]QueryStatement, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := query.PlanQuery(q, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]QueryStatement, len(q.Statements))
+	for i, st := range q.Statements {
+		out[i].Statement = st.String()
+	}
+	searched := make(map[string][]ClusterCommunity) // node key -> rendered answer
+	reweighted := make(map[string]*Graph)           // seed-set key -> reweighted graph
+	for _, n := range nodes {
+		comms, shared := searched[n.Key], false
+		if comms != nil {
+			shared = true
+		} else {
+			comms, err = runQueryNode(ctx, g, n, reweighted)
+			if err != nil {
+				return nil, err
+			}
+			if comms == nil {
+				comms = []ClusterCommunity{} // cache a miss-proof non-nil empty answer
+			}
+			searched[n.Key] = comms
+		}
+		out[n.Stmt].Nodes = append(out[n.Stmt].Nodes, QueryNode{
+			K:           n.K,
+			Gamma:       int(n.Gamma),
+			Mode:        n.Mode,
+			Shared:      shared,
+			Communities: cluster.ApplyDSLFilters(q.Statements[n.Stmt].Filters, comms),
+		})
+	}
+	return out, nil
+}
+
+// runQueryNode executes one plan node against g, reusing (and filling)
+// the per-batch reweighting cache for near nodes.
+func runQueryNode(ctx context.Context, g *Graph, n query.Node, reweighted map[string]*Graph) ([]ClusterCommunity, error) {
+	target := g
+	if len(n.Seeds) > 0 {
+		key := seedsKey(n.Seeds)
+		rw := reweighted[key]
+		if rw == nil {
+			var err error
+			rw, err = queryweight.Reweight(g, n.Seeds)
+			if err != nil {
+				return nil, err
+			}
+			reweighted[key] = rw
+		}
+		target = rw
+	}
+
+	var comms []ClusterCommunity
+	if n.Mode == query.SemTruss {
+		if n.Gamma < 2 {
+			return nil, errors.New("truss queries need gamma >= 2")
+		}
+		res, err := truss.LocalSearchCtx(ctx, truss.NewIndex(target), n.K, n.Gamma)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range res.Communities {
+			comms = append(comms, cluster.Render(target, c.Influence(), c.Keynode(), c.Vertices()))
+		}
+		return comms, nil
+	}
+	res, err := core.TopKCtx(ctx, target, n.K, n.Gamma, core.Options{
+		NonContainment: n.Mode == query.SemNonContainment,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range res.Communities {
+		comms = append(comms, cluster.Render(target, c.Influence(), c.Keynode(), c.Vertices()))
+	}
+	return comms, nil
+}
+
+// seedsKey canonicalizes a (sorted, deduplicated) seed set into a cache
+// key for the reweighting it determines.
+func seedsKey(seeds []int32) string {
+	var b strings.Builder
+	for i, s := range seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(s)))
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package influcomm
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"influcomm/internal/cluster"
+)
+
+// TestRunQueryPlanMatchesTopK pins the embedded DSL to the classic facade:
+// a fixed-shape statement's communities serialize identically to the
+// rendered TopK answer of the same shape.
+func TestRunQueryPlanMatchesTopK(t *testing.T) {
+	g := figure1(t)
+	res, err := RunQuery(context.Background(), g, "topk(k=2, gamma=3); topk(k=2, gamma=3, semantics=noncontainment)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d statements, want 2", len(res))
+	}
+
+	classic, err := TopK(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []ClusterCommunity
+	for _, c := range classic.Communities {
+		want = append(want, cluster.Render(g, c.Influence(), c.Keynode(), c.Vertices()))
+	}
+	got, err := json.Marshal(res[0].Nodes[0].Communities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(wantJSON) {
+		t.Errorf("core node:\ndsl     %s\nclassic %s", got, wantJSON)
+	}
+
+	nc, err := TopKNonContainment(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[1].Nodes[0].Communities) != len(nc.Communities) {
+		t.Errorf("noncontainment node: %d communities, facade %d",
+			len(res[1].Nodes[0].Communities), len(nc.Communities))
+	}
+}
+
+// TestRunQueryCSESharesNodes shows within-batch sharing: two statements
+// expanding to the same plan node compute once, the second is marked
+// Shared and carries the identical answer; filters stay per statement.
+func TestRunQueryCSESharesNodes(t *testing.T) {
+	g := figure1(t)
+	res, err := RunQuery(context.Background(), g,
+		"topk(k=3, gamma=2); topk(k=3, gamma=2) | limit(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := res[0].Nodes[0], res[1].Nodes[0]
+	if first.Shared || !second.Shared {
+		t.Errorf("shared flags = %v, %v; want false, true", first.Shared, second.Shared)
+	}
+	if len(second.Communities) > 1 {
+		t.Errorf("limit(1) kept %d communities", len(second.Communities))
+	}
+	if len(first.Communities) == 0 {
+		t.Fatal("no communities at all")
+	}
+	if first.Communities[0].Influence != second.Communities[0].Influence {
+		t.Errorf("shared node diverged: %v vs %v",
+			first.Communities[0].Influence, second.Communities[0].Influence)
+	}
+}
+
+// TestRunQueryPlanNear pins the seed-scoped path to TopKNearQuery: same
+// seeds, same shape, same communities.
+func TestRunQueryPlanNear(t *testing.T) {
+	g := figure1(t)
+	res, err := RunQuery(context.Background(), g, "near(seeds=[0], k=2, gamma=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, classic, err := TopKNearQuery(g, []int32{0}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []ClusterCommunity
+	for _, c := range classic.Communities {
+		want = append(want, cluster.Render(rw, c.Influence(), c.Keynode(), c.Vertices()))
+	}
+	got, err := json.Marshal(res[0].Nodes[0].Communities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(wantJSON) {
+		t.Errorf("near node:\ndsl    %s\nfacade %s", got, wantJSON)
+	}
+}
+
+// TestParseQueryFacade exercises the parse-only entry point: canonical
+// printing is a fixpoint, and syntax errors surface.
+func TestParseQueryFacade(t *testing.T) {
+	q, err := ParseQuery("topk( k=3 , gamma = 2..4 )|influence(>= 12)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := q.String()
+	again, err := ParseQuery(canon)
+	if err != nil {
+		t.Fatalf("reparsing canonical %q: %v", canon, err)
+	}
+	if again.String() != canon {
+		t.Errorf("canonical print is not a fixpoint: %q -> %q", canon, again.String())
+	}
+	if _, err := ParseQuery("topk(k=nope)"); err == nil {
+		t.Error("want parse error for k=nope")
+	}
+}
